@@ -1,0 +1,39 @@
+// ISOBAR threshold ablation (paper Section II-G): sweep the analyzer's
+// entropy cutoff from "compress nothing" to "compress everything" and show
+// the ratio/throughput trade. The empirical default (7.8 bits) should sit
+// near the knee: almost all the achievable ratio at a fraction of the CPU
+// cost of compressing every mantissa byte.
+#include <array>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace primacy;
+  bench::PrintHeader(
+      "Ablation: ISOBAR entropy threshold sweep",
+      "Shah et al., CLUSTER 2012, Section II-G / ISOBAR (ICDE 2012)");
+  const std::array<double, 6> thresholds = {0.0, 4.0, 6.0, 7.8, 7.98, 8.1};
+
+  for (const char* name : {"num_plasma", "obs_error", "gts_chkp_zeon"}) {
+    const auto& values = bench::DatasetValues(name);
+    std::printf("[%s]\n", name);
+    std::printf("%12s %10s %10s %12s %12s\n", "threshold", "alpha2", "CR",
+                "CTP(MB/s)", "DTP(MB/s)");
+    for (const double threshold : thresholds) {
+      PrimacyOptions options;
+      options.isobar.entropy_threshold_bits = threshold;
+      options.isobar.top_frequency_threshold = 1.1;  // entropy rule only
+      const auto m = bench::MeasurePrimacy(values, options);
+      std::printf("%12.2f %10.2f %10.3f %12.1f %12.1f\n", threshold,
+                  m.stats.mean_compressible_fraction, m.CompressionRatio(),
+                  m.CompressMBps(), m.DecompressMBps());
+    }
+    std::printf("\n");
+  }
+  bench::PrintRule();
+  std::printf(
+      "Shape: threshold 0 skips all mantissa bytes (fastest, lowest ratio);\n"
+      "8.1 compresses everything (slowest, ratio barely better than the\n"
+      "default); the 7.8 default keeps ~all ratio at much higher throughput.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <map>
+
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace primacy::bench {
+
+std::size_t BenchElements() {
+  static const std::size_t elements = [] {
+    if (const char* env = std::getenv("PRIMACY_BENCH_ELEMENTS")) {
+      return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    }
+    return static_cast<std::size_t>(256) * 1024;  // 2 MB per dataset
+  }();
+  return elements;
+}
+
+const std::vector<double>& DatasetValues(const std::string& name) {
+  static auto* cache = new std::map<std::string, std::vector<double>>();
+  auto it = cache->find(name);
+  if (it == cache->end()) {
+    it = cache->emplace(name, GenerateDatasetByName(name, BenchElements()))
+             .first;
+  }
+  return it->second;
+}
+
+ByteSpan DatasetBytes(const std::string& name) {
+  return AsBytes(DatasetValues(name));
+}
+
+double PrimacyMeasurement::CompressionRatio() const {
+  return compressed_bytes == 0
+             ? 0.0
+             : static_cast<double>(stats.input_bytes) /
+                   static_cast<double>(compressed_bytes);
+}
+
+double PrimacyMeasurement::CompressMBps() const {
+  return ThroughputMBps(stats.input_bytes, compress_seconds);
+}
+
+double PrimacyMeasurement::DecompressMBps() const {
+  return ThroughputMBps(stats.input_bytes, decompress_seconds);
+}
+
+PrimacyMeasurement MeasurePrimacy(std::span<const double> values,
+                                  const PrimacyOptions& options) {
+  const PrimacyCompressor compressor(options);
+  PrimacyMeasurement m;
+  WallTimer timer;
+  const Bytes stream = compressor.Compress(values, &m.stats);
+  m.compress_seconds = timer.Seconds();
+  m.compressed_bytes = stream.size();
+
+  const PrimacyDecompressor decompressor(options);
+  timer.Reset();
+  const std::vector<double> restored = decompressor.Decompress(stream);
+  m.decompress_seconds = timer.Seconds();
+  if (restored.size() != values.size() ||
+      !std::equal(restored.begin(), restored.end(), values.begin())) {
+    throw InternalError("MeasurePrimacy: roundtrip mismatch");
+  }
+  return m;
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Synthetic dataset size: %zu doubles (%.1f MB) per dataset; "
+              "set PRIMACY_BENCH_ELEMENTS to change.\n",
+              BenchElements(), BenchElements() * 8.0 / 1e6);
+  PrintRule();
+}
+
+void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace primacy::bench

@@ -1,0 +1,45 @@
+// Shared helpers for the paper-reproduction benches: dataset materialization
+// at a bench-friendly size, codec measurement with warmup, and table
+// formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "compress/codec.h"
+#include "core/primacy_codec.h"
+#include "datasets/datasets.h"
+
+namespace primacy::bench {
+
+/// Elements per dataset for bench runs; override with the
+/// PRIMACY_BENCH_ELEMENTS environment variable.
+std::size_t BenchElements();
+
+/// Dataset values cached per (name, elements) within a process.
+const std::vector<double>& DatasetValues(const std::string& name);
+
+/// Raw little-endian bytes of DatasetValues.
+ByteSpan DatasetBytes(const std::string& name);
+
+/// One measured PRIMACY run: stream stats plus wall-clock timings.
+struct PrimacyMeasurement {
+  PrimacyStats stats;
+  double compress_seconds = 0.0;
+  double decompress_seconds = 0.0;
+  std::size_t compressed_bytes = 0;
+
+  double CompressionRatio() const;
+  double CompressMBps() const;
+  double DecompressMBps() const;
+};
+
+PrimacyMeasurement MeasurePrimacy(std::span<const double> values,
+                                  const PrimacyOptions& options = {});
+
+/// Banner + rule printers so every bench reads the same.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+void PrintRule(int width = 100);
+
+}  // namespace primacy::bench

@@ -1,0 +1,43 @@
+// Figure 1: probability of the most frequent bit value at each bit position
+// for four representative datasets (GTS_phi, num_plasma, obs_temp,
+// msg_sweep3D). The paper's visual claim: p close to 1 in the first ~12 bit
+// positions (sign + exponent), p ~ 0.5 across the deep mantissa.
+#include <array>
+
+#include "bench_util.h"
+#include "util/byte_matrix.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace primacy;
+  const std::array<const char*, 4> datasets = {"gts_phi_l", "num_plasma",
+                                               "obs_temp", "msg_sweep3d"};
+  bench::PrintHeader(
+      "Figure 1: P(most frequent bit value) per bit position",
+      "Shah et al., CLUSTER 2012, Figure 1");
+
+  std::vector<std::vector<double>> series;
+  for (const char* name : datasets) {
+    const auto& values = bench::DatasetValues(name);
+    const Bytes rows = DoublesToBigEndianRows(values);
+    series.push_back(DominantBitProbability(rows, 8));
+  }
+
+  std::printf("%-8s %12s %12s %12s %12s\n", "bit", "GTS_phi", "num_plasma",
+              "obs_temp", "msg_sweep3D");
+  for (std::size_t bit = 0; bit < 64; ++bit) {
+    std::printf("%-8zu %12.4f %12.4f %12.4f %12.4f\n", bit, series[0][bit],
+                series[1][bit], series[2][bit], series[3][bit]);
+  }
+
+  bench::PrintRule();
+  std::printf("Shape check (paper: exponent bits biased, mantissa bits ~0.5):\n");
+  for (std::size_t s = 0; s < datasets.size(); ++s) {
+    double head = 0.0, tail = 0.0;
+    for (std::size_t bit = 0; bit < 16; ++bit) head += series[s][bit];
+    for (std::size_t bit = 16; bit < 64; ++bit) tail += series[s][bit];
+    std::printf("  %-14s mean p(bits 0-15) = %.3f, mean p(bits 16-63) = %.3f\n",
+                datasets[s], head / 16.0, tail / 48.0);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 3: normalized frequency of 16-bit byte-sequences in (a) the
+// exponent bytes and (b) the mantissa bytes, for the phi/info/temp/zeon
+// datasets. The paper's claim: exponent-byte mass concentrates on a small
+// sequence set (sharp spikes), mantissa-byte mass is spread across tens of
+// thousands of sequences with tiny individual frequencies.
+#include <algorithm>
+#include <array>
+
+#include "bench_util.h"
+#include "util/byte_matrix.h"
+#include "util/stats.h"
+
+namespace {
+
+struct HistogramSummary {
+  std::size_t distinct = 0;
+  double top1 = 0.0;    // normalized frequency of the most common sequence
+  double top10 = 0.0;   // mass of the ten most common sequences
+  double top100 = 0.0;
+};
+
+HistogramSummary Summarize(const std::vector<std::uint64_t>& histogram) {
+  HistogramSummary s;
+  std::uint64_t total = 0;
+  for (const auto c : histogram) total += c;
+  std::vector<std::uint64_t> sorted = histogram;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  s.distinct = primacy::CountDistinct(histogram);
+  const auto norm = [&](std::size_t k) {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < k && i < sorted.size(); ++i) sum += sorted[i];
+    return total == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(total);
+  };
+  s.top1 = norm(1);
+  s.top10 = norm(10);
+  s.top100 = norm(100);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace primacy;
+  // Figure 3's short labels map to these Table III datasets.
+  const std::array<std::pair<const char*, const char*>, 4> datasets = {
+      std::pair{"phi", "gts_phi_l"}, std::pair{"info", "obs_info"},
+      std::pair{"temp", "obs_temp"}, std::pair{"zeon", "gts_chkp_zeon"}};
+
+  bench::PrintHeader(
+      "Figure 3: byte-sequence frequency, exponent vs mantissa byte pairs",
+      "Shah et al., CLUSTER 2012, Figures 3(a) and 3(b)");
+
+  std::printf("%-8s %-10s %10s %10s %10s %10s\n", "dataset", "pair", "distinct",
+              "top1", "top10", "top100");
+  for (const auto& [label, name] : datasets) {
+    const auto& values = bench::DatasetValues(name);
+    const Bytes rows = DoublesToBigEndianRows(values);
+    const auto exponent = Summarize(BytePairHistogram(rows, 8, 0));
+    const auto mantissa = Summarize(BytePairHistogram(rows, 8, 4));
+    std::printf("%-8s %-10s %10zu %10.4f %10.4f %10.4f\n", label,
+                "exponent", exponent.distinct, exponent.top1, exponent.top10,
+                exponent.top100);
+    std::printf("%-8s %-10s %10zu %10.6f %10.6f %10.6f\n", label,
+                "mantissa", mantissa.distinct, mantissa.top1, mantissa.top10,
+                mantissa.top100);
+  }
+
+  bench::PrintRule();
+  std::printf(
+      "Paper shape: exponent pairs concentrate (distinct << 65536, top10\n"
+      "captures most of the mass); mantissa pairs are near-uniform (distinct\n"
+      "approaching the sample bound, top sequences carry ~1e-5 mass each).\n");
+  return 0;
+}

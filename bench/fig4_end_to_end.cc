@@ -1,0 +1,166 @@
+// Figure 4: end-to-end write (a) and read (b) throughput in a staging
+// environment for PRIMACY (P), the deflate-class solver standing in for
+// zlib (Z), and the lzo-class LzFast (L) — theoretical model (T) next to
+// the "empirical" value (E) from the event-driven cluster simulator fed
+// with *real measured* codec timings, on num_comet / flash_velx / obs_temp.
+//
+// The paper's conclusions to reproduce:
+//   * writes: PRIMACY gains ~27% over null; vanilla z/l gain ~8-10%;
+//   * reads : PRIMACY gains ~19%; vanilla z/l *lose* ~4-7%;
+//   * theoretical and empirical values agree.
+#include <array>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/builtin_codecs.h"
+#include "compress/registry.h"
+#include "hpcsim/staging.h"
+#include "model/perf_model.h"
+
+namespace {
+
+using namespace primacy;
+using hpcsim::ClusterConfig;
+using hpcsim::CompressionProfile;
+
+/// Jaguar-like single I/O group: rho = 8, slow shared storage relative to
+/// in-memory compression (Section IV-A's staging configuration, scaled).
+ClusterConfig Cluster() {
+  ClusterConfig config;
+  config.compute_nodes = 8;
+  config.compute_per_io = 8;
+  config.network_bps = 120e6;
+  config.disk_write_bps = 25e6;
+  config.disk_read_bps = 80e6;
+  return config;
+}
+
+struct Entry {
+  double write_model = 0.0, write_sim = 0.0;
+  double read_model = 0.0, read_sim = 0.0;
+};
+
+constexpr std::size_t kChunksPerNode = 8;
+
+Entry NullEntry(double chunk_bytes) {
+  const ClusterConfig cluster = Cluster();
+  ModelInputs in;
+  in.chunk_bytes = chunk_bytes;
+  in.metadata_bytes = 0;
+  in.rho = 8.0;
+  in.network_bps = cluster.network_bps;
+  in.disk_write_bps = cluster.disk_write_bps;
+  in.disk_read_bps = cluster.disk_read_bps;
+  Entry e;
+  e.write_model = BaselineWrite(in).ThroughputMBps();
+  e.read_model = BaselineRead(in).ThroughputMBps();
+  // Writes stream chunk-by-chunk (pipelined); a restart read blocks on the
+  // full state, so the read path is simulated single-shot per node.
+  auto write_profile = CompressionProfile::Null(chunk_bytes / kChunksPerNode);
+  write_profile.chunks_per_node = kChunksPerNode;
+  e.write_sim = SimulateWrite(cluster, write_profile).ThroughputMBps();
+  e.read_sim = SimulateRead(cluster, CompressionProfile::Null(chunk_bytes))
+                   .ThroughputMBps();
+  return e;
+}
+
+/// Vanilla codec (whole-chunk compression) or PRIMACY: both measured for
+/// real, then projected through the model and the simulator.
+Entry CodecEntry(const std::string& codec_name, ByteSpan raw) {
+  const ClusterConfig cluster = Cluster();
+  const auto codec = CreateCodec(codec_name);
+  const CodecMeasurement m = MeasureCodec(*codec, raw);
+
+  // Simulator: real measured seconds, virtual cluster. Checkpoint writes are
+  // split across kChunksPerNode pipelined chunks per node (compression of
+  // chunk k+1 overlaps I/O of chunk k, as in a staged in-situ deployment);
+  // the restart read is single-shot because the application blocks on the
+  // fully reconstructed state.
+  CompressionProfile write_profile;
+  write_profile.chunks_per_node = kChunksPerNode;
+  const double chunks = static_cast<double>(kChunksPerNode);
+  write_profile.input_bytes = static_cast<double>(raw.size()) / chunks;
+  write_profile.output_bytes =
+      static_cast<double>(m.compressed_bytes) / chunks;
+  write_profile.compress_seconds = m.compress_seconds / chunks;
+
+  CompressionProfile read_profile;
+  read_profile.input_bytes = static_cast<double>(raw.size());
+  read_profile.output_bytes = static_cast<double>(m.compressed_bytes);
+  read_profile.decompress_seconds = m.decompress_seconds;
+
+  // Model: express the same measurements in Section III terms. For a vanilla
+  // codec the whole chunk is "compressible" (alpha1 = 1 path folded into
+  // alpha2 = 1, sigma_lo = measured ratio); for PRIMACY the calibration uses
+  // the measured aggregate too — the model's alpha/sigma decomposition is
+  // exercised separately in model_sweep and EndToEnd tests.
+  ModelInputs in;
+  in.chunk_bytes = static_cast<double>(raw.size());
+  in.metadata_bytes = 0;
+  in.alpha1 = 0.0;
+  in.alpha2 = 1.0;
+  in.sigma_lo = static_cast<double>(m.compressed_bytes) /
+                static_cast<double>(raw.size());
+  in.sigma_ho = 1.0;
+  in.rho = 8.0;
+  in.network_bps = cluster.network_bps;
+  in.disk_write_bps = cluster.disk_write_bps;
+  in.disk_read_bps = cluster.disk_read_bps;
+  in.precondition_bps = 1e15;  // folded into the measured compress time
+  in.compress_bps = static_cast<double>(raw.size()) /
+                    std::max(m.compress_seconds, 1e-9);
+  in.decompress_bps = static_cast<double>(raw.size()) /
+                      std::max(m.decompress_seconds, 1e-9);
+  in.postcondition_bps = 1e15;
+
+  Entry e;
+  e.write_model = PrimacyWrite(in).ThroughputMBps();
+  e.read_model = PrimacyRead(in).ThroughputMBps();
+  e.write_sim = SimulateWrite(cluster, write_profile).ThroughputMBps();
+  e.read_sim = SimulateRead(cluster, read_profile).ThroughputMBps();
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  RegisterBuiltinCodecs();
+  const std::array<const char*, 3> datasets = {"num_comet", "flash_velx",
+                                               "obs_temp"};
+  bench::PrintHeader(
+      "Figure 4: end-to-end write/read throughput (MB/s), staging environment",
+      "Shah et al., CLUSTER 2012, Figures 4(a) and 4(b); Section IV-C/IV-D");
+  std::printf(
+      "Columns: PT/PE = PRIMACY theoretical/empirical, ZT/ZE = deflate-class\n"
+      "(zlib stand-in), LT/LE = LzFast (lzo stand-in), N = no compression.\n\n");
+
+  for (const char* which : {"WRITE", "READ"}) {
+    const bool write = std::string(which) == "WRITE";
+    std::printf("[%s]\n", which);
+    std::printf("%-12s %8s %8s %8s %8s %8s %8s %8s\n", "dataset", "N", "PT",
+                "PE", "ZT", "ZE", "LT", "LE");
+    for (const char* name : datasets) {
+      const ByteSpan raw = bench::DatasetBytes(name);
+      const Entry null_entry = NullEntry(static_cast<double>(raw.size()));
+      const Entry p = CodecEntry("primacy", raw);
+      const Entry z = CodecEntry("deflate", raw);
+      const Entry l = CodecEntry("lzfast", raw);
+      if (write) {
+        std::printf("%-12s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f\n", name,
+                    null_entry.write_sim, p.write_model, p.write_sim,
+                    z.write_model, z.write_sim, l.write_model, l.write_sim);
+      } else {
+        std::printf("%-12s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f\n", name,
+                    null_entry.read_sim, p.read_model, p.read_sim,
+                    z.read_model, z.read_sim, l.read_model, l.read_sim);
+      }
+    }
+    std::printf("\n");
+  }
+
+  bench::PrintRule();
+  std::printf(
+      "Expected shape (paper): PE > N on writes (avg +27%% there) and reads\n"
+      "(+19%%); ZE/LE modest gains on writes, losses on reads; T tracks E.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// google-benchmark microbenchmarks: raw Compress/Decompress throughput for
+// every codec in the registry over a representative hard-to-compress dataset
+// buffer. These are the Tcomp/Tdecomp numbers the performance model consumes.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "compress/registry.h"
+#include "core/builtin_codecs.h"
+
+namespace {
+
+using namespace primacy;
+
+const char* kCodecs[] = {"deflate", "deflate-fast", "lzfast",
+                         "bwt",     "fpc",          "fpz",
+                         "primacy"};
+
+void BM_Compress(benchmark::State& state) {
+  RegisterBuiltinCodecs();
+  const std::string codec_name = kCodecs[state.range(0)];
+  const auto codec = CreateCodec(codec_name);
+  const ByteSpan raw = bench::DatasetBytes("obs_info");
+  std::size_t compressed_size = 0;
+  for (auto _ : state) {
+    const Bytes compressed = codec->Compress(raw);
+    compressed_size = compressed.size();
+    benchmark::DoNotOptimize(compressed.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(raw.size()) *
+                          state.iterations());
+  state.counters["ratio"] = static_cast<double>(raw.size()) /
+                            static_cast<double>(compressed_size);
+  state.SetLabel(codec_name);
+}
+
+void BM_Decompress(benchmark::State& state) {
+  RegisterBuiltinCodecs();
+  const std::string codec_name = kCodecs[state.range(0)];
+  const auto codec = CreateCodec(codec_name);
+  const ByteSpan raw = bench::DatasetBytes("obs_info");
+  const Bytes compressed = codec->Compress(raw);
+  for (auto _ : state) {
+    const Bytes restored = codec->Decompress(compressed);
+    benchmark::DoNotOptimize(restored.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(raw.size()) *
+                          state.iterations());
+  state.SetLabel(codec_name);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Compress)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Decompress)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,120 @@
+// primacy_inspect: dump the structure of a PRIMACY stream — header fields
+// and, per chunk, the element count, index mode (full / reuse / delta),
+// index size, compressed ID size, and ISOBAR mantissa stream size. Useful
+// for understanding where the bytes went.
+//
+//   ./primacy_inspect <file>          inspect a stream written by pfile/
+//                                     checkpoint tools
+//   ./primacy_inspect --demo [name]   generate a dataset, compress it, and
+//                                     inspect the in-memory stream
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bitstream/byte_io.h"
+#include "core/primacy_codec.h"
+#include "core/stream_format.h"
+#include "datasets/datasets.h"
+#include "util/error.h"
+
+namespace {
+
+primacy::Bytes ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw primacy::Error("cannot open " + path);
+  const std::string raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  return primacy::BytesFromString(raw);
+}
+
+void Inspect(primacy::ByteSpan stream) {
+  using namespace primacy;
+  ByteReader reader(stream);
+  const internal::StreamHeader header = internal::ReadStreamHeader(reader);
+
+  std::printf("stream: %zu bytes\n", stream.size());
+  std::printf("  solver        : %s\n", header.solver_name.c_str());
+  std::printf("  element width : %zu (%s precision)\n", header.width,
+              header.width == 8 ? "double" : "single");
+  std::printf("  linearization : %s\n",
+              header.linearization == Linearization::kColumn ? "column"
+                                                             : "row");
+  if (header.stored) {
+    std::printf("  stored fallback stream: %llu raw payload bytes\n",
+                static_cast<unsigned long long>(header.total_bytes));
+    return;
+  }
+  const bool streamed = header.total_bytes == ~std::uint64_t{0};
+  if (streamed) {
+    std::printf("  total bytes   : (streamed; recorded in trailer)\n");
+  } else {
+    std::printf("  total bytes   : %llu\n",
+                static_cast<unsigned long long>(header.total_bytes));
+  }
+
+  std::printf("\n%6s %12s %8s %10s %12s %12s\n", "chunk", "elements", "index",
+              "idx(B)", "IDs(B)", "mantissa(B)");
+  const std::uint64_t total_elements =
+      streamed ? ~std::uint64_t{0} : header.total_bytes / header.width;
+  std::uint64_t decoded = 0;
+  std::size_t chunk_no = 0;
+  while (decoded < total_elements) {
+    const std::uint64_t count = reader.GetVarint();
+    if (count == 0) break;  // streamed end-of-chunks sentinel
+    const std::uint8_t flag = reader.GetU8();
+    std::size_t index_bytes = 0;
+    const char* mode = "reuse";
+    if (flag == 1) {
+      index_bytes = reader.GetBlock().size();
+      mode = "full";
+    } else if (flag == 2) {
+      index_bytes = reader.GetBlock().size();
+      mode = "delta";
+    } else if (flag != 0) {
+      throw CorruptStreamError("inspect: bad index flag");
+    }
+    const std::size_t id_bytes = reader.GetBlock().size();
+    const std::size_t mantissa_bytes = reader.GetBlock().size();
+    std::printf("%6zu %12llu %8s %10zu %12zu %12zu\n", chunk_no++,
+                static_cast<unsigned long long>(count), mode, index_bytes,
+                id_bytes, mantissa_bytes);
+    decoded += count;
+    if (!streamed && decoded >= total_elements) break;
+  }
+  const ByteSpan tail = reader.GetBlock();
+  std::printf("\ntail bytes: %zu\n", tail.size());
+  if (streamed) {
+    std::printf("trailer total: %llu bytes\n",
+                static_cast<unsigned long long>(reader.GetVarint()));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc >= 2 && std::string(argv[1]) == "--demo") {
+      const std::string dataset = argc > 2 ? argv[2] : "num_plasma";
+      const auto values = primacy::GenerateDatasetByName(dataset, 1u << 19);
+      primacy::PrimacyOptions options;
+      options.index_mode = primacy::IndexMode::kReuseWhenCorrelated;
+      options.chunk_bytes = 512 * 1024;
+      const primacy::Bytes stream =
+          primacy::PrimacyCompressor(options).Compress(values);
+      std::printf("demo: dataset '%s', %u doubles\n\n", dataset.c_str(),
+                  1u << 19);
+      Inspect(stream);
+      return 0;
+    }
+    if (argc == 2) {
+      const primacy::Bytes stream = ReadFile(argv[1]);
+      Inspect(stream);
+      return 0;
+    }
+    std::fprintf(stderr, "usage: primacy_inspect <file> | --demo [dataset]\n");
+    return 2;
+  } catch (const primacy::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

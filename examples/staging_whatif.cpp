@@ -1,0 +1,106 @@
+// staging_whatif: "will compression help on my cluster?"
+//
+// The paper's closing argument is that its performance model lets developers
+// predict I/O gains on systems they cannot benchmark (Section III / IV-D).
+// This example takes cluster parameters on the command line, calibrates the
+// data-dependent model inputs from a *real* PRIMACY run on a chosen dataset,
+// and prints the model's predicted write/read throughputs next to the
+// event-driven simulator's, for both the null and PRIMACY configurations.
+//
+//   ./staging_whatif [dataset] [rho] [network_MBps] [disk_write_MBps]
+//                    [disk_read_MBps]
+#include <cstdio>
+#include <string>
+
+#include "compress/codec.h"
+#include "core/primacy_codec.h"
+#include "datasets/datasets.h"
+#include "hpcsim/staging.h"
+#include "model/perf_model.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "flash_velx";
+  const double rho = argc > 2 ? std::stod(argv[2]) : 8.0;
+  const double network = (argc > 3 ? std::stod(argv[3]) : 120.0) * 1e6;
+  const double disk_write = (argc > 4 ? std::stod(argv[4]) : 30.0) * 1e6;
+  const double disk_read = (argc > 5 ? std::stod(argv[5]) : 90.0) * 1e6;
+
+  // --- Calibration on real data -------------------------------------------
+  const std::vector<double> values =
+      primacy::GenerateDatasetByName(dataset, 512 * 1024);
+  const std::size_t raw_bytes = values.size() * sizeof(double);
+
+  primacy::PrimacyCompressor compressor;
+  primacy::PrimacyStats stats;
+  primacy::WallTimer timer;
+  const primacy::Bytes stream = compressor.Compress(values, &stats);
+  const double compress_seconds = timer.Seconds();
+  timer.Reset();
+  primacy::PrimacyDecompressor decompressor;
+  (void)decompressor.Decompress(stream);
+  const double decompress_seconds = timer.Seconds();
+
+  primacy::ModelInputs in;
+  in.chunk_bytes = static_cast<double>(raw_bytes);
+  in.rho = rho;
+  in.network_bps = network;
+  in.disk_write_bps = disk_write;
+  in.disk_read_bps = disk_read;
+  // Split measured wall time between "preconditioning" (analysis + mapping)
+  // and "compression" (solver) using the 2:6 byte split as a proxy.
+  const double measured_bps = static_cast<double>(raw_bytes) / compress_seconds;
+  const double measured_read_bps =
+      static_cast<double>(raw_bytes) / decompress_seconds;
+  in = CalibrateFromMeasurements(in, stats, 4.0 * measured_bps,
+                                 1.5 * measured_bps, 1.5 * measured_read_bps,
+                                 4.0 * measured_read_bps);
+
+  std::printf("Calibrated on '%s': ratio=%.3f, alpha2=%.2f, sigma_ho=%.3f, "
+              "sigma_lo=%.3f\n\n",
+              dataset.c_str(), stats.CompressionRatio(),
+              in.alpha2, in.sigma_ho, in.sigma_lo);
+
+  // --- Model predictions ---------------------------------------------------
+  const auto base_w = BaselineWrite(in);
+  const auto prim_w = PrimacyWrite(in);
+  const auto base_r = BaselineRead(in);
+  const auto prim_r = PrimacyRead(in);
+
+  // --- Simulator (one I/O group, virtual time) ----------------------------
+  primacy::hpcsim::ClusterConfig cluster;
+  cluster.compute_nodes = static_cast<std::size_t>(rho);
+  cluster.compute_per_io = static_cast<std::size_t>(rho);
+  cluster.network_bps = network;
+  cluster.disk_write_bps = disk_write;
+  cluster.disk_read_bps = disk_read;
+
+  const auto null_profile = primacy::hpcsim::CompressionProfile::Null(
+      static_cast<double>(raw_bytes));
+  primacy::hpcsim::CompressionProfile primacy_profile = null_profile;
+  primacy_profile.output_bytes = static_cast<double>(stream.size());
+  primacy_profile.compress_seconds = compress_seconds;
+  primacy_profile.decompress_seconds = decompress_seconds;
+
+  const auto sim_null_w = SimulateWrite(cluster, null_profile);
+  const auto sim_prim_w = SimulateWrite(cluster, primacy_profile);
+  const auto sim_null_r = SimulateRead(cluster, null_profile);
+  const auto sim_prim_r = SimulateRead(cluster, primacy_profile);
+
+  std::printf("%-24s %14s %14s\n", "end-to-end throughput", "model (MB/s)",
+              "sim (MB/s)");
+  std::printf("%-24s %14.1f %14.1f\n", "write, no compression",
+              base_w.ThroughputMBps(), sim_null_w.ThroughputMBps());
+  std::printf("%-24s %14.1f %14.1f\n", "write, PRIMACY",
+              prim_w.ThroughputMBps(), sim_prim_w.ThroughputMBps());
+  std::printf("%-24s %14.1f %14.1f\n", "read, no compression",
+              base_r.ThroughputMBps(), sim_null_r.ThroughputMBps());
+  std::printf("%-24s %14.1f %14.1f\n", "read, PRIMACY",
+              prim_r.ThroughputMBps(), sim_prim_r.ThroughputMBps());
+
+  const double gain =
+      100.0 * (sim_prim_w.ThroughputMBps() / sim_null_w.ThroughputMBps() - 1.0);
+  std::printf("\nPredicted write gain from PRIMACY on this cluster: %+.1f%%\n",
+              gain);
+  return 0;
+}

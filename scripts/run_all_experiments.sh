@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure and ablation into ./experiment_output/.
+# Usage: scripts/run_all_experiments.sh [build-dir] (default: build)
+set -euo pipefail
+BUILD_DIR="${1:-build}"
+OUT_DIR="experiment_output"
+mkdir -p "$OUT_DIR"
+for bench in "$BUILD_DIR"/bench/*; do
+  name="$(basename "$bench")"
+  [ -x "$bench" ] && [ -f "$bench" ] || continue
+  case "$name" in
+    *.cmake|CMakeFiles|*.a) continue ;;
+  esac
+  echo "== $name =="
+  "$bench" | tee "$OUT_DIR/$name.txt"
+done
+echo "All experiment outputs written to $OUT_DIR/"

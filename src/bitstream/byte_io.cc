@@ -1,0 +1,98 @@
+#include "bitstream/byte_io.h"
+
+#include "util/error.h"
+
+namespace primacy {
+
+void PutVarint(Bytes& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::byte>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(value));
+}
+
+void PutU8(Bytes& out, std::uint8_t value) {
+  out.push_back(static_cast<std::byte>(value));
+}
+
+void PutU16(Bytes& out, std::uint16_t value) {
+  PutU8(out, static_cast<std::uint8_t>(value & 0xff));
+  PutU8(out, static_cast<std::uint8_t>(value >> 8));
+}
+
+void PutU32(Bytes& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    PutU8(out, static_cast<std::uint8_t>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(Bytes& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    PutU8(out, static_cast<std::uint8_t>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutBlock(Bytes& out, ByteSpan block) {
+  PutVarint(out, block.size());
+  AppendBytes(out, block);
+}
+
+void ByteReader::ThrowTruncated(const std::string& what) const {
+  throw CorruptStreamError("ByteReader: truncated stream while reading " +
+                           what);
+}
+
+std::uint64_t ByteReader::GetVarint() {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  for (;;) {
+    if (offset_ >= data_.size()) ThrowTruncated("varint");
+    if (shift >= 64) throw CorruptStreamError("ByteReader: varint overflow");
+    const auto byte = static_cast<std::uint8_t>(data_[offset_++]);
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+std::uint8_t ByteReader::GetU8() {
+  if (offset_ >= data_.size()) ThrowTruncated("u8");
+  return static_cast<std::uint8_t>(data_[offset_++]);
+}
+
+std::uint16_t ByteReader::GetU16() {
+  const auto lo = GetU8();
+  const auto hi = GetU8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t ByteReader::GetU32() {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(GetU8()) << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t ByteReader::GetU64() {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(GetU8()) << (8 * i);
+  }
+  return value;
+}
+
+ByteSpan ByteReader::GetBlock() {
+  const std::uint64_t size = GetVarint();
+  return GetRaw(size);
+}
+
+ByteSpan ByteReader::GetRaw(std::size_t count) {
+  if (count > Remaining()) ThrowTruncated("raw block");
+  const ByteSpan view = data_.subspan(offset_, count);
+  offset_ += count;
+  return view;
+}
+
+}  // namespace primacy

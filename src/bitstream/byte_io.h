@@ -1,0 +1,55 @@
+// Byte-granular framed serialization: LEB128 varints plus length-prefixed
+// blocks. Used by every container format in the library (codec frames,
+// PRIMACY chunk records, ISOBAR plans).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace primacy {
+
+/// Appends an unsigned LEB128 varint to `out`.
+void PutVarint(Bytes& out, std::uint64_t value);
+
+/// Appends a little-endian fixed-width integer.
+void PutU8(Bytes& out, std::uint8_t value);
+void PutU16(Bytes& out, std::uint16_t value);
+void PutU32(Bytes& out, std::uint32_t value);
+void PutU64(Bytes& out, std::uint64_t value);
+
+/// Appends a varint length prefix followed by the block contents.
+void PutBlock(Bytes& out, ByteSpan block);
+
+/// Sequential reader over a framed byte buffer; all methods throw
+/// CorruptStreamError on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  std::uint64_t GetVarint();
+  std::uint8_t GetU8();
+  std::uint16_t GetU16();
+  std::uint32_t GetU32();
+  std::uint64_t GetU64();
+
+  /// Reads a varint length prefix then returns a view of that many bytes.
+  ByteSpan GetBlock();
+
+  /// Returns a view of exactly `count` raw bytes.
+  ByteSpan GetRaw(std::size_t count);
+
+  std::size_t Remaining() const { return data_.size() - offset_; }
+  bool AtEnd() const { return offset_ == data_.size(); }
+  std::size_t Offset() const { return offset_; }
+
+ private:
+  [[noreturn]] void ThrowTruncated(const std::string& what) const;
+
+  ByteSpan data_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace primacy

@@ -1,0 +1,115 @@
+#include "bwt/bwt_codec.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "bitstream/bit_io.h"
+#include "bitstream/byte_io.h"
+#include "bwt/transform.h"
+#include "huffman/huffman.h"
+#include "util/error.h"
+
+namespace primacy {
+namespace {
+constexpr std::uint8_t kModeStored = 0;
+constexpr std::uint8_t kModeBwt = 1;
+}  // namespace
+
+BwtCodec::BwtCodec(std::size_t block_size) : block_size_(block_size) {
+  if (block_size_ < 16) {
+    throw InvalidArgumentError("BwtCodec: block size too small");
+  }
+}
+
+Bytes BwtCodec::Compress(ByteSpan data) const {
+  Bytes out;
+  PutVarint(out, data.size());
+  out.push_back(static_cast<std::byte>(kModeBwt));
+
+  for (std::size_t begin = 0; begin < data.size(); begin += block_size_) {
+    const std::size_t length = std::min(block_size_, data.size() - begin);
+    const ByteSpan block = data.subspan(begin, length);
+
+    const BwtResult bwt = BwtForward(block);
+    const Bytes ranks = MtfEncode(bwt.last_column);
+    const std::vector<std::uint16_t> symbols = ZrleEncode(ranks);
+
+    std::vector<std::uint64_t> freq(kZrleAlphabet, 0);
+    for (const std::uint16_t s : symbols) ++freq[s];
+    const auto lengths = BuildCodeLengths(freq);
+
+    BitWriter writer;
+    if (!symbols.empty()) {
+      const HuffmanEncoder encoder(lengths);
+      for (const std::uint16_t s : symbols) encoder.Encode(writer, s);
+    }
+
+    PutVarint(out, length);
+    PutVarint(out, bwt.primary_index);
+    PutVarint(out, symbols.size());
+    PutBlock(out, SerializeCodeLengths(lengths));
+    PutBlock(out, writer.Finish());
+  }
+
+  if (out.size() > data.size() + 16) {
+    Bytes stored;
+    PutVarint(stored, data.size());
+    stored.push_back(static_cast<std::byte>(kModeStored));
+    AppendBytes(stored, data);
+    return stored;
+  }
+  return out;
+}
+
+Bytes BwtCodec::Decompress(ByteSpan data) const {
+  ByteReader reader(data);
+  const std::uint64_t original_size = reader.GetVarint();
+  const std::uint8_t mode = reader.GetU8();
+  if (mode == kModeStored) {
+    const ByteSpan raw = reader.GetRaw(original_size);
+    return ToBytes(raw);
+  }
+  if (mode != kModeBwt) throw CorruptStreamError("bwt: unknown mode");
+
+  Bytes out;
+  out.reserve(std::min<std::uint64_t>(original_size, 1u << 26));
+  while (out.size() < original_size) {
+    const std::uint64_t block_length = reader.GetVarint();
+    const std::uint64_t primary_index = reader.GetVarint();
+    const std::uint64_t symbol_count = reader.GetVarint();
+    const ByteSpan length_bytes = reader.GetBlock();
+    const ByteSpan payload = reader.GetBlock();
+    if (symbol_count > 8 * payload.size()) {
+      throw CorruptStreamError("bwt: symbol count exceeds payload bits");
+    }
+    if (block_length > original_size) {
+      throw CorruptStreamError("bwt: block length exceeds stream size");
+    }
+
+    const auto lengths = DeserializeCodeLengths(length_bytes, kZrleAlphabet);
+    std::vector<std::uint16_t> symbols;
+    symbols.reserve(symbol_count);
+    if (symbol_count > 0) {
+      const HuffmanDecoder decoder(lengths);
+      BitReader bits(payload);
+      for (std::uint64_t i = 0; i < symbol_count; ++i) {
+        symbols.push_back(static_cast<std::uint16_t>(decoder.Decode(bits)));
+      }
+    }
+    const Bytes ranks = ZrleDecode(symbols);
+    if (ranks.size() != block_length) {
+      throw CorruptStreamError("bwt: block length mismatch after ZRLE");
+    }
+    const Bytes block = BwtInverse(MtfDecode(ranks), primary_index);
+    if (out.size() + block.size() > original_size) {
+      throw CorruptStreamError("bwt: output overrun");
+    }
+    AppendBytes(out, block);
+  }
+  if (out.size() != original_size) {
+    throw CorruptStreamError("bwt: size mismatch");
+  }
+  return out;
+}
+
+}  // namespace primacy

@@ -1,0 +1,34 @@
+// Block-sorting codec (bzip2 class): BWT + MTF + zero-run coding + canonical
+// Huffman, applied per block. High compression ratio, low throughput — the
+// paper's Section IV-C uses this class to argue bzlib2 is unsuitable for
+// in-situ processing; our benches reproduce that trade-off.
+//
+// Container format:
+//   varint original_size, u8 mode (0 = stored, 1 = bwt)
+//   bwt mode: per block —
+//     varint block_length (input bytes covered)
+//     varint primary_index
+//     varint zrle_symbol_count
+//     block(serialized Huffman code lengths, 257-symbol alphabet)
+//     block(bit-packed symbol stream)
+#pragma once
+
+#include "compress/codec.h"
+
+namespace primacy {
+
+class BwtCodec final : public Codec {
+ public:
+  /// `block_size` trades ratio for suffix-sort time; default mirrors a small
+  /// bzip2 block and keeps sorting inexpensive.
+  explicit BwtCodec(std::size_t block_size = 128 * 1024);
+
+  std::string_view name() const override { return "bwt"; }
+  Bytes Compress(ByteSpan data) const override;
+  Bytes Decompress(ByteSpan data) const override;
+
+ private:
+  std::size_t block_size_;
+};
+
+}  // namespace primacy

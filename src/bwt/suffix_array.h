@@ -1,0 +1,18 @@
+// Suffix array construction by prefix doubling (Manber–Myers, O(n log^2 n)
+// with std::sort). Block sizes in the BWT codec are capped well below a
+// megabyte, where this is comfortably fast and trivially auditable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace primacy {
+
+/// Returns the suffix array of `text` *plus a virtual sentinel* that is
+/// strictly smaller than every byte: the result has text.size() + 1 entries
+/// and result[0] == text.size() (the sentinel suffix) always.
+std::vector<std::int32_t> BuildSuffixArray(ByteSpan text);
+
+}  // namespace primacy

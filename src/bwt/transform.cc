@@ -1,0 +1,170 @@
+#include "bwt/transform.h"
+
+#include <array>
+#include <numeric>
+
+#include "bwt/suffix_array.h"
+#include "util/error.h"
+
+namespace primacy {
+
+BwtResult BwtForward(ByteSpan text) {
+  const auto sa = BuildSuffixArray(text);
+  BwtResult result;
+  result.last_column.reserve(text.size());
+  for (std::size_t row = 0; row < sa.size(); ++row) {
+    const auto suffix = static_cast<std::size_t>(sa[row]);
+    if (suffix == 0) {
+      // The character before suffix 0 is the sentinel; record its row and
+      // emit nothing.
+      result.primary_index = row;
+      continue;
+    }
+    result.last_column.push_back(text[suffix - 1]);
+  }
+  PRIMACY_CHECK(result.last_column.size() == text.size());
+  return result;
+}
+
+Bytes BwtInverse(ByteSpan last_column, std::size_t primary_index) {
+  const std::size_t n = last_column.size();
+  if (primary_index > n) {
+    throw CorruptStreamError("BwtInverse: primary index out of range");
+  }
+  if (n == 0) return {};
+
+  // Conceptually re-insert the sentinel at row `primary_index` to obtain the
+  // full (n+1)-row last column L'. LF(i) = C[L'[i]] + rank(i), where the
+  // sentinel is the smallest symbol. Row 0 of the sorted matrix is the
+  // rotation beginning with the sentinel, whose last character is the final
+  // character of the text; walking LF from row 0 yields the text backwards.
+  const std::size_t rows = n + 1;
+
+  // occ_before[i]: occurrences of symbol L'[i] strictly before row i.
+  // C[c]: rows whose last column symbol is smaller than c (sentinel counts 1).
+  std::vector<std::uint32_t> occ_before(rows);
+  std::array<std::uint32_t, 256> counts{};
+  const auto symbol_at = [&](std::size_t row) -> int {
+    if (row == primary_index) return -1;  // sentinel
+    const std::size_t idx = row < primary_index ? row : row - 1;
+    return static_cast<int>(last_column[idx]);
+  };
+  for (std::size_t row = 0; row < rows; ++row) {
+    const int symbol = symbol_at(row);
+    if (symbol < 0) {
+      occ_before[row] = 0;
+      continue;
+    }
+    occ_before[row] = counts[static_cast<std::size_t>(symbol)]++;
+  }
+  std::array<std::uint32_t, 257> c_table{};
+  c_table[0] = 1;  // the sentinel occupies row 0 of the first column
+  for (std::size_t symbol = 0; symbol < 256; ++symbol) {
+    c_table[symbol + 1] = c_table[symbol] + counts[symbol];
+  }
+
+  Bytes text(n);
+  std::size_t row = 0;
+  for (std::size_t k = n; k-- > 0;) {
+    const int symbol = symbol_at(row);
+    if (symbol < 0) {
+      throw CorruptStreamError("BwtInverse: walked into the sentinel early");
+    }
+    text[k] = static_cast<std::byte>(symbol);
+    row = c_table[static_cast<std::size_t>(symbol)] + occ_before[row];
+  }
+  return text;
+}
+
+Bytes MtfEncode(ByteSpan data) {
+  std::array<std::uint8_t, 256> order;
+  std::iota(order.begin(), order.end(), 0);
+  Bytes out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto value = static_cast<std::uint8_t>(data[i]);
+    std::size_t rank = 0;
+    while (order[rank] != value) ++rank;
+    out[i] = static_cast<std::byte>(rank);
+    // Move to front.
+    for (std::size_t j = rank; j > 0; --j) order[j] = order[j - 1];
+    order[0] = value;
+  }
+  return out;
+}
+
+Bytes MtfDecode(ByteSpan ranks) {
+  std::array<std::uint8_t, 256> order;
+  std::iota(order.begin(), order.end(), 0);
+  Bytes out(ranks.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const auto rank = static_cast<std::size_t>(ranks[i]);
+    const std::uint8_t value = order[rank];
+    out[i] = static_cast<std::byte>(value);
+    for (std::size_t j = rank; j > 0; --j) order[j] = order[j - 1];
+    order[0] = value;
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> ZrleEncode(ByteSpan ranks) {
+  std::vector<std::uint16_t> symbols;
+  symbols.reserve(ranks.size() / 2 + 16);
+  std::size_t zero_run = 0;
+  const auto flush_run = [&] {
+    // Bijective base-2: digits RUNA (=1) and RUNB (=2).
+    std::size_t run = zero_run;
+    while (run > 0) {
+      if (run & 1) {
+        symbols.push_back(0);  // RUNA
+        run = (run - 1) / 2;
+      } else {
+        symbols.push_back(1);  // RUNB
+        run = (run - 2) / 2;
+      }
+    }
+    zero_run = 0;
+  };
+  for (const std::byte rank : ranks) {
+    if (rank == std::byte{0}) {
+      ++zero_run;
+      continue;
+    }
+    flush_run();
+    symbols.push_back(
+        static_cast<std::uint16_t>(static_cast<std::uint16_t>(rank) + 1));
+  }
+  flush_run();
+  return symbols;
+}
+
+Bytes ZrleDecode(std::span<const std::uint16_t> symbols) {
+  Bytes out;
+  std::size_t run = 0;
+  std::size_t base = 1;
+  const auto flush_run = [&] {
+    out.insert(out.end(), run, std::byte{0});
+    run = 0;
+    base = 1;
+  };
+  for (const std::uint16_t symbol : symbols) {
+    if (symbol == 0) {
+      run += base;
+      base *= 2;
+      continue;
+    }
+    if (symbol == 1) {
+      run += 2 * base;
+      base *= 2;
+      continue;
+    }
+    flush_run();
+    if (symbol >= kZrleAlphabet) {
+      throw CorruptStreamError("ZrleDecode: symbol out of range");
+    }
+    out.push_back(static_cast<std::byte>(symbol - 1));
+  }
+  flush_run();
+  return out;
+}
+
+}  // namespace primacy

@@ -1,0 +1,40 @@
+// The reversible transforms of the block-sorting pipeline:
+// Burrows–Wheeler transform, move-to-front coding, and bzip2-style
+// zero-run-length (RUNA/RUNB) coding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace primacy {
+
+/// Result of the forward BWT: the permuted last column (same length as the
+/// input) and the row index where the virtual sentinel fell.
+struct BwtResult {
+  Bytes last_column;
+  std::size_t primary_index = 0;
+};
+
+/// Forward Burrows–Wheeler transform (sentinel-suffix construction).
+BwtResult BwtForward(ByteSpan text);
+
+/// Inverse transform. Throws CorruptStreamError when `primary_index` is out
+/// of range for the given column.
+Bytes BwtInverse(ByteSpan last_column, std::size_t primary_index);
+
+/// Move-to-front coding over the 256-byte alphabet; output[i] is the rank of
+/// input byte i in the recency list.
+Bytes MtfEncode(ByteSpan data);
+Bytes MtfDecode(ByteSpan ranks);
+
+/// bzip2-style zero-run coding of MTF ranks into a 257-symbol alphabet:
+/// symbols 0 (RUNA) and 1 (RUNB) spell zero-run lengths in bijective base 2;
+/// a non-zero rank r becomes symbol r + 1.
+std::vector<std::uint16_t> ZrleEncode(ByteSpan ranks);
+Bytes ZrleDecode(std::span<const std::uint16_t> symbols);
+
+inline constexpr std::size_t kZrleAlphabet = 257;
+
+}  // namespace primacy

@@ -1,0 +1,43 @@
+#include "compress/codec.h"
+
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace primacy {
+
+double CodecMeasurement::CompressionRatio() const {
+  if (compressed_bytes == 0) return 0.0;
+  return static_cast<double>(original_bytes) /
+         static_cast<double>(compressed_bytes);
+}
+
+double CodecMeasurement::CompressMBps() const {
+  return ThroughputMBps(original_bytes, compress_seconds);
+}
+
+double CodecMeasurement::DecompressMBps() const {
+  return ThroughputMBps(original_bytes, decompress_seconds);
+}
+
+CodecMeasurement MeasureCodec(const Codec& codec, ByteSpan data) {
+  CodecMeasurement m;
+  m.original_bytes = data.size();
+
+  WallTimer timer;
+  const Bytes compressed = codec.Compress(data);
+  m.compress_seconds = timer.Seconds();
+  m.compressed_bytes = compressed.size();
+
+  timer.Reset();
+  const Bytes restored = codec.Decompress(compressed);
+  m.decompress_seconds = timer.Seconds();
+
+  if (restored.size() != data.size() ||
+      !std::equal(restored.begin(), restored.end(), data.begin())) {
+    throw InternalError(std::string("MeasureCodec: roundtrip mismatch for ") +
+                        std::string(codec.name()));
+  }
+  return m;
+}
+
+}  // namespace primacy

@@ -1,0 +1,58 @@
+#include "compress/frame.h"
+
+#include "bitstream/byte_io.h"
+#include "compress/registry.h"
+#include "util/error.h"
+
+namespace primacy {
+namespace {
+constexpr std::uint32_t kFrameMagic = 0x434d5250;  // "PRMC" little-endian
+constexpr std::uint8_t kFrameVersion = 1;
+}  // namespace
+
+Bytes WrapFrame(const std::string& codec_name, std::size_t original_bytes,
+                ByteSpan payload) {
+  Bytes out;
+  PutU32(out, kFrameMagic);
+  PutU8(out, kFrameVersion);
+  PutVarint(out, codec_name.size());
+  for (const char c : codec_name) out.push_back(static_cast<std::byte>(c));
+  PutVarint(out, original_bytes);
+  PutBlock(out, payload);
+  return out;
+}
+
+ParsedFrame ParseFrame(ByteSpan frame) {
+  ByteReader reader(frame);
+  if (reader.GetU32() != kFrameMagic) {
+    throw CorruptStreamError("ParseFrame: bad magic");
+  }
+  if (reader.GetU8() != kFrameVersion) {
+    throw CorruptStreamError("ParseFrame: unsupported version");
+  }
+  ParsedFrame parsed;
+  const std::uint64_t name_size = reader.GetVarint();
+  const ByteSpan name = reader.GetRaw(name_size);
+  parsed.info.codec_name = StringFromBytes(name);
+  parsed.info.original_bytes = reader.GetVarint();
+  parsed.payload = reader.GetBlock();
+  parsed.info.payload_bytes = parsed.payload.size();
+  return parsed;
+}
+
+Bytes CompressToFrame(const Codec& codec, ByteSpan data) {
+  return WrapFrame(std::string(codec.name()), data.size(),
+                   codec.Compress(data));
+}
+
+Bytes DecompressFrame(ByteSpan frame) {
+  const ParsedFrame parsed = ParseFrame(frame);
+  const auto codec = CreateCodec(parsed.info.codec_name);
+  Bytes restored = codec->Decompress(parsed.payload);
+  if (restored.size() != parsed.info.original_bytes) {
+    throw CorruptStreamError("DecompressFrame: size mismatch");
+  }
+  return restored;
+}
+
+}  // namespace primacy

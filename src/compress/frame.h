@@ -1,0 +1,37 @@
+// Self-describing single-stream container: magic, codec name, sizes,
+// payload. Used by the example CLI tools so a compressed file records which
+// codec produced it.
+#pragma once
+
+#include <string>
+
+#include "compress/codec.h"
+
+namespace primacy {
+
+struct FrameInfo {
+  std::string codec_name;
+  std::size_t original_bytes = 0;
+  std::size_t payload_bytes = 0;
+};
+
+/// Wraps `payload` (already compressed by `codec_name`) into a frame.
+Bytes WrapFrame(const std::string& codec_name, std::size_t original_bytes,
+                ByteSpan payload);
+
+/// Parses a frame header; returns the info and the payload view.
+struct ParsedFrame {
+  FrameInfo info;
+  ByteSpan payload;
+};
+ParsedFrame ParseFrame(ByteSpan frame);
+
+/// Compress `data` with `codec` and wrap the result.
+Bytes CompressToFrame(const Codec& codec, ByteSpan data);
+
+/// Parse a frame, instantiate its codec from the global registry, and
+/// decompress. Throws CorruptStreamError if the decoded size disagrees with
+/// the header.
+Bytes DecompressFrame(ByteSpan frame);
+
+}  // namespace primacy

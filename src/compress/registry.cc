@@ -1,0 +1,50 @@
+#include "compress/registry.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace primacy {
+
+CodecRegistry& CodecRegistry::Global() {
+  static auto* registry = new CodecRegistry();
+  return *registry;
+}
+
+void CodecRegistry::Register(const std::string& name, Factory factory) {
+  if (Contains(name)) {
+    throw InvalidArgumentError("CodecRegistry: duplicate codec name " + name);
+  }
+  factories_.emplace_back(name, std::move(factory));
+}
+
+std::unique_ptr<Codec> CodecRegistry::Create(const std::string& name) const {
+  for (const auto& [registered, factory] : factories_) {
+    if (registered == name) return factory();
+  }
+  throw InvalidArgumentError("CodecRegistry: unknown codec " + name);
+}
+
+bool CodecRegistry::Contains(const std::string& name) const {
+  return std::any_of(factories_.begin(), factories_.end(),
+                     [&](const auto& entry) { return entry.first == name; });
+}
+
+std::vector<std::string> CodecRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::unique_ptr<Codec> CreateCodec(const std::string& name) {
+  return CodecRegistry::Global().Create(name);
+}
+
+CodecRegistrar::CodecRegistrar(const std::string& name,
+                               CodecRegistry::Factory factory) {
+  CodecRegistry::Global().Register(name, std::move(factory));
+}
+
+}  // namespace primacy

@@ -1,0 +1,52 @@
+// Name -> codec factory registry.
+//
+// Codecs register themselves at static-initialization time (each codec
+// library provides a registration translation unit); user code looks them up
+// by the names used throughout the paper's tables ("deflate", "lzfast",
+// "bwt", "fpc", "fpz").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace primacy {
+
+class CodecRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Codec>()>;
+
+  /// The process-wide registry.
+  static CodecRegistry& Global();
+
+  /// Registers `factory` under `name`; throws InvalidArgumentError on
+  /// duplicates.
+  void Register(const std::string& name, Factory factory);
+
+  /// Instantiates the codec registered under `name`; throws
+  /// InvalidArgumentError if unknown.
+  std::unique_ptr<Codec> Create(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names in sorted order.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+/// Convenience: CodecRegistry::Global().Create(name).
+std::unique_ptr<Codec> CreateCodec(const std::string& name);
+
+/// Helper for static registration:
+///   namespace { const CodecRegistrar r("deflate", [] { ... }); }
+class CodecRegistrar {
+ public:
+  CodecRegistrar(const std::string& name, CodecRegistry::Factory factory);
+};
+
+}  // namespace primacy

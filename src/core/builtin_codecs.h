@@ -1,0 +1,11 @@
+// One-call registration of every codec shipped with the library. Safe to
+// call repeatedly and from multiple threads.
+#pragma once
+
+namespace primacy {
+
+/// Registers deflate, deflate-fast, lzfast, bwt, fpc, fpz, and primacy in the
+/// global codec registry (idempotent).
+void RegisterBuiltinCodecs();
+
+}  // namespace primacy

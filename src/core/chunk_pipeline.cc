@@ -1,0 +1,173 @@
+#include "core/chunk_pipeline.h"
+
+#include <vector>
+
+#include "bitstream/byte_io.h"
+#include "core/id_mapper.h"
+#include "isobar/partitioned_codec.h"
+#include "util/byte_matrix.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace primacy {
+namespace {
+
+constexpr std::size_t kHighWidth = 2;
+
+Bytes ToBigEndianRows(ByteSpan chunk, std::size_t width) {
+  if (width == 8) return DoublesToBigEndianRows(FromBytes<double>(chunk));
+  PRIMACY_CHECK(width == 4);
+  return FloatsToBigEndianRows(FromBytes<float>(chunk));
+}
+
+Bytes FromBigEndianRows(ByteSpan rows, std::size_t width) {
+  if (width == 8) {
+    const std::vector<double> values = BigEndianRowsToDoubles(rows);
+    return ToBytes(AsBytes(values));
+  }
+  PRIMACY_CHECK(width == 4);
+  const std::vector<float> values = BigEndianRowsToFloats(rows);
+  return ToBytes(AsBytes(values));
+}
+
+double FrequencyCorrelation(const PairFrequency& a, const PairFrequency& b) {
+  std::vector<std::uint64_t> va(a.counts.begin(), a.counts.end());
+  std::vector<std::uint64_t> vb(b.counts.begin(), b.counts.end());
+  return PearsonCorrelation(va, vb);
+}
+
+}  // namespace
+
+ChunkEncoder::ChunkEncoder(const PrimacyOptions& options, const Codec& solver)
+    : options_(options), solver_(solver) {}
+
+void ChunkEncoder::Reset() {
+  prev_freq_.reset();
+  prev_index_.reset();
+}
+
+ChunkRecordStats ChunkEncoder::EncodeChunk(ByteSpan chunk, Bytes& out) {
+  const std::size_t width = ElementWidth(options_.precision);
+  if (chunk.empty() || chunk.size() % width != 0) {
+    throw InvalidArgumentError("ChunkEncoder: chunk size must be a non-zero "
+                               "multiple of the element width");
+  }
+  const std::size_t record_start = out.size();
+  const std::size_t count = chunk.size() / width;
+
+  // 1. Big-endian byte significance, then the high/low split.
+  const Bytes rows = ToBigEndianRows(chunk, width);
+  const SplitBytes split = SplitHighLow(rows, width, kHighWidth);
+
+  // 2. Frequency analysis + index selection. Under kReuseWhenCorrelated, a
+  // chunk whose frequency vector correlates with the previous chunk's keeps
+  // the previous ID assignment; unseen sequences are appended as a small
+  // delta (paper Section II-F's "more intelligent indexing scheme"). Old IDs
+  // never change, so decoding stays in lockstep.
+  const PairFrequency freq = AnalyzePairFrequency(split.high);
+  enum class IndexAction { kFresh, kReuse, kDelta };
+  IndexAction action = IndexAction::kFresh;
+  std::vector<std::uint16_t> delta;
+  if (options_.index_mode == IndexMode::kReuseWhenCorrelated &&
+      prev_index_.has_value() && prev_freq_.has_value() &&
+      FrequencyCorrelation(*prev_freq_, freq) >=
+          options_.index_reuse_correlation) {
+    delta = prev_index_->MissingSequences(freq);
+    if (delta.empty()) {
+      action = IndexAction::kReuse;
+    } else if (delta.size() <= prev_index_->size() / 4 + 16) {
+      action = IndexAction::kDelta;
+    }
+  }
+  if (action == IndexAction::kFresh) {
+    prev_index_ = IdIndex::FromFrequency(freq);
+  } else if (action == IndexAction::kDelta) {
+    prev_index_ = prev_index_->Extended(delta);
+  }
+  prev_freq_ = freq;
+  const IdIndex& index = *prev_index_;
+
+  // 3-4. ID mapping, linearization, solver compression.
+  const Bytes id_bytes = MapToIds(split.high, index, options_.linearization);
+  const Bytes id_compressed = solver_.Compress(id_bytes);
+
+  // 5. ISOBAR on the mantissa matrix.
+  const IsobarCompressed mantissa =
+      IsobarCompress(split.low, width - kHighWidth, solver_, options_.isobar);
+
+  // 6. Chunk record.
+  ChunkRecordStats stats;
+  stats.elements = count;
+  PutVarint(out, count);
+  switch (action) {
+    case IndexAction::kReuse:
+      PutU8(out, 0);
+      break;
+    case IndexAction::kFresh: {
+      PutU8(out, 1);
+      const Bytes serialized_index = SerializeIndex(index);
+      stats.index_bytes = serialized_index.size();
+      stats.emitted_full_index = true;
+      PutBlock(out, serialized_index);
+      break;
+    }
+    case IndexAction::kDelta: {
+      PutU8(out, 2);
+      const Bytes serialized_delta = SerializeSequenceList(delta);
+      stats.index_bytes = serialized_delta.size();
+      stats.emitted_delta_index = true;
+      PutBlock(out, serialized_delta);
+      break;
+    }
+  }
+  PutBlock(out, id_compressed);
+  PutBlock(out, mantissa.stream);
+
+  stats.record_bytes = out.size() - record_start;
+  stats.id_compressed_bytes = id_compressed.size();
+  stats.mantissa_stream_bytes = mantissa.stream.size();
+  stats.mantissa_raw_bytes = mantissa.raw_bytes;
+  stats.compressible_fraction = mantissa.plan.CompressibleFraction();
+  stats.top_byte_frequency_before = TopByteFrequency(split.high);
+  stats.top_byte_frequency_after = TopByteFrequency(id_bytes);
+  return stats;
+}
+
+ChunkDecoder::ChunkDecoder(const Codec& solver, Linearization linearization,
+                           std::size_t element_width)
+    : solver_(solver), linearization_(linearization), width_(element_width) {
+  if (width_ != 4 && width_ != 8) {
+    throw InvalidArgumentError("ChunkDecoder: unsupported element width");
+  }
+}
+
+void ChunkDecoder::DecodeChunk(ByteReader& reader, std::uint64_t count,
+                               Bytes& out) {
+  if (count == 0) {
+    throw CorruptStreamError("primacy: bad chunk element count");
+  }
+  const std::uint8_t index_flag = reader.GetU8();
+  if (index_flag == 1) {
+    index_ = DeserializeIndex(reader.GetBlock());
+  } else if (index_flag == 2) {
+    if (!index_.has_value()) {
+      throw CorruptStreamError("primacy: delta without a base index");
+    }
+    index_ = index_->Extended(DeserializeSequenceList(reader.GetBlock()));
+  } else if (index_flag != 0 || !index_.has_value()) {
+    throw CorruptStreamError("primacy: missing index");
+  }
+  const Bytes id_bytes = solver_.Decompress(reader.GetBlock());
+  if (id_bytes.size() != count * kHighWidth) {
+    throw CorruptStreamError("primacy: ID byte count mismatch");
+  }
+  const Bytes high = MapFromIds(id_bytes, *index_, linearization_);
+  const Bytes low = IsobarDecompress(reader.GetBlock(), solver_);
+  if (low.size() != count * (width_ - kHighWidth)) {
+    throw CorruptStreamError("primacy: mantissa byte count mismatch");
+  }
+  const Bytes rows = MergeHighLow(high, low, width_, kHighWidth);
+  AppendBytes(out, FromBigEndianRows(rows, width_));
+}
+
+}  // namespace primacy

@@ -1,0 +1,73 @@
+// The per-chunk encode/decode pipeline shared by the one-shot
+// PrimacyCompressor/PrimacyDecompressor and the streaming writer/reader.
+//
+// A ChunkEncoder carries the cross-chunk state (previous frequency vector +
+// index for IndexMode::kReuseWhenCorrelated) and turns one chunk of
+// *native-layout element bytes* into one self-delimiting chunk record; a
+// ChunkDecoder mirrors it. The surrounding stream header/tail framing lives
+// with the callers.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "bitstream/byte_io.h"
+#include "compress/codec.h"
+#include "core/frequency.h"
+#include "core/primacy_codec.h"
+
+namespace primacy {
+
+/// Accounting for a single encoded chunk.
+struct ChunkRecordStats {
+  std::size_t elements = 0;
+  std::size_t record_bytes = 0;
+  std::size_t index_bytes = 0;
+  bool emitted_full_index = false;
+  bool emitted_delta_index = false;
+  std::size_t id_compressed_bytes = 0;
+  std::size_t mantissa_stream_bytes = 0;
+  std::size_t mantissa_raw_bytes = 0;
+  double compressible_fraction = 0.0;
+  double top_byte_frequency_before = 0.0;
+  double top_byte_frequency_after = 0.0;
+};
+
+class ChunkEncoder {
+ public:
+  /// `solver` must outlive the encoder.
+  ChunkEncoder(const PrimacyOptions& options, const Codec& solver);
+
+  /// Encodes one chunk (native element layout, size = multiple of the
+  /// precision's element width) and appends its record to `out`.
+  ChunkRecordStats EncodeChunk(ByteSpan chunk, Bytes& out);
+
+  /// Drops the cross-chunk index state (a fresh index will be emitted next).
+  void Reset();
+
+ private:
+  const PrimacyOptions& options_;
+  const Codec& solver_;
+  std::optional<PairFrequency> prev_freq_;
+  std::optional<IdIndex> prev_index_;
+};
+
+class ChunkDecoder {
+ public:
+  ChunkDecoder(const Codec& solver, Linearization linearization,
+               std::size_t element_width);
+
+  /// Decodes one chunk record body from `reader`. The caller has already
+  /// consumed the record's leading element-count varint (so it can detect
+  /// end-of-chunks sentinels); the restored native-layout bytes are appended
+  /// to `out`.
+  void DecodeChunk(ByteReader& reader, std::uint64_t count, Bytes& out);
+
+ private:
+  const Codec& solver_;
+  Linearization linearization_;
+  std::size_t width_;
+  std::optional<IdIndex> index_;
+};
+
+}  // namespace primacy

@@ -1,0 +1,135 @@
+#include "core/frequency.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "bitstream/byte_io.h"
+#include "util/error.h"
+
+namespace primacy {
+
+std::size_t PairFrequency::DistinctSequences() const {
+  std::size_t distinct = 0;
+  for (const std::uint32_t count : counts) distinct += (count != 0);
+  return distinct;
+}
+
+PairFrequency AnalyzePairFrequency(ByteSpan high_bytes) {
+  if (high_bytes.size() % 2 != 0) {
+    throw InvalidArgumentError("AnalyzePairFrequency: odd byte count");
+  }
+  PairFrequency frequency;
+  frequency.counts.assign(65536, 0);
+  for (std::size_t i = 0; i < high_bytes.size(); i += 2) {
+    const auto hi = static_cast<std::uint32_t>(high_bytes[i]);
+    const auto lo = static_cast<std::uint32_t>(high_bytes[i + 1]);
+    ++frequency.counts[(hi << 8) | lo];
+  }
+  return frequency;
+}
+
+IdIndex IdIndex::FromFrequency(const PairFrequency& frequency) {
+  PRIMACY_CHECK(frequency.counts.size() == 65536);
+  // Occurring sequences sorted by descending count, ties by ascending value.
+  std::vector<std::uint32_t> occurring;
+  for (std::uint32_t seq = 0; seq < 65536; ++seq) {
+    if (frequency.counts[seq] != 0) occurring.push_back(seq);
+  }
+  std::stable_sort(occurring.begin(), occurring.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     if (frequency.counts[a] != frequency.counts[b]) {
+                       return frequency.counts[a] > frequency.counts[b];
+                     }
+                     return a < b;
+                   });
+  IdIndex index;
+  index.sequences_.assign(occurring.begin(), occurring.end());
+  index.ids_.assign(65536, kUnmapped);
+  for (std::size_t id = 0; id < index.sequences_.size(); ++id) {
+    index.ids_[index.sequences_[id]] = static_cast<std::uint32_t>(id);
+  }
+  return index;
+}
+
+IdIndex IdIndex::FromSequences(std::vector<std::uint16_t> sequences) {
+  IdIndex index;
+  index.ids_.assign(65536, kUnmapped);
+  for (std::size_t id = 0; id < sequences.size(); ++id) {
+    if (index.ids_[sequences[id]] != kUnmapped) {
+      throw CorruptStreamError("IdIndex: duplicate sequence in index");
+    }
+    index.ids_[sequences[id]] = static_cast<std::uint32_t>(id);
+  }
+  index.sequences_ = std::move(sequences);
+  return index;
+}
+
+IdIndex IdIndex::Extended(std::span<const std::uint16_t> additions) const {
+  IdIndex out;
+  out.sequences_ = sequences_;
+  out.ids_ = ids_;
+  if (out.ids_.empty()) out.ids_.assign(65536, kUnmapped);
+  for (const std::uint16_t sequence : additions) {
+    if (out.ids_[sequence] != kUnmapped) {
+      throw CorruptStreamError("IdIndex::Extended: sequence already mapped");
+    }
+    out.ids_[sequence] = static_cast<std::uint32_t>(out.sequences_.size());
+    out.sequences_.push_back(sequence);
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> IdIndex::MissingSequences(
+    const PairFrequency& frequency) const {
+  std::vector<std::uint32_t> missing;
+  for (std::uint32_t seq = 0; seq < 65536; ++seq) {
+    if (frequency.counts[seq] != 0 &&
+        IdOf(static_cast<std::uint16_t>(seq)) == kUnmapped) {
+      missing.push_back(seq);
+    }
+  }
+  std::stable_sort(missing.begin(), missing.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     if (frequency.counts[a] != frequency.counts[b]) {
+                       return frequency.counts[a] > frequency.counts[b];
+                     }
+                     return a < b;
+                   });
+  return std::vector<std::uint16_t>(missing.begin(), missing.end());
+}
+
+Bytes SerializeSequenceList(std::span<const std::uint16_t> sequences) {
+  Bytes out;
+  PutVarint(out, sequences.size());
+  for (const std::uint16_t sequence : sequences) {
+    PutU16(out, sequence);
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> DeserializeSequenceList(ByteSpan data) {
+  ByteReader reader(data);
+  const std::uint64_t count = reader.GetVarint();
+  if (count > 65536) {
+    throw CorruptStreamError("DeserializeSequenceList: impossible size");
+  }
+  std::vector<std::uint16_t> sequences;
+  sequences.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    sequences.push_back(reader.GetU16());
+  }
+  if (!reader.AtEnd()) {
+    throw CorruptStreamError("DeserializeSequenceList: trailing bytes");
+  }
+  return sequences;
+}
+
+Bytes SerializeIndex(const IdIndex& index) {
+  return SerializeSequenceList(index.sequences());
+}
+
+IdIndex DeserializeIndex(ByteSpan data) {
+  return IdIndex::FromSequences(DeserializeSequenceList(data));
+}
+
+}  // namespace primacy

@@ -1,0 +1,81 @@
+// Frequency analysis of high-order byte pairs and construction of the
+// frequency-ordered ID index (paper Sections II-C and II-F).
+//
+// The index is the chunk's metadata: entry k is the 16-bit byte-sequence
+// assigned ID k. IDs are handed out by descending frequency (ties broken by
+// ascending byte-sequence value, making the mapping deterministic), so the
+// most common pattern becomes ID 0 = two zero bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace primacy {
+
+/// Frequency vector over the 65,536 possible high-order byte pairs of a
+/// chunk. `counts[seq]` is the number of elements whose first two bytes
+/// (big-endian significance) equal `seq`.
+struct PairFrequency {
+  std::vector<std::uint32_t> counts;  // size 65536
+
+  std::size_t DistinctSequences() const;
+};
+
+/// Counts byte-pair frequencies over row-linearized high-order bytes
+/// (N x 2 matrix).
+PairFrequency AnalyzePairFrequency(ByteSpan high_bytes);
+
+/// The bijective ID <-> byte-sequence mapping for one chunk.
+class IdIndex {
+ public:
+  /// Builds the index from a frequency vector (paper's GENERATE-INDEX).
+  static IdIndex FromFrequency(const PairFrequency& frequency);
+
+  /// Rebuilds an index from its serialized sequence list.
+  static IdIndex FromSequences(std::vector<std::uint16_t> sequences);
+
+  /// Number of distinct sequences (= number of assigned IDs).
+  std::size_t size() const { return sequences_.size(); }
+
+  /// Byte-sequence assigned to `id`.
+  std::uint16_t SequenceOf(std::size_t id) const { return sequences_[id]; }
+
+  /// ID assigned to `sequence`, or kUnmapped when the sequence did not occur
+  /// in the chunk the index was built from.
+  static constexpr std::uint32_t kUnmapped = 0xffffffffu;
+  std::uint32_t IdOf(std::uint16_t sequence) const {
+    return ids_[sequence];
+  }
+
+  /// Sequence list in ID order (the serialized form).
+  const std::vector<std::uint16_t>& sequences() const { return sequences_; }
+
+  /// Returns a copy of this index with `additions` appended at the high-ID
+  /// end (the delta-index scheme of IndexMode::kReuseWhenCorrelated: old IDs
+  /// keep their values, new sequences get the next IDs). Throws
+  /// CorruptStreamError if an addition is already mapped.
+  IdIndex Extended(std::span<const std::uint16_t> additions) const;
+
+  /// Sequences occurring in `frequency` that this index does not map,
+  /// ordered by descending frequency (ties: ascending sequence) — the
+  /// deterministic delta an encoder must append before reusing this index.
+  std::vector<std::uint16_t> MissingSequences(
+      const PairFrequency& frequency) const;
+
+ private:
+  IdIndex() = default;
+  std::vector<std::uint16_t> sequences_;   // indexed by ID
+  std::vector<std::uint32_t> ids_;         // indexed by sequence, size 65536
+};
+
+/// Serialization: varint count then fixed u16 sequences in ID order.
+Bytes SerializeIndex(const IdIndex& index);
+IdIndex DeserializeIndex(ByteSpan data);
+
+/// Bare sequence lists (delta-index payloads) share the same wire format.
+Bytes SerializeSequenceList(std::span<const std::uint16_t> sequences);
+std::vector<std::uint16_t> DeserializeSequenceList(ByteSpan data);
+
+}  // namespace primacy

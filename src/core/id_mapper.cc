@@ -1,0 +1,52 @@
+#include "core/id_mapper.h"
+
+#include "util/byte_matrix.h"
+#include "util/error.h"
+
+namespace primacy {
+
+Bytes MapToIds(ByteSpan high_bytes, const IdIndex& index,
+               Linearization linearization) {
+  if (high_bytes.size() % 2 != 0) {
+    throw InvalidArgumentError("MapToIds: odd byte count");
+  }
+  Bytes ids(high_bytes.size());
+  for (std::size_t i = 0; i < high_bytes.size(); i += 2) {
+    const auto sequence = static_cast<std::uint16_t>(
+        (static_cast<std::uint32_t>(high_bytes[i]) << 8) |
+        static_cast<std::uint32_t>(high_bytes[i + 1]));
+    const std::uint32_t id = index.IdOf(sequence);
+    if (id == IdIndex::kUnmapped) {
+      throw InvalidArgumentError("MapToIds: sequence not in index");
+    }
+    ids[i] = static_cast<std::byte>(id >> 8);
+    ids[i + 1] = static_cast<std::byte>(id & 0xff);
+  }
+  if (linearization == Linearization::kColumn) {
+    return RowToColumn(ids, 2);
+  }
+  return ids;
+}
+
+Bytes MapFromIds(ByteSpan id_bytes, const IdIndex& index,
+                 Linearization linearization) {
+  if (id_bytes.size() % 2 != 0) {
+    throw CorruptStreamError("MapFromIds: odd byte count");
+  }
+  Bytes rows = linearization == Linearization::kColumn
+                   ? ColumnToRow(id_bytes, 2)
+                   : ToBytes(id_bytes);
+  for (std::size_t i = 0; i < rows.size(); i += 2) {
+    const auto id = (static_cast<std::uint32_t>(rows[i]) << 8) |
+                    static_cast<std::uint32_t>(rows[i + 1]);
+    if (id >= index.size()) {
+      throw CorruptStreamError("MapFromIds: ID beyond index");
+    }
+    const std::uint16_t sequence = index.SequenceOf(id);
+    rows[i] = static_cast<std::byte>(sequence >> 8);
+    rows[i + 1] = static_cast<std::byte>(sequence & 0xff);
+  }
+  return rows;
+}
+
+}  // namespace primacy

@@ -1,0 +1,79 @@
+#include "core/in_situ.h"
+
+#include <numeric>
+
+#include "util/error.h"
+
+namespace primacy {
+
+std::size_t InSituResult::TotalCompressedBytes() const {
+  return std::accumulate(
+      shards.begin(), shards.end(), std::size_t{0},
+      [](std::size_t sum, const Bytes& shard) { return sum + shard.size(); });
+}
+
+InSituResult InSituCompress(std::span<const double> values,
+                            const InSituOptions& options) {
+  if (options.shard_elements == 0) {
+    throw InvalidArgumentError("InSituCompress: shard_elements must be > 0");
+  }
+  const std::size_t shard_count =
+      values.empty() ? 0
+                     : (values.size() + options.shard_elements - 1) /
+                           options.shard_elements;
+
+  InSituResult result;
+  result.shards.resize(shard_count);
+  std::vector<PrimacyStats> stats(shard_count);
+
+  const PrimacyCompressor compressor(options.primacy);
+  ThreadPool pool(options.threads);
+  pool.ParallelFor(shard_count, [&](std::size_t shard) {
+    const std::size_t first = shard * options.shard_elements;
+    const std::size_t count =
+        std::min(options.shard_elements, values.size() - first);
+    result.shards[shard] =
+        compressor.Compress(values.subspan(first, count), &stats[shard]);
+  });
+
+  for (const PrimacyStats& s : stats) {
+    result.totals.chunks += s.chunks;
+    result.totals.indexes_emitted += s.indexes_emitted;
+    result.totals.input_bytes += s.input_bytes;
+    result.totals.output_bytes += s.output_bytes;
+    result.totals.index_bytes += s.index_bytes;
+    result.totals.id_compressed_bytes += s.id_compressed_bytes;
+    result.totals.mantissa_stream_bytes += s.mantissa_stream_bytes;
+    result.totals.mantissa_raw_bytes += s.mantissa_raw_bytes;
+  }
+  if (shard_count > 0) {
+    const auto n = static_cast<double>(shard_count);
+    double before = 0.0, after = 0.0, fraction = 0.0;
+    for (const PrimacyStats& s : stats) {
+      before += s.top_byte_frequency_before;
+      after += s.top_byte_frequency_after;
+      fraction += s.mean_compressible_fraction;
+    }
+    result.totals.top_byte_frequency_before = before / n;
+    result.totals.top_byte_frequency_after = after / n;
+    result.totals.mean_compressible_fraction = fraction / n;
+  }
+  return result;
+}
+
+std::vector<double> InSituDecompress(const std::vector<Bytes>& shards,
+                                     const InSituOptions& options) {
+  const PrimacyDecompressor decompressor(options.primacy);
+  std::vector<std::vector<double>> pieces(shards.size());
+  ThreadPool pool(options.threads);
+  pool.ParallelFor(shards.size(), [&](std::size_t shard) {
+    pieces[shard] = decompressor.Decompress(shards[shard]);
+  });
+  std::vector<double> out;
+  for (const auto& piece : pieces) {
+    out.insert(out.end(), piece.begin(), piece.end());
+  }
+  return out;
+}
+
+}  // namespace primacy

@@ -1,0 +1,38 @@
+// In-situ parallel compression driver: compresses a large double array as
+// independent shards across a thread pool, the way each compute node runs
+// PRIMACY on its own data while the simulation is resident in memory
+// (paper Sections I and II-A). Shards are self-contained PRIMACY streams,
+// so decompression can also proceed shard-parallel.
+#pragma once
+
+#include <vector>
+
+#include "core/primacy_codec.h"
+#include "util/thread_pool.h"
+
+namespace primacy {
+
+struct InSituResult {
+  /// One self-contained PRIMACY stream per shard, in input order.
+  std::vector<Bytes> shards;
+  PrimacyStats totals;
+
+  std::size_t TotalCompressedBytes() const;
+};
+
+struct InSituOptions {
+  PrimacyOptions primacy;
+  /// Elements per shard; defaults to four chunks' worth.
+  std::size_t shard_elements = 4 * (3 * 1024 * 1024 / 8);
+  std::size_t threads = 0;  // 0 = hardware concurrency
+};
+
+/// Compresses `values` shard-parallel.
+InSituResult InSituCompress(std::span<const double> values,
+                            const InSituOptions& options = {});
+
+/// Decompresses shards (in order) back into one array.
+std::vector<double> InSituDecompress(const std::vector<Bytes>& shards,
+                                     const InSituOptions& options = {});
+
+}  // namespace primacy

@@ -1,0 +1,208 @@
+#include "core/primacy_codec.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "bitstream/byte_io.h"
+#include "compress/registry.h"
+#include "core/builtin_codecs.h"
+#include "core/chunk_pipeline.h"
+#include "core/stream_format.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace primacy {
+
+PrimacyCompressor::PrimacyCompressor(PrimacyOptions options)
+    : options_(std::move(options)),
+      solver_(internal::ResolveSolver(options_.solver)) {
+  if (options_.chunk_bytes < ElementWidth(options_.precision)) {
+    throw InvalidArgumentError("PrimacyCompressor: chunk_bytes too small");
+  }
+}
+
+Bytes PrimacyCompressor::Compress(std::span<const double> values,
+                                  PrimacyStats* stats) const {
+  if (options_.precision != Precision::kDouble) {
+    throw InvalidArgumentError(
+        "PrimacyCompressor: double input requires Precision::kDouble");
+  }
+  return CompressBytes(AsBytes(values), stats);
+}
+
+Bytes PrimacyCompressor::Compress(std::span<const float> values,
+                                  PrimacyStats* stats) const {
+  if (options_.precision != Precision::kSingle) {
+    throw InvalidArgumentError(
+        "PrimacyCompressor: float input requires Precision::kSingle");
+  }
+  return CompressBytes(AsBytes(values), stats);
+}
+
+Bytes PrimacyCompressor::CompressBytes(ByteSpan data,
+                                       PrimacyStats* stats) const {
+  const std::size_t width = ElementWidth(options_.precision);
+  const std::size_t tail_bytes = data.size() % width;
+  const ByteSpan body = data.first(data.size() - tail_bytes);
+  const std::size_t chunk_elements = options_.chunk_bytes / width;
+
+  Bytes out;
+  internal::WriteStreamHeader(out, options_, data.size());
+
+  PrimacyStats accounting;
+  accounting.input_bytes = data.size();
+  double freq_before_sum = 0.0;
+  double freq_after_sum = 0.0;
+  double compressible_fraction_sum = 0.0;
+
+  const std::size_t total_elements = body.size() / width;
+  const std::size_t chunk_count =
+      total_elements == 0
+          ? 0
+          : (total_elements + chunk_elements - 1) / chunk_elements;
+  std::vector<ChunkRecordStats> chunk_stats(chunk_count);
+
+  const bool parallel = options_.threads != 1 &&
+                        options_.index_mode == IndexMode::kPerChunk &&
+                        chunk_count > 1;
+  if (parallel) {
+    // Chunks are independent under kPerChunk indexing: encode them into
+    // per-chunk buffers across a pool, then concatenate in order. Each task
+    // gets its own encoder and solver instance so no state is shared.
+    std::vector<Bytes> records(chunk_count);
+    ThreadPool pool(options_.threads);
+    pool.ParallelFor(chunk_count, [&](std::size_t i) {
+      const std::size_t first = i * chunk_elements;
+      const std::size_t count =
+          std::min(chunk_elements, total_elements - first);
+      const auto solver = CreateCodec(options_.solver);
+      ChunkEncoder encoder(options_, *solver);
+      chunk_stats[i] = encoder.EncodeChunk(
+          body.subspan(first * width, count * width), records[i]);
+    });
+    for (const Bytes& record : records) AppendBytes(out, record);
+  } else {
+    ChunkEncoder encoder(options_, *solver_);
+    for (std::size_t i = 0; i < chunk_count; ++i) {
+      const std::size_t first = i * chunk_elements;
+      const std::size_t count =
+          std::min(chunk_elements, total_elements - first);
+      chunk_stats[i] =
+          encoder.EncodeChunk(body.subspan(first * width, count * width), out);
+    }
+  }
+
+  for (const ChunkRecordStats& cs : chunk_stats) {
+    ++accounting.chunks;
+    accounting.indexes_emitted += cs.emitted_full_index;
+    accounting.delta_indexes += cs.emitted_delta_index;
+    accounting.index_bytes += cs.index_bytes;
+    accounting.id_compressed_bytes += cs.id_compressed_bytes;
+    accounting.mantissa_stream_bytes += cs.mantissa_stream_bytes;
+    accounting.mantissa_raw_bytes += cs.mantissa_raw_bytes;
+    freq_before_sum += cs.top_byte_frequency_before;
+    freq_after_sum += cs.top_byte_frequency_after;
+    compressible_fraction_sum += cs.compressible_fraction;
+  }
+
+  PutBlock(out, data.subspan(data.size() - tail_bytes, tail_bytes));
+
+  // Whole-stream stored fallback: adversarial inputs (near-unique high-order
+  // pairs) would otherwise pay index metadata with no compression to show
+  // for it. A stored stream is header + one raw block.
+  if (out.size() > data.size() + 64) {
+    Bytes stored;
+    internal::WriteStreamHeader(stored, options_, data.size(),
+                                /*stored=*/true);
+    PutBlock(stored, data);
+    accounting = PrimacyStats{};
+    accounting.input_bytes = data.size();
+    out = std::move(stored);
+  }
+
+  if (stats != nullptr) {
+    accounting.output_bytes = out.size();
+    if (accounting.chunks > 0) {
+      const auto chunks = static_cast<double>(accounting.chunks);
+      accounting.top_byte_frequency_before = freq_before_sum / chunks;
+      accounting.top_byte_frequency_after = freq_after_sum / chunks;
+      accounting.mean_compressible_fraction =
+          compressible_fraction_sum / chunks;
+    }
+    *stats = accounting;
+  }
+  return out;
+}
+
+PrimacyDecompressor::PrimacyDecompressor(PrimacyOptions options)
+    : options_(std::move(options)) {
+  RegisterBuiltinCodecs();
+}
+
+Bytes PrimacyDecompressor::DecompressBytes(ByteSpan stream) const {
+  ByteReader reader(stream);
+  const internal::StreamHeader header = internal::ReadStreamHeader(reader);
+  if (header.total_bytes == ~std::uint64_t{0}) {
+    throw CorruptStreamError(
+        "primacy: streamed stream; use PrimacyStreamReader");
+  }
+  if (header.stored) {
+    const ByteSpan raw = reader.GetBlock();
+    if (raw.size() != header.total_bytes) {
+      throw CorruptStreamError("primacy: stored payload size mismatch");
+    }
+    return ToBytes(raw);
+  }
+  const auto solver = CreateCodec(header.solver_name);
+  const std::uint64_t total_elements = header.total_bytes / header.width;
+
+  Bytes out;
+  out.reserve(std::min<std::uint64_t>(header.total_bytes, 1u << 26));
+  ChunkDecoder decoder(*solver, header.linearization, header.width);
+  std::uint64_t decoded_elements = 0;
+  while (decoded_elements < total_elements) {
+    const std::uint64_t count = reader.GetVarint();
+    if (count == 0 || decoded_elements + count > total_elements) {
+      throw CorruptStreamError("primacy: bad chunk element count");
+    }
+    decoder.DecodeChunk(reader, count, out);
+    decoded_elements += count;
+  }
+  const ByteSpan tail = reader.GetBlock();
+  if (out.size() + tail.size() != header.total_bytes) {
+    throw CorruptStreamError("primacy: tail size mismatch");
+  }
+  AppendBytes(out, tail);
+  return out;
+}
+
+std::vector<double> PrimacyDecompressor::Decompress(ByteSpan stream) const {
+  const Bytes raw = DecompressBytes(stream);
+  if (raw.size() % 8 != 0) {
+    throw CorruptStreamError("primacy: stream is not a whole double array");
+  }
+  return FromBytes<double>(raw);
+}
+
+std::vector<float> PrimacyDecompressor::DecompressSingle(
+    ByteSpan stream) const {
+  const Bytes raw = DecompressBytes(stream);
+  if (raw.size() % 4 != 0) {
+    throw CorruptStreamError("primacy: stream is not a whole float array");
+  }
+  return FromBytes<float>(raw);
+}
+
+PrimacyCodec::PrimacyCodec(PrimacyOptions options)
+    : compressor_(options), decompressor_(std::move(options)) {}
+
+Bytes PrimacyCodec::Compress(ByteSpan data) const {
+  return compressor_.CompressBytes(data);
+}
+
+Bytes PrimacyCodec::Decompress(ByteSpan data) const {
+  return decompressor_.DecompressBytes(data);
+}
+
+}  // namespace primacy

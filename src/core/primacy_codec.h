@@ -1,0 +1,155 @@
+// The PRIMACY compressor/decompressor: the paper's Algorithm 1 end to end.
+//
+// Per 3 MB chunk of doubles:
+//   1. split the N x 8 byte matrix into high-order N x 2 and mantissa N x 6;
+//   2. frequency-analyze the high-order byte pairs and build the ID index;
+//   3. rewrite high-order pairs as frequency-ranked IDs, column-linearized;
+//   4. compress the ID bytes with the solver codec;
+//   5. run the ISOBAR analyzer/partitioner on the mantissa matrix: solver-
+//      compress the compressible byte columns, store the rest raw;
+//   6. emit [header | index | compressed IDs | ISOBAR stream] per chunk.
+//
+// Stream format:
+//   u32 magic "PRY1", u8 linearization, u8 element_width,
+//   block(solver name), varint byte_count
+//   per chunk:
+//     varint chunk_elements
+//     u8 index_flag (1 = full index follows, 0 = reuse previous index,
+//                    2 = delta: extend the previous index with the listed
+//                        sequences, appended at the high-ID end)
+//     [block(index or delta sequence list)]
+//     block(solver-compressed ID bytes)
+//     block(ISOBAR mantissa stream)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "compress/codec.h"
+#include "core/id_mapper.h"
+#include "isobar/analyzer.h"
+
+namespace primacy {
+
+/// Per-chunk index policy (paper Section II-F; kReuseWhenCorrelated is the
+/// "more intelligent indexing scheme" sketched as future work).
+enum class IndexMode {
+  kPerChunk,
+  kReuseWhenCorrelated,
+};
+
+/// Element precision. The paper evaluates double precision and notes the
+/// mapping scheme generalizes to other precisions (Section IV-B); single
+/// precision splits each 4-byte element into a 2-byte high-order part (sign +
+/// exponent + leading mantissa bits) and a 2-byte mantissa tail.
+enum class Precision {
+  kDouble,  // 8-byte elements, 2 high-order + 6 mantissa bytes
+  kSingle,  // 4-byte elements, 2 high-order + 2 mantissa bytes
+};
+
+constexpr std::size_t ElementWidth(Precision precision) {
+  return precision == Precision::kDouble ? 8 : 4;
+}
+
+struct PrimacyOptions {
+  /// Chunk size in bytes of input data; the paper settles on 3 MB.
+  std::size_t chunk_bytes = 3 * 1024 * 1024;
+  /// Solver codec name (resolved through the registry).
+  std::string solver = "deflate";
+  Linearization linearization = Linearization::kColumn;
+  IndexMode index_mode = IndexMode::kPerChunk;
+  /// Frequency-vector correlation above which kReuseWhenCorrelated keeps the
+  /// previous chunk's index.
+  double index_reuse_correlation = 0.95;
+  Precision precision = Precision::kDouble;
+  /// Worker threads for chunk-parallel compression (0 = hardware
+  /// concurrency, 1 = serial). Only kPerChunk indexing parallelizes: chunks
+  /// are then independent, and the output is byte-identical to a serial
+  /// run. kReuseWhenCorrelated has a serial cross-chunk dependency and
+  /// ignores this knob.
+  std::size_t threads = 1;
+  IsobarOptions isobar;
+};
+
+/// Per-stream accounting used by the benches and EXPERIMENTS.md tables.
+struct PrimacyStats {
+  std::size_t chunks = 0;
+  std::size_t indexes_emitted = 0;  // full per-chunk indexes
+  std::size_t delta_indexes = 0;    // delta extensions under kReuseWhenCorrelated
+  std::size_t input_bytes = 0;
+  std::size_t output_bytes = 0;
+  std::size_t index_bytes = 0;
+  std::size_t id_compressed_bytes = 0;
+  std::size_t mantissa_stream_bytes = 0;
+  std::size_t mantissa_raw_bytes = 0;  // stored-verbatim share of mantissa
+  /// Mean fraction of mantissa columns ISOBAR judged compressible (alpha2).
+  double mean_compressible_fraction = 0.0;
+  /// Repeatability (top byte frequency) of the high-order bytes before and
+  /// after ID mapping — the paper's Section II-C "+15%" metric.
+  double top_byte_frequency_before = 0.0;
+  double top_byte_frequency_after = 0.0;
+
+  double CompressionRatio() const {
+    return output_bytes == 0
+               ? 0.0
+               : static_cast<double>(input_bytes) /
+                     static_cast<double>(output_bytes);
+  }
+};
+
+/// The preconditioner + solver pipeline over a stream of doubles.
+class PrimacyCompressor {
+ public:
+  explicit PrimacyCompressor(PrimacyOptions options = {});
+
+  /// Compresses `values`; `stats` (optional) receives per-stage accounting.
+  /// The double overload requires Precision::kDouble options, the float
+  /// overload Precision::kSingle.
+  Bytes Compress(std::span<const double> values,
+                 PrimacyStats* stats = nullptr) const;
+  Bytes Compress(std::span<const float> values,
+                 PrimacyStats* stats = nullptr) const;
+
+  /// Raw-byte interface: any trailing bytes beyond a whole number of
+  /// elements are stored verbatim.
+  Bytes CompressBytes(ByteSpan data, PrimacyStats* stats = nullptr) const;
+
+  const PrimacyOptions& options() const { return options_; }
+
+ private:
+  PrimacyOptions options_;
+  std::shared_ptr<const Codec> solver_;
+};
+
+class PrimacyDecompressor {
+ public:
+  /// The solver is recovered from the options; streams do not embed it, as
+  /// in the paper's deployment where the solver is fixed per run.
+  explicit PrimacyDecompressor(PrimacyOptions options = {});
+
+  std::vector<double> Decompress(ByteSpan stream) const;
+  std::vector<float> DecompressSingle(ByteSpan stream) const;
+  Bytes DecompressBytes(ByteSpan stream) const;
+
+ private:
+  PrimacyOptions options_;
+  std::shared_ptr<const Codec> solver_;
+};
+
+/// Implements Codec so PRIMACY(solver) can drop into any harness slot that
+/// expects a plain byte codec (sizes must be multiples of 8; other sizes
+/// throw InvalidArgumentError).
+class PrimacyCodec final : public Codec {
+ public:
+  explicit PrimacyCodec(PrimacyOptions options = {});
+
+  std::string_view name() const override { return "primacy"; }
+  Bytes Compress(ByteSpan data) const override;
+  Bytes Decompress(ByteSpan data) const override;
+
+ private:
+  PrimacyCompressor compressor_;
+  PrimacyDecompressor decompressor_;
+};
+
+}  // namespace primacy

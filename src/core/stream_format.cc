@@ -1,0 +1,60 @@
+#include "core/stream_format.h"
+
+#include "compress/registry.h"
+#include "core/builtin_codecs.h"
+#include "util/error.h"
+
+namespace primacy::internal {
+namespace {
+constexpr std::uint32_t kMagic = 0x31595250;  // "PRY1"
+constexpr std::uint8_t kVersion = 1;
+}  // namespace
+
+void WriteStreamHeader(Bytes& out, const PrimacyOptions& options,
+                       std::uint64_t total_bytes, bool stored) {
+  PutU32(out, kMagic);
+  PutU8(out, kVersion);
+  std::uint8_t flags =
+      options.linearization == Linearization::kColumn ? 1 : 0;
+  if (stored) flags |= 2;
+  PutU8(out, flags);
+  PutU8(out, static_cast<std::uint8_t>(ElementWidth(options.precision)));
+  PutBlock(out, BytesFromString(options.solver));
+  PutVarint(out, total_bytes);
+}
+
+StreamHeader ReadStreamHeader(ByteReader& reader) {
+  if (reader.GetU32() != kMagic) {
+    throw CorruptStreamError("primacy: bad magic");
+  }
+  if (reader.GetU8() != kVersion) {
+    throw CorruptStreamError("primacy: unsupported version");
+  }
+  const std::uint8_t flags = reader.GetU8();
+  if (flags > 3) {
+    throw CorruptStreamError("primacy: bad header flags");
+  }
+  StreamHeader header;
+  header.linearization =
+      (flags & 1) != 0 ? Linearization::kColumn : Linearization::kRow;
+  header.stored = (flags & 2) != 0;
+  const std::uint8_t width = reader.GetU8();
+  if (width != 4 && width != 8) {
+    throw CorruptStreamError("primacy: unsupported element width");
+  }
+  header.width = width;
+  header.solver_name = StringFromBytes(reader.GetBlock());
+  RegisterBuiltinCodecs();
+  if (!CodecRegistry::Global().Contains(header.solver_name)) {
+    throw CorruptStreamError("primacy: unknown solver " + header.solver_name);
+  }
+  header.total_bytes = reader.GetVarint();
+  return header;
+}
+
+std::shared_ptr<const Codec> ResolveSolver(const std::string& name) {
+  RegisterBuiltinCodecs();
+  return std::shared_ptr<const Codec>(CreateCodec(name));
+}
+
+}  // namespace primacy::internal

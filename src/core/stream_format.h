@@ -1,0 +1,34 @@
+// PRIMACY stream header framing shared by the one-shot codec and the
+// streaming writer/reader. Internal API (namespace primacy::internal).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bitstream/byte_io.h"
+#include "compress/codec.h"
+#include "core/primacy_codec.h"
+
+namespace primacy::internal {
+
+struct StreamHeader {
+  Linearization linearization = Linearization::kColumn;
+  bool stored = false;  // whole-stream raw fallback (adversarial input)
+  std::size_t width = 8;
+  std::string solver_name;
+  std::uint64_t total_bytes = 0;
+};
+
+/// Appends the stream header: magic, version, flags (bit 0 = column
+/// linearization, bit 1 = stored fallback), element width, solver name,
+/// total byte count.
+void WriteStreamHeader(Bytes& out, const PrimacyOptions& options,
+                       std::uint64_t total_bytes, bool stored = false);
+
+/// Parses and validates a stream header (including solver availability).
+StreamHeader ReadStreamHeader(ByteReader& reader);
+
+/// Registers builtin codecs and instantiates the named solver.
+std::shared_ptr<const Codec> ResolveSolver(const std::string& name);
+
+}  // namespace primacy::internal

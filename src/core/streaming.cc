@@ -1,0 +1,198 @@
+#include "core/streaming.h"
+
+#include "compress/registry.h"
+#include "util/error.h"
+
+namespace primacy {
+
+PrimacyStreamWriter::PrimacyStreamWriter(Sink sink, PrimacyOptions options)
+    : sink_(std::move(sink)),
+      options_(std::move(options)),
+      solver_(internal::ResolveSolver(options_.solver)),
+      encoder_(options_, *solver_) {
+  if (!sink_) {
+    throw InvalidArgumentError("PrimacyStreamWriter: null sink");
+  }
+  if (options_.chunk_bytes < ElementWidth(options_.precision)) {
+    throw InvalidArgumentError("PrimacyStreamWriter: chunk_bytes too small");
+  }
+  Bytes header;
+  // Streaming mode: the total byte count is unknown up front; the header
+  // stores the sentinel and the real count follows the end-of-chunks
+  // sentinel in the trailer.
+  internal::WriteStreamHeader(header, options_, kStreamingTotal);
+  Emit(header);
+}
+
+void PrimacyStreamWriter::Emit(ByteSpan data) {
+  stats_.output_bytes += data.size();
+  sink_(data);
+}
+
+void PrimacyStreamWriter::Append(std::span<const double> values) {
+  if (options_.precision != Precision::kDouble) {
+    throw InvalidArgumentError(
+        "PrimacyStreamWriter: double input requires Precision::kDouble");
+  }
+  AppendBytes(AsBytes(values));
+}
+
+void PrimacyStreamWriter::Append(std::span<const float> values) {
+  if (options_.precision != Precision::kSingle) {
+    throw InvalidArgumentError(
+        "PrimacyStreamWriter: float input requires Precision::kSingle");
+  }
+  AppendBytes(AsBytes(values));
+}
+
+void PrimacyStreamWriter::AppendBytes(ByteSpan data) {
+  if (finished_) {
+    throw InvalidArgumentError("PrimacyStreamWriter: Append after Finish");
+  }
+  primacy::AppendBytes(pending_, data);
+  stats_.input_bytes += data.size();
+  EncodeBufferedChunks(/*flush_partial=*/false);
+}
+
+void PrimacyStreamWriter::EncodeBufferedChunks(bool flush_partial) {
+  const std::size_t width = ElementWidth(options_.precision);
+  const std::size_t chunk_bytes =
+      (options_.chunk_bytes / width) * width;  // whole elements per chunk
+  std::size_t offset = 0;
+  Bytes records;
+  while (pending_.size() - offset >= chunk_bytes) {
+    const ChunkRecordStats chunk_stats = encoder_.EncodeChunk(
+        ByteSpan(pending_).subspan(offset, chunk_bytes), records);
+    offset += chunk_bytes;
+    ++stats_.chunks;
+    stats_.indexes_emitted += chunk_stats.emitted_full_index;
+    stats_.delta_indexes += chunk_stats.emitted_delta_index;
+    stats_.index_bytes += chunk_stats.index_bytes;
+    stats_.id_compressed_bytes += chunk_stats.id_compressed_bytes;
+    stats_.mantissa_stream_bytes += chunk_stats.mantissa_stream_bytes;
+    stats_.mantissa_raw_bytes += chunk_stats.mantissa_raw_bytes;
+    freq_before_sum_ += chunk_stats.top_byte_frequency_before;
+    freq_after_sum_ += chunk_stats.top_byte_frequency_after;
+    compressible_fraction_sum_ += chunk_stats.compressible_fraction;
+  }
+  if (flush_partial) {
+    const std::size_t remaining = pending_.size() - offset;
+    const std::size_t whole = (remaining / width) * width;
+    if (whole > 0) {
+      const ChunkRecordStats chunk_stats = encoder_.EncodeChunk(
+          ByteSpan(pending_).subspan(offset, whole), records);
+      offset += whole;
+      ++stats_.chunks;
+      stats_.indexes_emitted += chunk_stats.emitted_full_index;
+      stats_.delta_indexes += chunk_stats.emitted_delta_index;
+      stats_.index_bytes += chunk_stats.index_bytes;
+      stats_.id_compressed_bytes += chunk_stats.id_compressed_bytes;
+      stats_.mantissa_stream_bytes += chunk_stats.mantissa_stream_bytes;
+      stats_.mantissa_raw_bytes += chunk_stats.mantissa_raw_bytes;
+      freq_before_sum_ += chunk_stats.top_byte_frequency_before;
+      freq_after_sum_ += chunk_stats.top_byte_frequency_after;
+      compressible_fraction_sum_ += chunk_stats.compressible_fraction;
+    }
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(offset));
+  if (!records.empty()) Emit(records);
+}
+
+PrimacyStats PrimacyStreamWriter::Finish() {
+  if (finished_) {
+    throw InvalidArgumentError("PrimacyStreamWriter: double Finish");
+  }
+  finished_ = true;
+  EncodeBufferedChunks(/*flush_partial=*/true);
+
+  Bytes trailer;
+  PutVarint(trailer, 0);  // end-of-chunks sentinel (chunk counts are >= 1)
+  PutBlock(trailer, pending_);  // partial-element tail bytes
+  PutVarint(trailer, stats_.input_bytes);
+  pending_.clear();
+  Emit(trailer);
+
+  if (stats_.chunks > 0) {
+    const auto chunks = static_cast<double>(stats_.chunks);
+    stats_.top_byte_frequency_before = freq_before_sum_ / chunks;
+    stats_.top_byte_frequency_after = freq_after_sum_ / chunks;
+    stats_.mean_compressible_fraction = compressible_fraction_sum_ / chunks;
+  }
+  return stats_;
+}
+
+PrimacyStreamReader::PrimacyStreamReader(ByteSpan stream)
+    : reader_(stream), header_(internal::ReadStreamHeader(reader_)) {
+  solver_ = CreateCodec(header_.solver_name);
+  decoder_ = std::make_unique<ChunkDecoder>(*solver_, header_.linearization,
+                                            header_.width);
+}
+
+bool PrimacyStreamReader::NextChunk(Bytes& out) {
+  if (saw_trailer_) return false;
+  if (header_.stored) {
+    const ByteSpan raw = reader_.GetBlock();
+    if (raw.size() != header_.total_bytes) {
+      throw CorruptStreamError("primacy: stored payload size mismatch");
+    }
+    AppendBytes(out, raw);
+    decoded_bytes_ += raw.size();
+    saw_trailer_ = true;
+    return false;
+  }
+  if (header_.total_bytes != kStreamingTotal) {
+    // One-shot stream: chunk records until total_bytes are produced.
+    const std::uint64_t total_elements = header_.total_bytes / header_.width;
+    if (decoded_bytes_ / header_.width >= total_elements) {
+      const ByteSpan tail = reader_.GetBlock();
+      if (decoded_bytes_ + tail.size() != header_.total_bytes) {
+        throw CorruptStreamError("primacy: tail size mismatch");
+      }
+      AppendBytes(out, tail);
+      decoded_bytes_ += tail.size();
+      saw_trailer_ = true;
+      return false;
+    }
+    const std::uint64_t count = reader_.GetVarint();
+    if (count == 0 ||
+        decoded_bytes_ / header_.width + count > total_elements) {
+      throw CorruptStreamError("primacy: bad chunk element count");
+    }
+    decoder_->DecodeChunk(reader_, count, out);
+    decoded_bytes_ += count * header_.width;
+    return true;
+  }
+  // Streaming stream: records until the 0 sentinel, then tail + total.
+  const std::uint64_t count = reader_.GetVarint();
+  if (count == 0) {
+    const ByteSpan tail = reader_.GetBlock();
+    AppendBytes(out, tail);
+    decoded_bytes_ += tail.size();
+    const std::uint64_t declared_total = reader_.GetVarint();
+    if (declared_total != decoded_bytes_) {
+      throw CorruptStreamError("primacy: trailer total mismatch");
+    }
+    saw_trailer_ = true;
+    return false;
+  }
+  decoder_->DecodeChunk(reader_, count, out);
+  decoded_bytes_ += count * header_.width;
+  return true;
+}
+
+std::vector<double> PrimacyStreamReader::ReadAllDoubles() {
+  if (header_.width != 8) {
+    throw InvalidArgumentError(
+        "PrimacyStreamReader: stream holds single-precision data");
+  }
+  Bytes out;
+  while (NextChunk(out)) {
+  }
+  if (out.size() % 8 != 0) {
+    throw CorruptStreamError("primacy: stream is not a whole double array");
+  }
+  return FromBytes<double>(out);
+}
+
+}  // namespace primacy

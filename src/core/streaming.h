@@ -1,0 +1,96 @@
+// Incremental (streaming) PRIMACY interfaces for in-situ use, where a
+// simulation produces data in bursts and the compressed checkpoint must be
+// emitted without ever materializing the whole input or output:
+//
+//  * PrimacyStreamWriter::Append accepts arbitrarily-sized batches of
+//    values; whole chunks are encoded and handed to the sink as soon as
+//    they are full. Finish() flushes the remainder and the stream trailer.
+//  * PrimacyStreamReader::NextChunk yields the decoded values one chunk at
+//    a time, bounding peak memory at one chunk regardless of stream size.
+//
+// The produced byte stream differs from PrimacyCompressor's only in how the
+// total size is recorded: a one-shot stream stores the byte count in the
+// header, while a streaming writer cannot know it up front and stores the
+// kStreamingTotal sentinel there and the real count in a trailer.
+// PrimacyStreamReader reads both; PrimacyDecompressor requires a one-shot
+// stream.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/chunk_pipeline.h"
+#include "core/primacy_codec.h"
+#include "core/stream_format.h"
+
+namespace primacy {
+
+/// Header total-byte sentinel marking a streamed (unknown-size) stream.
+inline constexpr std::uint64_t kStreamingTotal = ~std::uint64_t{0};
+
+class PrimacyStreamWriter {
+ public:
+  /// `sink` receives the stream bytes in order (header, chunk records,
+  /// trailer); it is called from Append/Finish on the caller's thread.
+  using Sink = std::function<void(ByteSpan)>;
+
+  explicit PrimacyStreamWriter(Sink sink, PrimacyOptions options = {});
+
+  /// Appends values; must match the options' precision.
+  void Append(std::span<const double> values);
+  void Append(std::span<const float> values);
+
+  /// Appends raw native-layout bytes (any size; a trailing partial element
+  /// is only allowed immediately before Finish()).
+  void AppendBytes(ByteSpan data);
+
+  /// Flushes the final partial chunk and writes the trailer. No Append may
+  /// follow. Returns the cumulative stats.
+  PrimacyStats Finish();
+
+  const PrimacyStats& stats() const { return stats_; }
+
+ private:
+  void EncodeBufferedChunks(bool flush_partial);
+  void Emit(ByteSpan data);
+
+  Sink sink_;
+  PrimacyOptions options_;
+  std::shared_ptr<const Codec> solver_;
+  ChunkEncoder encoder_;
+  Bytes pending_;        // not-yet-encoded input bytes
+  PrimacyStats stats_;
+  double freq_before_sum_ = 0.0;
+  double freq_after_sum_ = 0.0;
+  double compressible_fraction_sum_ = 0.0;
+  bool finished_ = false;
+};
+
+class PrimacyStreamReader {
+ public:
+  /// Reads from an in-memory stream view (the common in-situ case: the
+  /// staged buffer); the view must outlive the reader.
+  explicit PrimacyStreamReader(ByteSpan stream);
+
+  /// Element width of the stream (4 or 8).
+  std::size_t element_width() const { return header_.width; }
+
+  /// Decodes the next chunk into `out` (appending native-layout bytes).
+  /// Returns false when the stream is exhausted — at which point the tail
+  /// bytes (if any) have been appended too.
+  bool NextChunk(Bytes& out);
+
+  /// Convenience: drain the remaining chunks as doubles.
+  std::vector<double> ReadAllDoubles();
+
+ private:
+  ByteReader reader_;
+  internal::StreamHeader header_;
+  std::unique_ptr<const Codec> solver_;
+  std::unique_ptr<ChunkDecoder> decoder_;
+  std::uint64_t decoded_bytes_ = 0;
+  bool saw_trailer_ = false;
+};
+
+}  // namespace primacy

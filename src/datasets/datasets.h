@@ -1,0 +1,80 @@
+// Synthetic stand-ins for the paper's 20 proprietary scientific datasets.
+//
+// The originals (GTS fusion checkpoints, FLASH astrophysics, NPB `msg_*`
+// traces, numeric simulations `num_*`, satellite observations `obs_*`) are
+// not redistributable; what PRIMACY's behaviour depends on is their
+// *distributional* shape, which these generators reproduce (and the Figure
+// 1 / Figure 3 benches verify):
+//
+//  * a small, heavily skewed set of distinct high-order (sign+exponent)
+//    byte pairs — typically well under 2,000 of the 65,536 possible;
+//  * near-uniform noise in the low-order mantissa bytes (with a controllable
+//    number of structured high-mantissa bytes);
+//  * optional temporal smoothness (AR(1)) that predictive coders exploit;
+//  * optional exact-repeat structure (msg_sppm's easy-to-compress profile).
+//
+// Every generator is deterministic in (dataset seed, element count).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace primacy {
+
+enum class DatasetKind {
+  kBitPattern,  // direct construction of exponent/mantissa byte populations
+  kSmooth,      // AR(1) time series (predictive-coder friendly)
+  kRamp,        // piecewise-linear ramps: near-constant deltas that context
+                // predictors (FCM/DFCM) learn exactly but byte-level LZ
+                // cannot exploit — the profile where fpc/fpzip win
+};
+
+/// Generator profile for one synthetic dataset.
+struct DatasetSpec {
+  std::string name;
+  DatasetKind kind = DatasetKind::kBitPattern;
+  std::uint64_t seed = 0;
+
+  // kBitPattern parameters.
+  std::size_t unique_exponents = 1000;  // distinct high-order byte pairs
+  double exponent_decay = 0.99;         // frequency skew across those pairs
+  std::size_t noise_mantissa_bytes = 6; // low-order bytes that are pure noise
+  std::size_t mantissa_codebook = 32;   // distinct values for structured bytes
+
+  // kSmooth parameters.
+  double ar_coefficient = 0.99;
+  double step_sigma = 1e-3;
+
+  // kRamp parameters.
+  double slope_sigma = 1e-6;        // scale of per-segment slopes
+  double jitter_sigma = 1e-9;       // per-step deviation from the exact ramp
+  std::size_t mean_segment = 64;    // mean elements per constant-slope segment
+
+  // Shared.
+  double repeat_probability = 0.0;  // chance of exactly repeating a recent value
+  std::size_t default_elements = 1 << 19;  // 512 Ki doubles = 4 MiB
+};
+
+/// The 20 dataset profiles of Table III, in the paper's row order.
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// Lookup by Table III name (e.g. "num_plasma"); throws InvalidArgumentError
+/// if unknown.
+const DatasetSpec& FindDataset(const std::string& name);
+
+/// Generates `elements` doubles (0 = the spec's default count).
+std::vector<double> GenerateDataset(const DatasetSpec& spec,
+                                    std::size_t elements = 0);
+std::vector<double> GenerateDatasetByName(const std::string& name,
+                                          std::size_t elements = 0);
+
+/// Deterministic Fisher–Yates permutation of the element order — the paper's
+/// Section IV-G "user-controlled linearization" experiment.
+std::vector<double> PermuteElements(std::vector<double> values,
+                                    std::uint64_t seed);
+
+}  // namespace primacy

@@ -1,0 +1,42 @@
+// Deflate-class codec: LZ77 parsing + dynamic canonical Huffman coding of
+// literal/length and distance symbols, using deflate's standard extra-bit
+// tables. This is the library's zlib stand-in — the byte-level entropy-based
+// "solver" the PRIMACY preconditioner targets (paper Sections II-C/II-E).
+//
+// The container format is our own (not RFC 1950/1951 compatible):
+//   varint original_size, then blocks:
+//     u8 block_type (0 = stored, 1 = huffman)
+//     stored : varint byte_count, raw bytes
+//     huffman: varint token_count,
+//              block(serialized litlen code lengths),
+//              block(serialized distance code lengths),
+//              block(bit-packed token stream)
+#pragma once
+
+#include "compress/codec.h"
+#include "lz77/lz77.h"
+
+namespace primacy {
+
+class DeflateCodec final : public Codec {
+ public:
+  explicit DeflateCodec(LzParams params = LzParams::Default())
+      : params_(params) {}
+
+  std::string_view name() const override { return "deflate"; }
+  Bytes Compress(ByteSpan data) const override;
+  Bytes Decompress(ByteSpan data) const override;
+
+ private:
+  LzParams params_;
+};
+
+/// "deflate-fast": weaker parse, higher throughput (zlib level-1 analogue).
+class DeflateFastCodec final : public Codec {
+ public:
+  std::string_view name() const override { return "deflate-fast"; }
+  Bytes Compress(ByteSpan data) const override;
+  Bytes Decompress(ByteSpan data) const override;
+};
+
+}  // namespace primacy

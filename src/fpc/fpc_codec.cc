@@ -1,0 +1,184 @@
+#include "fpc/fpc_codec.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "bitstream/byte_io.h"
+#include "util/error.h"
+
+namespace primacy {
+namespace {
+
+/// Shared predictor state; compression and decompression run the identical
+/// update sequence so both sides stay in lockstep.
+class Predictors {
+ public:
+  explicit Predictors(unsigned table_bits)
+      : mask_((1ULL << table_bits) - 1),
+        fcm_(mask_ + 1, 0),
+        dfcm_(mask_ + 1, 0) {}
+
+  std::uint64_t PredictFcm() const { return fcm_[fcm_hash_]; }
+  std::uint64_t PredictDfcm() const { return dfcm_[dfcm_hash_] + last_; }
+
+  void Update(std::uint64_t actual) {
+    fcm_[fcm_hash_] = actual;
+    fcm_hash_ = ((fcm_hash_ << 6) ^ (actual >> 48)) & mask_;
+    const std::uint64_t delta = actual - last_;
+    dfcm_[dfcm_hash_] = delta;
+    dfcm_hash_ = ((dfcm_hash_ << 2) ^ (delta >> 40)) & mask_;
+    last_ = actual;
+  }
+
+ private:
+  std::uint64_t mask_;
+  std::vector<std::uint64_t> fcm_;
+  std::vector<std::uint64_t> dfcm_;
+  std::uint64_t fcm_hash_ = 0;
+  std::uint64_t dfcm_hash_ = 0;
+  std::uint64_t last_ = 0;
+};
+
+unsigned LeadingZeroBytes(std::uint64_t v) {
+  if (v == 0) return 8;
+  return static_cast<unsigned>(std::countl_zero(v)) / 8;
+}
+
+/// FPC's 3-bit code: lzb 4 is mapped down to 3 so {0,1,2,3,5,6,7,8} fit.
+unsigned LzbToCode(unsigned lzb) {
+  if (lzb == 4) return 3;
+  return lzb < 4 ? lzb : lzb - 1;
+}
+
+unsigned CodeToLzb(unsigned code) { return code < 4 ? code : code + 1; }
+
+std::uint64_t LoadU64(ByteSpan data, std::size_t index) {
+  std::uint64_t v;
+  std::memcpy(&v, data.data() + index * 8, 8);
+  return v;
+}
+
+}  // namespace
+
+FpcCodec::FpcCodec(unsigned table_bits) : table_bits_(table_bits) {
+  if (table_bits_ < 4 || table_bits_ > 24) {
+    throw InvalidArgumentError("FpcCodec: table_bits out of range [4,24]");
+  }
+}
+
+Bytes FpcCodec::Compress(ByteSpan data) const {
+  const std::size_t value_count = data.size() / 8;
+  const std::size_t tail = data.size() % 8;
+
+  Bytes out;
+  PutVarint(out, data.size());
+  PutU8(out, static_cast<std::uint8_t>(table_bits_));
+  PutVarint(out, value_count);
+
+  Predictors predictors(table_bits_);
+  Bytes headers((value_count + 1) / 2, std::byte{0});
+  Bytes residuals;
+  residuals.reserve(data.size() / 2);
+
+  for (std::size_t i = 0; i < value_count; ++i) {
+    const std::uint64_t actual = LoadU64(data, i);
+    const std::uint64_t xor_fcm = actual ^ predictors.PredictFcm();
+    const std::uint64_t xor_dfcm = actual ^ predictors.PredictDfcm();
+    const bool use_dfcm = LeadingZeroBytes(xor_dfcm) > LeadingZeroBytes(xor_fcm);
+    const std::uint64_t residual = use_dfcm ? xor_dfcm : xor_fcm;
+    predictors.Update(actual);
+
+    const unsigned code = LzbToCode(LeadingZeroBytes(residual));
+    const unsigned kept = 8 - CodeToLzb(code);
+    const auto header =
+        static_cast<std::uint8_t>((use_dfcm ? 8u : 0u) | code);
+    if (i % 2 == 0) {
+      headers[i / 2] = static_cast<std::byte>(header);
+    } else {
+      headers[i / 2] =
+          static_cast<std::byte>(static_cast<std::uint8_t>(headers[i / 2]) |
+                                 (header << 4));
+    }
+    // Significant bytes, least significant first.
+    for (unsigned b = 0; b < kept; ++b) {
+      residuals.push_back(static_cast<std::byte>((residual >> (8 * b)) & 0xff));
+    }
+  }
+
+  AppendBytes(out, headers);
+  AppendBytes(out, residuals);
+  AppendBytes(out, data.subspan(value_count * 8, tail));
+
+  if (out.size() > data.size() + 16) {
+    // Stored fallback shares the container: value_count 0 means the body is
+    // the raw input.
+    Bytes stored;
+    PutVarint(stored, data.size());
+    PutU8(stored, static_cast<std::uint8_t>(table_bits_));
+    PutVarint(stored, 0);
+    AppendBytes(stored, data);
+    return stored;
+  }
+  return out;
+}
+
+Bytes FpcCodec::Decompress(ByteSpan data) const {
+  ByteReader reader(data);
+  const std::uint64_t original_size = reader.GetVarint();
+  const std::uint8_t table_bits = reader.GetU8();
+  if (table_bits < 4 || table_bits > 24) {
+    throw CorruptStreamError("fpc: bad table_bits");
+  }
+  const std::uint64_t value_count = reader.GetVarint();
+  const std::uint64_t expected_values = original_size / 8;
+
+  if (value_count == 0 && expected_values != 0) {
+    // Stored fallback.
+    const ByteSpan raw = reader.GetRaw(original_size);
+    return ToBytes(raw);
+  }
+  if (value_count != expected_values) {
+    throw CorruptStreamError("fpc: value count mismatch");
+  }
+
+  const ByteSpan headers = reader.GetRaw((value_count + 1) / 2);
+  Bytes out;
+  out.reserve(std::min<std::uint64_t>(original_size, 1u << 26));
+  Predictors predictors(table_bits);
+
+  for (std::uint64_t i = 0; i < value_count; ++i) {
+    const auto packed = static_cast<std::uint8_t>(headers[i / 2]);
+    const std::uint8_t header =
+        (i % 2 == 0) ? (packed & 0x0f) : (packed >> 4);
+    const bool use_dfcm = (header & 8u) != 0;
+    const unsigned kept = 8 - CodeToLzb(header & 7u);
+
+    std::uint64_t residual = 0;
+    const ByteSpan bytes = reader.GetRaw(kept);
+    for (unsigned b = 0; b < kept; ++b) {
+      residual |= static_cast<std::uint64_t>(bytes[b]) << (8 * b);
+    }
+    const std::uint64_t prediction =
+        use_dfcm ? predictors.PredictDfcm() : predictors.PredictFcm();
+    const std::uint64_t actual = prediction ^ residual;
+    predictors.Update(actual);
+    for (unsigned b = 0; b < 8; ++b) {
+      out.push_back(static_cast<std::byte>((actual >> (8 * b)) & 0xff));
+    }
+  }
+
+  const std::uint64_t tail = original_size % 8;
+  const ByteSpan tail_bytes = reader.GetRaw(tail);
+  AppendBytes(out, tail_bytes);
+  if (!reader.AtEnd()) {
+    throw CorruptStreamError("fpc: trailing bytes");
+  }
+  if (out.size() != original_size) {
+    throw CorruptStreamError("fpc: size mismatch");
+  }
+  return out;
+}
+
+}  // namespace primacy

@@ -1,0 +1,36 @@
+// FPC (Burtscher & Ratanaworabhan, IEEE TC 2009): high-speed predictive
+// compressor for IEEE-754 double streams. Two hash-table value predictors —
+// FCM (finite context) and DFCM (differential finite context) — each guess
+// the next 64-bit value; the better guess is XORed with the actual value and
+// the leading zero bytes are elided. Per value: a 4-bit header (1 bit
+// predictor choice, 3 bits leading-zero-byte code with 4 mapped to 3) plus
+// the surviving residual bytes.
+//
+// The paper compares PRIMACY against fpc in Section V; this is the faithful
+// from-scratch comparator (DESIGN.md substitution table).
+//
+// Container format:
+//   varint original_size, u8 table_bits,
+//   varint value_count, packed headers (2 per byte), residual bytes,
+//   raw tail bytes (original_size % 8 trailing bytes stored verbatim).
+#pragma once
+
+#include "compress/codec.h"
+
+namespace primacy {
+
+class FpcCodec final : public Codec {
+ public:
+  /// `table_bits` sizes both predictor tables (2^table_bits entries each);
+  /// the published defaults are in the 16–20 range.
+  explicit FpcCodec(unsigned table_bits = 16);
+
+  std::string_view name() const override { return "fpc"; }
+  Bytes Compress(ByteSpan data) const override;
+  Bytes Decompress(ByteSpan data) const override;
+
+ private:
+  unsigned table_bits_;
+};
+
+}  // namespace primacy

@@ -1,0 +1,254 @@
+#include "fpzip_like/fpz_codec.h"
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "bitstream/bit_io.h"
+#include "bitstream/byte_io.h"
+#include "huffman/huffman.h"
+#include "util/error.h"
+
+namespace primacy {
+namespace {
+
+/// Order-preserving bijection from IEEE-754 bit patterns to unsigned
+/// integers: negative doubles (sign bit set) are complemented, positive ones
+/// get the sign bit flipped. Monotone in the numeric value, so smooth fields
+/// map to smooth integer sequences.
+std::uint64_t MapOrdered(std::uint64_t bits) {
+  return (bits & 0x8000000000000000ULL) ? ~bits
+                                        : (bits ^ 0x8000000000000000ULL);
+}
+
+std::uint64_t UnmapOrdered(std::uint64_t mapped) {
+  return (mapped & 0x8000000000000000ULL) ? (mapped ^ 0x8000000000000000ULL)
+                                          : ~mapped;
+}
+
+std::uint64_t ZigZag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t UnZigZag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+unsigned SignificantBytes(std::uint64_t v) {
+  if (v == 0) return 0;
+  return 8 - static_cast<unsigned>(std::countl_zero(v)) / 8;
+}
+
+/// Entropy stage standing in for fpzip's range coder: a canonical Huffman
+/// pass over a byte stream (empty input yields an empty block).
+Bytes EntropyEncode(ByteSpan data) {
+  Bytes out;
+  PutVarint(out, data.size());
+  if (data.empty()) return out;
+  std::vector<std::uint64_t> freq(256, 0);
+  for (const std::byte b : data) ++freq[static_cast<std::size_t>(b)];
+  const auto lengths = BuildCodeLengths(freq);
+  const HuffmanEncoder encoder(lengths);
+  BitWriter writer;
+  for (const std::byte b : data) {
+    encoder.Encode(writer, static_cast<std::size_t>(b));
+  }
+  PutBlock(out, SerializeCodeLengths(lengths));
+  PutBlock(out, writer.Finish());
+  return out;
+}
+
+Bytes EntropyDecode(ByteReader& reader) {
+  const std::uint64_t size = reader.GetVarint();
+  if (size == 0) return {};
+  const auto lengths = DeserializeCodeLengths(reader.GetBlock(), 256);
+  const HuffmanDecoder decoder(lengths);
+  const ByteSpan payload = reader.GetBlock();
+  if (size > 8 * payload.size()) {
+    throw CorruptStreamError("fpz: symbol count exceeds payload bits");
+  }
+  BitReader bits(payload);
+  Bytes out;
+  out.reserve(size);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    out.push_back(static_cast<std::byte>(decoder.Decode(bits)));
+  }
+  return out;
+}
+
+/// Lorenzo predictor over the already-decoded prefix of an (nx, ny, nz)
+/// grid, in unsigned wraparound arithmetic (the decoder mirrors it exactly).
+class LorenzoPredictor {
+ public:
+  LorenzoPredictor(std::size_t nx, std::size_t ny, unsigned dims)
+      : nx_(nx), ny_(ny), dims_(dims) {}
+
+  std::uint64_t Predict(const std::vector<std::uint64_t>& values,
+                        std::size_t index) const {
+    const std::size_t x = index % nx_;
+    const std::size_t y = (index / nx_) % ny_;
+
+    const auto at = [&](std::size_t dx, std::size_t dy,
+                        std::size_t dz) -> std::uint64_t {
+      // Offsets are 0/1 steps backwards; caller guarantees in-bounds.
+      return values[index - dx - dy * nx_ - dz * nx_ * ny_];
+    };
+
+    if (dims_ == 1 || (y == 0 && index / (nx_ * ny_) == 0)) {
+      // 1-D Lorenzo: previous sample along x (0 at the very start / row
+      // starts fall through below).
+      if (x == 0) {
+        if (dims_ >= 2 && index >= nx_) return at(0, 1, 0);  // north
+        return 0;
+      }
+      return at(1, 0, 0);
+    }
+    const std::size_t z = index / (nx_ * ny_);
+    if (dims_ == 2 || z == 0) {
+      if (x == 0) return at(0, 1, 0);
+      if (y == 0) return at(1, 0, 0);
+      // pred = W + N - NW
+      return at(1, 0, 0) + at(0, 1, 0) - at(1, 1, 0);
+    }
+    // 3-D interior (fall back to faces on borders).
+    if (x == 0 && y == 0) return at(0, 0, 1);
+    if (x == 0) return at(0, 1, 0) + at(0, 0, 1) - at(0, 1, 1);
+    if (y == 0) return at(1, 0, 0) + at(0, 0, 1) - at(1, 0, 1);
+    return at(1, 0, 0) + at(0, 1, 0) + at(0, 0, 1) - at(1, 1, 0) -
+           at(1, 0, 1) - at(0, 1, 1) + at(1, 1, 1);
+  }
+
+ private:
+  std::size_t nx_;
+  std::size_t ny_;
+  unsigned dims_;
+};
+
+}  // namespace
+
+Bytes FpzCodec::Compress(ByteSpan data) const {
+  const std::size_t value_count = data.size() / 8;
+  const std::size_t tail = data.size() % 8;
+
+  // Resolve grid extents against the actual stream length.
+  std::size_t nx = extents_[0] == 0 ? std::max<std::size_t>(value_count, 1)
+                                    : extents_[0];
+  std::size_t ny = extents_[1] == 0
+                       ? std::max<std::size_t>((value_count + nx - 1) / nx, 1)
+                       : extents_[1];
+
+  Bytes out;
+  PutVarint(out, data.size());
+  PutU8(out, static_cast<std::uint8_t>(dims_));
+  PutVarint(out, nx);
+  PutVarint(out, ny);
+  PutVarint(out, value_count);
+
+  std::vector<std::uint64_t> values(value_count);
+  for (std::size_t i = 0; i < value_count; ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, data.data() + i * 8, 8);
+    values[i] = MapOrdered(bits);
+  }
+
+  const LorenzoPredictor predictor(nx, ny, dims_);
+  Bytes headers((value_count + 1) / 2, std::byte{0});
+  Bytes residuals;
+  residuals.reserve(data.size() / 2);
+  for (std::size_t i = 0; i < value_count; ++i) {
+    const std::uint64_t prediction = predictor.Predict(values, i);
+    const auto residual = ZigZag(
+        static_cast<std::int64_t>(values[i] - prediction));
+    const unsigned kept = SignificantBytes(residual);
+    if (i % 2 == 0) {
+      headers[i / 2] = static_cast<std::byte>(kept);
+    } else {
+      headers[i / 2] = static_cast<std::byte>(
+          static_cast<std::uint8_t>(headers[i / 2]) | (kept << 4));
+    }
+    for (unsigned b = 0; b < kept; ++b) {
+      residuals.push_back(
+          static_cast<std::byte>((residual >> (8 * b)) & 0xff));
+    }
+  }
+
+  PutBlock(out, EntropyEncode(headers));
+  PutBlock(out, EntropyEncode(residuals));
+  AppendBytes(out, data.subspan(value_count * 8, tail));
+
+  if (out.size() > data.size() + 16) {
+    Bytes stored;
+    PutVarint(stored, data.size());
+    PutU8(stored, 0);  // dims 0 marks the stored fallback
+    AppendBytes(stored, data);
+    return stored;
+  }
+  return out;
+}
+
+Bytes FpzCodec::Decompress(ByteSpan data) const {
+  ByteReader reader(data);
+  const std::uint64_t original_size = reader.GetVarint();
+  const std::uint8_t dims = reader.GetU8();
+  if (dims == 0) {
+    const ByteSpan raw = reader.GetRaw(original_size);
+    return ToBytes(raw);
+  }
+  if (dims > 3) throw CorruptStreamError("fpz: bad dimensionality");
+  const std::uint64_t nx = reader.GetVarint();
+  const std::uint64_t ny = reader.GetVarint();
+  if (nx == 0 || ny == 0) throw CorruptStreamError("fpz: zero extent");
+  const std::uint64_t value_count = reader.GetVarint();
+  if (value_count != original_size / 8) {
+    throw CorruptStreamError("fpz: value count mismatch");
+  }
+
+  ByteReader headers_reader(reader.GetBlock());
+  const Bytes headers = EntropyDecode(headers_reader);
+  if (headers.size() != (value_count + 1) / 2) {
+    throw CorruptStreamError("fpz: header stream size mismatch");
+  }
+  ByteReader residuals_reader(reader.GetBlock());
+  const Bytes residuals = EntropyDecode(residuals_reader);
+  std::size_t residual_pos = 0;
+  std::vector<std::uint64_t> values(value_count);
+  const LorenzoPredictor predictor(nx, ny, dims);
+  for (std::uint64_t i = 0; i < value_count; ++i) {
+    const auto packed = static_cast<std::uint8_t>(headers[i / 2]);
+    const unsigned kept = (i % 2 == 0) ? (packed & 0x0f) : (packed >> 4);
+    if (kept > 8) throw CorruptStreamError("fpz: bad residual length");
+    if (residual_pos + kept > residuals.size()) {
+      throw CorruptStreamError("fpz: residual stream exhausted");
+    }
+    std::uint64_t residual = 0;
+    for (unsigned b = 0; b < kept; ++b) {
+      residual |= static_cast<std::uint64_t>(residuals[residual_pos + b])
+                  << (8 * b);
+    }
+    residual_pos += kept;
+    const std::uint64_t prediction = predictor.Predict(values, i);
+    values[i] = prediction + static_cast<std::uint64_t>(UnZigZag(residual));
+  }
+  if (residual_pos != residuals.size()) {
+    throw CorruptStreamError("fpz: residual stream not fully consumed");
+  }
+
+  Bytes out;
+  out.reserve(original_size);
+  for (const std::uint64_t mapped : values) {
+    const std::uint64_t bits = UnmapOrdered(mapped);
+    for (unsigned b = 0; b < 8; ++b) {
+      out.push_back(static_cast<std::byte>((bits >> (8 * b)) & 0xff));
+    }
+  }
+  const ByteSpan tail_bytes = reader.GetRaw(original_size % 8);
+  AppendBytes(out, tail_bytes);
+  if (!reader.AtEnd()) throw CorruptStreamError("fpz: trailing bytes");
+  if (out.size() != original_size) {
+    throw CorruptStreamError("fpz: size mismatch");
+  }
+  return out;
+}
+
+}  // namespace primacy

@@ -1,0 +1,50 @@
+// Fpz: the library's fpzip-class comparator (Lindstrom & Isenburg, TVCG
+// 2006). Doubles are mapped to order-preserving 64-bit integers, predicted
+// with an n-dimensional Lorenzo predictor (1-D: previous value; 2-D/3-D:
+// inclusion–exclusion over the already-seen corner of the unit cube), and
+// the zigzag-coded residuals are stored with leading-zero-byte elision.
+//
+// Like the original, prediction quality — and therefore compression — hinges
+// on dimensional correlation, which is exactly the weakness the paper's
+// Section V probes with reorganized (permuted) data.
+//
+// Container format:
+//   varint original_size, u8 dims (1..3), varint nx [, ny [, nz]],
+//   varint value_count, packed 4-bit headers, residual bytes, raw tail.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "compress/codec.h"
+
+namespace primacy {
+
+class FpzCodec final : public Codec {
+ public:
+  /// 1-D stream codec (grid inferred as a flat array).
+  FpzCodec() : FpzCodec(std::array<std::size_t, 3>{0, 1, 1}, 1) {}
+
+  /// Grid-aware variants: extents of the fastest-varying dimensions. nx == 0
+  /// means "use the whole stream length".
+  static FpzCodec Grid1D() { return FpzCodec(); }
+  static FpzCodec Grid2D(std::size_t nx) {
+    return FpzCodec({nx, 0, 1}, 2);
+  }
+  static FpzCodec Grid3D(std::size_t nx, std::size_t ny) {
+    return FpzCodec({nx, ny, 0}, 3);
+  }
+
+  std::string_view name() const override { return "fpz"; }
+  Bytes Compress(ByteSpan data) const override;
+  Bytes Decompress(ByteSpan data) const override;
+
+ private:
+  FpzCodec(std::array<std::size_t, 3> extents, unsigned dims)
+      : extents_(extents), dims_(dims) {}
+
+  std::array<std::size_t, 3> extents_;
+  unsigned dims_;
+};
+
+}  // namespace primacy

@@ -1,0 +1,110 @@
+#include "hpcsim/checkpoint_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+#include "util/error.h"
+
+namespace primacy::hpcsim {
+namespace {
+
+void ValidateTimes(double checkpoint_seconds, double mtbf_seconds) {
+  if (checkpoint_seconds <= 0.0 || mtbf_seconds <= 0.0) {
+    throw InvalidArgumentError(
+        "checkpoint_planner: times must be positive");
+  }
+}
+
+}  // namespace
+
+double YoungInterval(double checkpoint_seconds, double mtbf_seconds) {
+  ValidateTimes(checkpoint_seconds, mtbf_seconds);
+  return std::sqrt(2.0 * checkpoint_seconds * mtbf_seconds);
+}
+
+double DalyInterval(double checkpoint_seconds, double mtbf_seconds) {
+  ValidateTimes(checkpoint_seconds, mtbf_seconds);
+  const double delta = checkpoint_seconds;
+  const double m = mtbf_seconds;
+  if (delta >= 2.0 * m) return m;  // Daly's boundary case
+  // Daly (2006): t_opt = sqrt(2 delta M) * [1 + sqrt(delta/(2M))/3 +
+  //                                          (delta/(2M))/9] - delta
+  const double ratio = std::sqrt(delta / (2.0 * m));
+  const double interval =
+      std::sqrt(2.0 * delta * m) *
+          (1.0 + ratio / 3.0 + ratio * ratio / 9.0) -
+      delta;
+  return std::max(interval, delta);
+}
+
+double MachineEfficiency(double interval_seconds, double checkpoint_seconds,
+                         double mtbf_seconds, double restart_seconds) {
+  ValidateTimes(checkpoint_seconds, mtbf_seconds);
+  if (interval_seconds <= 0.0 || restart_seconds < 0.0) {
+    throw InvalidArgumentError("checkpoint_planner: bad interval or restart");
+  }
+  const double useful_share =
+      interval_seconds / (interval_seconds + checkpoint_seconds);
+  const double failure_loss =
+      (interval_seconds / 2.0 + restart_seconds) / mtbf_seconds;
+  return std::max(0.0, useful_share * (1.0 - failure_loss));
+}
+
+CheckpointPlan PlanCheckpoints(const ClusterConfig& config,
+                               const CompressionProfile& profile,
+                               double mtbf_seconds) {
+  CheckpointPlan plan;
+  plan.checkpoint_seconds = SimulateWrite(config, profile).total_seconds;
+  plan.restart_seconds = SimulateRead(config, profile).total_seconds;
+  plan.young_interval = YoungInterval(plan.checkpoint_seconds, mtbf_seconds);
+  plan.daly_interval = DalyInterval(plan.checkpoint_seconds, mtbf_seconds);
+  plan.efficiency_at_daly =
+      MachineEfficiency(plan.daly_interval, plan.checkpoint_seconds,
+                        mtbf_seconds, plan.restart_seconds);
+  return plan;
+}
+
+WorkloadResult SimulateFailingWorkload(double work_seconds,
+                                       double interval_seconds,
+                                       double checkpoint_seconds,
+                                       double restart_seconds,
+                                       double mtbf_seconds,
+                                       std::uint64_t seed) {
+  ValidateTimes(checkpoint_seconds, mtbf_seconds);
+  if (work_seconds <= 0.0 || interval_seconds <= 0.0 || restart_seconds < 0.0) {
+    throw InvalidArgumentError("SimulateFailingWorkload: bad arguments");
+  }
+  Rng rng(seed);
+  const auto next_failure_gap = [&rng, mtbf_seconds] {
+    // Exponential inter-failure times (Poisson process).
+    return -mtbf_seconds * std::log(1.0 - rng.NextDouble());
+  };
+
+  WorkloadResult result;
+  double clock = 0.0;
+  double committed_work = 0.0;   // work saved by the last checkpoint
+  double failure_at = next_failure_gap();
+
+  while (committed_work < work_seconds) {
+    const double segment =
+        std::min(interval_seconds, work_seconds - committed_work);
+    const double segment_end = clock + segment + checkpoint_seconds;
+    if (failure_at < segment_end) {
+      // Lost the in-flight segment: roll back, pay the restart.
+      ++result.failures;
+      clock = failure_at + restart_seconds;
+      failure_at = clock + next_failure_gap();
+      continue;
+    }
+    clock = segment_end;
+    committed_work += segment;
+    ++result.checkpoints_written;
+  }
+  result.wall_seconds = clock;
+  result.efficiency = work_seconds / clock;
+  return result;
+}
+
+}  // namespace primacy::hpcsim

@@ -1,0 +1,71 @@
+// Checkpoint-interval planning on top of the staging simulator.
+//
+// The paper motivates in-situ compression with "the increase in frequency of
+// checkpoint writes due to higher potential of node failure at scale"
+// (Section I). This extension quantifies that: given a cluster, a failure
+// rate, and a compression profile, it computes the checkpoint cost from the
+// staging simulator, the optimal checkpoint interval (Young's first-order
+// rule and Daly's higher-order refinement), and the resulting machine
+// efficiency — so the benefit of faster checkpoints shows up in the metric
+// operators actually care about.
+#pragma once
+
+#include <cstdint>
+
+#include "hpcsim/staging.h"
+
+namespace primacy::hpcsim {
+
+/// Young's 1974 first-order optimum: interval = sqrt(2 * delta * mtbf),
+/// where delta is the checkpoint write time.
+double YoungInterval(double checkpoint_seconds, double mtbf_seconds);
+
+/// Daly's 2006 higher-order optimum; falls back to mtbf when the checkpoint
+/// cost exceeds half the MTBF (Daly's own boundary case).
+double DalyInterval(double checkpoint_seconds, double mtbf_seconds);
+
+/// Expected fraction of wall-clock time spent on useful computation when
+/// checkpointing every `interval_seconds`:
+///   lost = checkpoint time + expected rework + restart on failure.
+/// First-order model (failures Poisson with the given MTBF):
+///   efficiency = (interval / (interval + delta)) *
+///                (1 - (interval/2 + restart) / mtbf)
+double MachineEfficiency(double interval_seconds, double checkpoint_seconds,
+                         double mtbf_seconds, double restart_seconds);
+
+struct CheckpointPlan {
+  double checkpoint_seconds = 0.0;  // one checkpoint write (from simulator)
+  double restart_seconds = 0.0;     // one restart read (from simulator)
+  double young_interval = 0.0;
+  double daly_interval = 0.0;
+  double efficiency_at_daly = 0.0;
+};
+
+/// Runs one simulated checkpoint write and restart read under `profile` and
+/// derives the plan. `mtbf_seconds` is the whole-system mean time between
+/// failures.
+CheckpointPlan PlanCheckpoints(const ClusterConfig& config,
+                               const CompressionProfile& profile,
+                               double mtbf_seconds);
+
+/// Failure-injected workload simulation: runs a job of `work_seconds` useful
+/// compute, checkpointing every `interval_seconds` (each checkpoint costs
+/// `checkpoint_seconds`), under exponentially distributed failures with the
+/// given MTBF (deterministic via `seed`). A failure rolls the job back to
+/// the last completed checkpoint and charges `restart_seconds`. Returns the
+/// achieved efficiency = work_seconds / total wall-clock — the Monte-Carlo
+/// ground truth the analytic MachineEfficiency approximates.
+struct WorkloadResult {
+  double wall_seconds = 0.0;
+  double efficiency = 0.0;
+  std::size_t checkpoints_written = 0;
+  std::size_t failures = 0;
+};
+WorkloadResult SimulateFailingWorkload(double work_seconds,
+                                       double interval_seconds,
+                                       double checkpoint_seconds,
+                                       double restart_seconds,
+                                       double mtbf_seconds,
+                                       std::uint64_t seed);
+
+}  // namespace primacy::hpcsim

@@ -1,0 +1,29 @@
+#include "hpcsim/event_queue.h"
+
+#include "util/error.h"
+
+namespace primacy::hpcsim {
+
+void EventQueue::Schedule(SimTime when, Callback fn) {
+  if (when < now_) {
+    throw InvalidArgumentError("EventQueue: scheduling into the past");
+  }
+  events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::Run() {
+  SimTime last = 0.0;
+  while (!events_.empty()) {
+    // priority_queue::top returns const&; move the callback out via const
+    // cast is UB — copy instead (callbacks are small).
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.when;
+    last = event.when;
+    ++processed_;
+    event.fn();
+  }
+  return last;
+}
+
+}  // namespace primacy::hpcsim

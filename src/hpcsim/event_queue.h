@@ -1,0 +1,52 @@
+// Minimal discrete-event simulation kernel: a virtual clock and a stable
+// priority queue of timestamped callbacks. The staging scenarios (staging.h)
+// are built on top of it; the kernel itself is scenario-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace primacy::hpcsim {
+
+using SimTime = double;  // seconds of virtual time
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute virtual time `when` (must not be in the
+  /// past once Run() has started draining). Events with equal timestamps
+  /// fire in scheduling order.
+  void Schedule(SimTime when, Callback fn);
+
+  /// Drains the queue; returns the timestamp of the last event (0 when the
+  /// queue was empty).
+  SimTime Run();
+
+  /// Current virtual time (valid inside callbacks).
+  SimTime Now() const { return now_; }
+
+  bool Empty() const { return events_.empty(); }
+  std::size_t ProcessedEvents() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace primacy::hpcsim

@@ -1,0 +1,33 @@
+#include "hpcsim/resources.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace primacy::hpcsim {
+
+FifoServer::FifoServer(std::string label, double bytes_per_second)
+    : label_(std::move(label)), rate_(bytes_per_second) {
+  if (rate_ <= 0.0) {
+    throw InvalidArgumentError("FifoServer: rate must be positive");
+  }
+}
+
+SimTime FifoServer::Submit(SimTime arrival, double bytes) {
+  if (arrival < 0.0 || bytes < 0.0) {
+    throw InvalidArgumentError("FifoServer: negative arrival or size");
+  }
+  const SimTime start = std::max(arrival, busy_until_);
+  const double service = bytes / rate_;
+  busy_until_ = start + service;
+  busy_seconds_ += service;
+  bytes_served_ += bytes;
+  return busy_until_;
+}
+
+double FifoServer::Utilization(SimTime horizon) const {
+  if (horizon <= 0.0) return 0.0;
+  return std::min(1.0, busy_seconds_ / horizon);
+}
+
+}  // namespace primacy::hpcsim

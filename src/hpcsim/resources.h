@@ -1,0 +1,42 @@
+// Shared-resource models for the staging simulator: a FIFO byte server
+// (network link, disk) with a fixed service rate, plus utilization
+// accounting. Service is deterministic — bytes / rate — which matches the
+// paper's model assumptions (consistent staging throughputs, Section III-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hpcsim/event_queue.h"
+
+namespace primacy::hpcsim {
+
+/// A single-channel resource serving byte-sized jobs in arrival order.
+class FifoServer {
+ public:
+  FifoServer(std::string label, double bytes_per_second);
+
+  /// Enqueues a job arriving at `arrival`; returns its completion time.
+  /// Jobs submitted in nondecreasing arrival order are served FIFO; an
+  /// earlier arrival submitted late still queues behind already-accepted
+  /// work (single-channel semantics).
+  SimTime Submit(SimTime arrival, double bytes);
+
+  double rate() const { return rate_; }
+  const std::string& label() const { return label_; }
+  double busy_seconds() const { return busy_seconds_; }
+  double bytes_served() const { return bytes_served_; }
+  SimTime busy_until() const { return busy_until_; }
+
+  /// Fraction of [0, horizon] this server spent serving.
+  double Utilization(SimTime horizon) const;
+
+ private:
+  std::string label_;
+  double rate_;
+  SimTime busy_until_ = 0.0;
+  double busy_seconds_ = 0.0;
+  double bytes_served_ = 0.0;
+};
+
+}  // namespace primacy::hpcsim

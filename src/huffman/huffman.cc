@@ -1,0 +1,232 @@
+#include "huffman/huffman.h"
+
+#include <algorithm>
+#include <array>
+#include <iterator>
+#include <utility>
+
+#include "bitstream/byte_io.h"
+#include "util/error.h"
+
+namespace primacy {
+namespace {
+
+std::uint16_t ReverseBits(std::uint16_t value, unsigned width) {
+  std::uint16_t out = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    out = static_cast<std::uint16_t>((out << 1) | ((value >> i) & 1));
+  }
+  return out;
+}
+
+/// A package in the package-merge algorithm: its total weight plus the leaf
+/// symbols it covers. Alphabets in this library are small (<= ~320 symbols:
+/// byte values, deflate literal/length symbols, MTF ranks), so carrying the
+/// leaf lists explicitly is cheap and keeps the algorithm obviously correct.
+struct Package {
+  std::uint64_t weight = 0;
+  std::vector<std::uint32_t> leaves;
+};
+
+bool WeightLess(const Package& a, const Package& b) {
+  return a.weight < b.weight;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> BuildCodeLengths(
+    std::span<const std::uint64_t> frequencies, unsigned max_length) {
+  if (max_length == 0 || max_length > kMaxHuffmanCodeLength) {
+    throw InvalidArgumentError("BuildCodeLengths: bad max_length");
+  }
+  std::vector<std::uint8_t> lengths(frequencies.size(), 0);
+
+  std::vector<std::uint32_t> active;
+  for (std::uint32_t i = 0; i < frequencies.size(); ++i) {
+    if (frequencies[i] != 0) active.push_back(i);
+  }
+  if (active.empty()) return lengths;
+  if (active.size() == 1) {
+    lengths[active[0]] = 1;
+    return lengths;
+  }
+  if (active.size() > (1ULL << max_length)) {
+    throw InvalidArgumentError(
+        "BuildCodeLengths: alphabet too large for max_length");
+  }
+
+  // Package-merge: L rounds of pairing followed by merging with the original
+  // leaf list; the first 2n-2 packages of the final list determine lengths.
+  std::vector<Package> leaf_list;
+  leaf_list.reserve(active.size());
+  for (const std::uint32_t symbol : active) {
+    leaf_list.push_back(Package{frequencies[symbol], {symbol}});
+  }
+  std::stable_sort(leaf_list.begin(), leaf_list.end(), WeightLess);
+
+  std::vector<Package> current = leaf_list;
+  for (unsigned level = 1; level < max_length; ++level) {
+    std::vector<Package> packaged;
+    packaged.reserve(current.size() / 2);
+    for (std::size_t i = 0; i + 1 < current.size(); i += 2) {
+      Package merged;
+      merged.weight = current[i].weight + current[i + 1].weight;
+      merged.leaves = current[i].leaves;
+      merged.leaves.insert(merged.leaves.end(), current[i + 1].leaves.begin(),
+                           current[i + 1].leaves.end());
+      packaged.push_back(std::move(merged));
+    }
+    std::vector<Package> next;
+    next.reserve(leaf_list.size() + packaged.size());
+    std::merge(leaf_list.begin(), leaf_list.end(),
+               std::make_move_iterator(packaged.begin()),
+               std::make_move_iterator(packaged.end()),
+               std::back_inserter(next), WeightLess);
+    current = std::move(next);
+  }
+
+  const std::size_t take = 2 * active.size() - 2;
+  PRIMACY_CHECK(current.size() >= take);
+  for (std::size_t i = 0; i < take; ++i) {
+    for (const std::uint32_t symbol : current[i].leaves) ++lengths[symbol];
+  }
+
+  // Sanity: Kraft sum must be exactly 1 for an optimal complete code.
+  std::uint64_t kraft = 0;
+  for (const std::uint8_t len : lengths) {
+    if (len != 0) kraft += 1ULL << (max_length - len);
+  }
+  PRIMACY_CHECK(kraft == (1ULL << max_length));
+  return lengths;
+}
+
+HuffmanEncoder::HuffmanEncoder(std::span<const std::uint8_t> lengths)
+    : lengths_(lengths.begin(), lengths.end()) {
+  codes_.assign(lengths_.size(), 0);
+
+  // Canonical assignment: count codes per length, derive the first code of
+  // each length, then hand out codes in symbol order.
+  std::array<std::uint32_t, kMaxHuffmanCodeLength + 1> count{};
+  for (const std::uint8_t len : lengths_) {
+    if (len > kMaxHuffmanCodeLength) {
+      throw InvalidArgumentError("HuffmanEncoder: length > max");
+    }
+    ++count[len];
+  }
+  count[0] = 0;
+  std::array<std::uint32_t, kMaxHuffmanCodeLength + 2> next_code{};
+  std::uint32_t code = 0;
+  for (unsigned len = 1; len <= kMaxHuffmanCodeLength; ++len) {
+    code = (code + count[len - 1]) << 1;
+    next_code[len] = code;
+  }
+  for (std::size_t symbol = 0; symbol < lengths_.size(); ++symbol) {
+    const unsigned len = lengths_[symbol];
+    if (len == 0) continue;
+    const std::uint32_t canonical = next_code[len]++;
+    if (canonical >= (1ULL << len)) {
+      throw InvalidArgumentError("HuffmanEncoder: oversubscribed lengths");
+    }
+    codes_[symbol] =
+        ReverseBits(static_cast<std::uint16_t>(canonical), len);
+  }
+}
+
+void HuffmanEncoder::Encode(BitWriter& writer, std::size_t symbol) const {
+  PRIMACY_CHECK(symbol < lengths_.size() && lengths_[symbol] != 0);
+  writer.WriteBits(codes_[symbol], lengths_[symbol]);
+}
+
+HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
+  for (const std::uint8_t len : lengths) {
+    if (len > kMaxHuffmanCodeLength) {
+      throw InvalidArgumentError("HuffmanDecoder: length > max");
+    }
+    max_length_ = std::max<unsigned>(max_length_, len);
+  }
+  if (max_length_ == 0) {
+    throw InvalidArgumentError("HuffmanDecoder: empty code");
+  }
+  table_.assign(1ULL << max_length_, Entry{});
+
+  // Recompute canonical codes exactly as the encoder does, then stamp every
+  // window whose low `len` bits equal the (bit-reversed) code.
+  std::array<std::uint32_t, kMaxHuffmanCodeLength + 1> count{};
+  for (const std::uint8_t len : lengths) ++count[len];
+  count[0] = 0;
+  std::array<std::uint32_t, kMaxHuffmanCodeLength + 2> next_code{};
+  std::uint32_t code = 0;
+  for (unsigned len = 1; len <= kMaxHuffmanCodeLength; ++len) {
+    code = (code + count[len - 1]) << 1;
+    next_code[len] = code;
+  }
+  for (std::size_t symbol = 0; symbol < lengths.size(); ++symbol) {
+    const unsigned len = lengths[symbol];
+    if (len == 0) continue;
+    const std::uint32_t canonical = next_code[len]++;
+    if (canonical >= (1ULL << len)) {
+      throw InvalidArgumentError("HuffmanDecoder: oversubscribed lengths");
+    }
+    const std::uint16_t reversed =
+        ReverseBits(static_cast<std::uint16_t>(canonical), len);
+    const std::size_t stride = 1ULL << len;
+    for (std::size_t window = reversed; window < table_.size();
+         window += stride) {
+      table_[window] =
+          Entry{static_cast<std::uint16_t>(symbol), static_cast<std::uint8_t>(len)};
+    }
+  }
+}
+
+std::size_t HuffmanDecoder::Decode(BitReader& reader) const {
+  const std::uint64_t window = reader.PeekBits(max_length_);
+  const Entry entry = table_[window];
+  if (entry.length == 0) {
+    throw CorruptStreamError("HuffmanDecoder: invalid code word");
+  }
+  reader.SkipBits(entry.length);
+  return entry.symbol;
+}
+
+Bytes SerializeCodeLengths(std::span<const std::uint8_t> lengths) {
+  // Simple byte-level RLE: varint run count, then (value u8, run varint)
+  // pairs. Length vectors are dominated by runs of zeros and of the modal
+  // length, so this stays small without a second Huffman layer.
+  Bytes out;
+  std::vector<std::pair<std::uint8_t, std::uint64_t>> runs;
+  for (const std::uint8_t len : lengths) {
+    if (!runs.empty() && runs.back().first == len) {
+      ++runs.back().second;
+    } else {
+      runs.emplace_back(len, 1);
+    }
+  }
+  PutVarint(out, runs.size());
+  for (const auto& [value, run] : runs) {
+    PutU8(out, value);
+    PutVarint(out, run);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> DeserializeCodeLengths(ByteSpan data,
+                                                 std::size_t alphabet_size) {
+  ByteReader reader(data);
+  const std::uint64_t run_count = reader.GetVarint();
+  std::vector<std::uint8_t> lengths;
+  lengths.reserve(alphabet_size);
+  for (std::uint64_t i = 0; i < run_count; ++i) {
+    const std::uint8_t value = reader.GetU8();
+    const std::uint64_t run = reader.GetVarint();
+    if (lengths.size() + run > alphabet_size) {
+      throw CorruptStreamError("DeserializeCodeLengths: overlong runs");
+    }
+    lengths.insert(lengths.end(), run, value);
+  }
+  if (lengths.size() != alphabet_size) {
+    throw CorruptStreamError("DeserializeCodeLengths: size mismatch");
+  }
+  return lengths;
+}
+
+}  // namespace primacy

@@ -1,0 +1,161 @@
+#include "lzfast/lzfast.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "bitstream/byte_io.h"
+#include "util/error.h"
+
+namespace primacy {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxDistance = 65535;
+constexpr std::uint32_t kNoPos = 0xffffffffu;
+constexpr std::size_t kHashBits = 16;
+
+constexpr std::uint8_t kModeStored = 0;
+constexpr std::uint8_t kModeLz = 1;
+
+std::uint32_t Read32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint32_t Hash4(std::uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Emits a length value >= the nibble threshold as 255-run extension bytes.
+void PutExtendedLength(Bytes& out, std::size_t value) {
+  while (value >= 255) {
+    out.push_back(std::byte{255});
+    value -= 255;
+  }
+  out.push_back(static_cast<std::byte>(value));
+}
+
+std::size_t GetExtendedLength(ByteReader& reader) {
+  std::size_t value = 0;
+  for (;;) {
+    const std::uint8_t b = reader.GetU8();
+    value += b;
+    if (b != 255) return value;
+  }
+}
+
+void EmitSequence(Bytes& out, ByteSpan data, std::size_t literal_begin,
+                  std::size_t literal_end, std::size_t match_length,
+                  std::size_t distance) {
+  const std::size_t lit_len = literal_end - literal_begin;
+  const std::size_t match_code =
+      match_length == 0 ? 0 : match_length - kMinMatch;
+  const std::uint8_t lit_nibble =
+      static_cast<std::uint8_t>(lit_len >= 15 ? 15 : lit_len);
+  const std::uint8_t match_nibble =
+      static_cast<std::uint8_t>(match_code >= 15 ? 15 : match_code);
+  out.push_back(
+      static_cast<std::byte>((lit_nibble << 4) | match_nibble));
+  if (lit_nibble == 15) PutExtendedLength(out, lit_len - 15);
+  AppendBytes(out, data.subspan(literal_begin, lit_len));
+  if (match_length == 0) return;  // final literal-only sequence
+  PutU16(out, static_cast<std::uint16_t>(distance));
+  if (match_nibble == 15) PutExtendedLength(out, match_code - 15);
+}
+
+}  // namespace
+
+Bytes LzFastCodec::Compress(ByteSpan data) const {
+  Bytes out;
+  PutVarint(out, data.size());
+  out.push_back(static_cast<std::byte>(kModeLz));
+
+  std::vector<std::uint32_t> table(1u << kHashBits, kNoPos);
+  std::size_t pos = 0;
+  std::size_t anchor = 0;
+  while (pos + kMinMatch <= data.size()) {
+    const std::uint32_t v = Read32(data.data() + pos);
+    const std::uint32_t h = Hash4(v);
+    const std::uint32_t candidate = table[h];
+    table[h] = static_cast<std::uint32_t>(pos);
+    if (candidate == kNoPos || pos - candidate > kMaxDistance ||
+        Read32(data.data() + candidate) != v) {
+      ++pos;
+      continue;
+    }
+    // Extend the match forward.
+    std::size_t length = kMinMatch;
+    const std::size_t limit = data.size() - pos;
+    while (length < limit &&
+           data[candidate + length] == data[pos + length]) {
+      ++length;
+    }
+    EmitSequence(out, data, anchor, pos, length, pos - candidate);
+    pos += length;
+    anchor = pos;
+  }
+  // Trailing literals (possibly the whole input).
+  if (anchor < data.size() || data.empty()) {
+    EmitSequence(out, data, anchor, data.size(), 0, 0);
+  }
+
+  if (out.size() > data.size() + 16) {
+    Bytes stored;
+    PutVarint(stored, data.size());
+    stored.push_back(static_cast<std::byte>(kModeStored));
+    AppendBytes(stored, data);
+    return stored;
+  }
+  return out;
+}
+
+Bytes LzFastCodec::Decompress(ByteSpan data) const {
+  ByteReader reader(data);
+  const std::uint64_t original_size = reader.GetVarint();
+  const std::uint8_t mode = reader.GetU8();
+  if (mode == kModeStored) {
+    const ByteSpan raw = reader.GetRaw(original_size);
+    if (!reader.AtEnd()) {
+      throw CorruptStreamError("lzfast: trailing bytes after stored payload");
+    }
+    return ToBytes(raw);
+  }
+  if (mode != kModeLz) throw CorruptStreamError("lzfast: unknown mode");
+
+  Bytes out;
+  out.reserve(std::min<std::uint64_t>(original_size, 1u << 26));
+  while (out.size() < original_size || (original_size == 0 && out.empty())) {
+    const std::uint8_t token = reader.GetU8();
+    std::size_t lit_len = token >> 4;
+    if (lit_len == 15) lit_len += GetExtendedLength(reader);
+    const ByteSpan literals = reader.GetRaw(lit_len);
+    if (out.size() + lit_len > original_size) {
+      throw CorruptStreamError("lzfast: literal overrun");
+    }
+    AppendBytes(out, literals);
+    if (out.size() == original_size) break;  // final sequence
+
+    std::size_t match_len = (token & 0x0f) + kMinMatch;
+    const std::size_t distance = reader.GetU16();
+    if ((token & 0x0f) == 15) match_len += GetExtendedLength(reader);
+    if (distance == 0 || distance > out.size()) {
+      throw CorruptStreamError("lzfast: bad distance");
+    }
+    if (out.size() + match_len > original_size) {
+      throw CorruptStreamError("lzfast: match overrun");
+    }
+    std::size_t src = out.size() - distance;
+    for (std::size_t i = 0; i < match_len; ++i) out.push_back(out[src + i]);
+  }
+  if (out.size() != original_size) {
+    throw CorruptStreamError("lzfast: size mismatch");
+  }
+  if (!reader.AtEnd()) {
+    throw CorruptStreamError("lzfast: trailing bytes after payload");
+  }
+  return out;
+}
+
+}  // namespace primacy

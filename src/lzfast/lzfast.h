@@ -1,0 +1,30 @@
+// LzFast: the library's lzo-class codec — a byte-oriented greedy LZ with a
+// single-probe hash table and token-packed sequences (the LZO/LZ4 family).
+// No entropy coding stage, so compression is weak but throughput is an order
+// of magnitude above the deflate-class codec; the paper uses this class as
+// the "very fast but poor compression" end of the spectrum (Section IV-C).
+//
+// Container format:
+//   varint original_size, u8 mode (0 = stored, 1 = lz)
+//   stored: raw bytes
+//   lz    : sequences of
+//             token   (lit_len:4 | match_len_minus_4:4; 15 = extended)
+//             [lit_len extension bytes]  (255-runs, LZ4 style)
+//             literal bytes
+//             -- stream may end here when the output is complete --
+//             distance u16 little-endian (1..65535)
+//             [match_len extension bytes]
+#pragma once
+
+#include "compress/codec.h"
+
+namespace primacy {
+
+class LzFastCodec final : public Codec {
+ public:
+  std::string_view name() const override { return "lzfast"; }
+  Bytes Compress(ByteSpan data) const override;
+  Bytes Decompress(ByteSpan data) const override;
+};
+
+}  // namespace primacy

@@ -1,0 +1,148 @@
+#include "model/perf_model.h"
+
+#include "util/error.h"
+
+namespace primacy {
+namespace {
+
+void Validate(const ModelInputs& in) {
+  if (in.chunk_bytes <= 0 || in.rho <= 0) {
+    throw InvalidArgumentError("model: chunk_bytes and rho must be positive");
+  }
+  if (in.alpha1 < 0 || in.alpha1 > 1 || in.alpha2 < 0 || in.alpha2 > 1) {
+    throw InvalidArgumentError("model: alpha out of [0,1]");
+  }
+  if (in.sigma_ho < 0 || in.sigma_lo < 0) {
+    throw InvalidArgumentError("model: sigma must be non-negative");
+  }
+  for (const double rate :
+       {in.network_bps, in.disk_write_bps, in.disk_read_bps,
+        in.precondition_bps, in.compress_bps, in.decompress_bps,
+        in.postcondition_bps}) {
+    if (rate <= 0) {
+      throw InvalidArgumentError("model: throughputs must be positive");
+    }
+  }
+}
+
+/// Fraction of C that crosses the network / hits the disk under PRIMACY.
+double CompressedFraction(const ModelInputs& in) {
+  const double compressed_share =
+      in.alpha1 * in.sigma_ho + in.alpha2 * (1.0 - in.alpha1) * in.sigma_lo;
+  const double raw_factor = in.literal_eq11 ? in.sigma_lo : 1.0;
+  const double raw_share =
+      (1.0 - in.alpha2) * (1.0 - in.alpha1) * raw_factor;
+  return compressed_share + raw_share;
+}
+
+}  // namespace
+
+double PrimacyOutputBytes(const ModelInputs& in) {
+  Validate(in);
+  return CompressedFraction(in) * in.chunk_bytes + in.metadata_bytes;
+}
+
+ModelBreakdown BaselineWrite(const ModelInputs& in) {
+  Validate(in);
+  ModelBreakdown out;
+  const double c = in.chunk_bytes;
+  // Eq. 4: network contention scales with the compute-to-I/O ratio.
+  out.t_transfer = (1.0 + in.rho) * c / in.network_bps;
+  // Eq. 5.
+  out.t_io = in.rho * c / in.disk_write_bps;
+  // Eq. 6.
+  out.t_total = out.t_transfer + out.t_io;
+  // Eq. 3.
+  out.throughput_bps = in.rho * c / out.t_total;
+  return out;
+}
+
+ModelBreakdown PrimacyWrite(const ModelInputs& in) {
+  Validate(in);
+  ModelBreakdown out;
+  const double c = in.chunk_bytes;
+  // Eqs. 7-8: preconditioning the whole chunk, then ISOBAR analysis of the
+  // lower-order part.
+  out.t_prec1 = c / in.precondition_bps;
+  out.t_prec2 = (1.0 - in.alpha1) * c / in.precondition_bps;
+  // Eqs. 9-10: solver time on the two compressible shares.
+  out.t_compress1 = in.alpha1 * c / in.compress_bps;
+  out.t_compress2 = in.alpha2 * (1.0 - in.alpha1) * c / in.compress_bps;
+  // Eqs. 11-12 (plus metadata): the reduced payload crosses the network and
+  // lands on disk.
+  const double payload = CompressedFraction(in) * c + in.metadata_bytes;
+  out.t_transfer = (1.0 + in.rho) * payload / in.network_bps;
+  out.t_io = in.rho * payload / in.disk_write_bps;
+  // Eq. 13.
+  out.t_total = out.t_prec1 + out.t_prec2 + out.t_compress1 +
+                out.t_compress2 + out.t_transfer + out.t_io;
+  out.throughput_bps = in.rho * c / out.t_total;
+  return out;
+}
+
+ModelBreakdown BaselineRead(const ModelInputs& in) {
+  Validate(in);
+  ModelBreakdown out;
+  const double c = in.chunk_bytes;
+  out.t_io = in.rho * c / in.disk_read_bps;
+  out.t_transfer = (1.0 + in.rho) * c / in.network_bps;
+  out.t_total = out.t_io + out.t_transfer;
+  out.throughput_bps = in.rho * c / out.t_total;
+  return out;
+}
+
+ModelBreakdown PrimacyRead(const ModelInputs& in) {
+  Validate(in);
+  ModelBreakdown out;
+  const double c = in.chunk_bytes;
+  const double payload = CompressedFraction(in) * c + in.metadata_bytes;
+  // Inverse order: disk read, network transfer, decompression of the two
+  // compressed shares, inverse preconditioning.
+  out.t_io = in.rho * payload / in.disk_read_bps;
+  out.t_transfer = (1.0 + in.rho) * payload / in.network_bps;
+  out.t_compress1 = in.alpha1 * c / in.decompress_bps;
+  out.t_compress2 = in.alpha2 * (1.0 - in.alpha1) * c / in.decompress_bps;
+  out.t_prec1 = c / in.postcondition_bps;
+  out.t_prec2 = (1.0 - in.alpha1) * c / in.postcondition_bps;
+  out.t_total = out.t_io + out.t_transfer + out.t_compress1 +
+                out.t_compress2 + out.t_prec1 + out.t_prec2;
+  out.throughput_bps = in.rho * c / out.t_total;
+  return out;
+}
+
+ModelInputs CalibrateFromMeasurements(ModelInputs base,
+                                      const PrimacyStats& stats,
+                                      double precondition_bps,
+                                      double compress_bps,
+                                      double decompress_bps,
+                                      double postcondition_bps) {
+  if (stats.input_bytes == 0) {
+    throw InvalidArgumentError("CalibrateFromMeasurements: empty stats");
+  }
+  const auto input = static_cast<double>(stats.input_bytes);
+  // The ID-mapped high-order share is 2 of 8 bytes.
+  base.alpha1 = 0.25;
+  base.alpha2 = stats.mean_compressible_fraction;
+  const double high_bytes = input * base.alpha1;
+  const double low_bytes = input - high_bytes;
+  base.sigma_ho =
+      static_cast<double>(stats.id_compressed_bytes) / high_bytes;
+  const double low_compressed_bytes =
+      static_cast<double>(stats.mantissa_stream_bytes) -
+      static_cast<double>(stats.mantissa_raw_bytes);
+  const double low_compressible_input = base.alpha2 * low_bytes;
+  base.sigma_lo = low_compressible_input > 0
+                      ? low_compressed_bytes / low_compressible_input
+                      : 1.0;
+  base.metadata_bytes =
+      stats.chunks == 0 ? 0.0
+                        : static_cast<double>(stats.index_bytes) /
+                              static_cast<double>(stats.chunks);
+  base.precondition_bps = precondition_bps;
+  base.compress_bps = compress_bps;
+  base.decompress_bps = decompress_bps;
+  base.postcondition_bps = postcondition_bps;
+  return base;
+}
+
+}  // namespace primacy

@@ -1,0 +1,78 @@
+// The paper's analytical performance model (Section III, Eqs. 3–13): end-to-
+// end write/read time and aggregate throughput for a bulk-synchronous
+// staging environment, with and without PRIMACY at the compute nodes.
+//
+// Symbols follow Tables I and II. Throughputs are bytes/second; sizes are
+// bytes. Compression ratios sigma are *compressed/original* fractions (< 1
+// means the data shrank), exactly as Table I defines them.
+//
+// Eq. 11/12 note: the published equations multiply the incompressible
+// fraction (1-alpha2)(1-alpha1) by sigma_lo, which double-counts the
+// compression of bytes that are explicitly *not* compressed; we treat that
+// as an erratum and use a factor of 1 for the raw fraction by default.
+// `literal_eq11` switches to the published form for comparison.
+#pragma once
+
+#include "compress/codec.h"
+#include "core/primacy_codec.h"
+
+namespace primacy {
+
+/// Table I inputs.
+struct ModelInputs {
+  double chunk_bytes = 3.0 * 1024 * 1024;  // C
+  double metadata_bytes = 4096;            // delta
+  double alpha1 = 0.25;  // fraction of the chunk handled by the ID mapper
+  double alpha2 = 0.3;   // compressible fraction of the lower-order bytes
+  double sigma_ho = 0.4; // compressed/original on the high-order bytes
+  double sigma_lo = 0.9; // compressed/original on the compressible low bytes
+  double rho = 8.0;      // compute : I/O node ratio
+  double network_bps = 500e6;     // theta
+  double disk_write_bps = 180e6;  // mu_w
+  double disk_read_bps = 220e6;   // mu_r (read-path analogue of mu_w)
+  double precondition_bps = 600e6;   // Tprec
+  double compress_bps = 80e6;        // Tcomp
+  double decompress_bps = 250e6;     // Tdecomp (read path)
+  double postcondition_bps = 800e6;  // inverse preconditioner (read path)
+  bool literal_eq11 = false;
+};
+
+/// Table II outputs. Unused stages are zero (e.g. the base case never
+/// preconditions).
+struct ModelBreakdown {
+  double t_prec1 = 0.0;
+  double t_prec2 = 0.0;
+  double t_compress1 = 0.0;
+  double t_compress2 = 0.0;
+  double t_transfer = 0.0;
+  double t_io = 0.0;      // t_write on the write path, t_read on reads
+  double t_total = 0.0;
+  double throughput_bps = 0.0;  // tau = rho * C / t_total
+
+  double ThroughputMBps() const { return throughput_bps / 1e6; }
+};
+
+/// Bytes leaving a compute node per chunk under PRIMACY (compressed payload
+/// + metadata), as a fraction of C it is the model's effective sigma.
+double PrimacyOutputBytes(const ModelInputs& in);
+
+/// Base case (Eqs. 4–6): raw data through the I/O nodes to disk.
+ModelBreakdown BaselineWrite(const ModelInputs& in);
+
+/// PRIMACY at the compute nodes (Eqs. 7–13).
+ModelBreakdown PrimacyWrite(const ModelInputs& in);
+
+/// Read paths: inverse order of operations (Section III-C's closing remark).
+ModelBreakdown BaselineRead(const ModelInputs& in);
+ModelBreakdown PrimacyRead(const ModelInputs& in);
+
+/// Calibration: fills the data-dependent inputs (alpha*, sigma*, T*) from a
+/// measured PRIMACY run and solver measurement on the same data.
+ModelInputs CalibrateFromMeasurements(ModelInputs base,
+                                      const PrimacyStats& stats,
+                                      double precondition_bps,
+                                      double compress_bps,
+                                      double decompress_bps,
+                                      double postcondition_bps);
+
+}  // namespace primacy

@@ -1,0 +1,160 @@
+#include "store/checkpoint_store.h"
+
+#include <algorithm>
+
+#include "bitstream/byte_io.h"
+#include "util/error.h"
+
+namespace primacy {
+namespace {
+constexpr std::uint32_t kMagic = 0x314b4350;  // "PCK1"
+constexpr std::uint8_t kVersion = 1;
+}  // namespace
+
+CheckpointWriter::CheckpointWriter(PrimacyOptions options)
+    : options_(std::move(options)) {
+  PutU32(body_, kMagic);
+  PutU8(body_, kVersion);
+}
+
+void CheckpointWriter::AddStream(const std::string& name,
+                                 std::size_t element_width,
+                                 std::size_t elements, Bytes stream) {
+  if (finished_) {
+    throw InvalidArgumentError("CheckpointWriter: Add after Finish");
+  }
+  if (name.empty()) {
+    throw InvalidArgumentError("CheckpointWriter: empty variable name");
+  }
+  if (std::any_of(variables_.begin(), variables_.end(),
+                  [&](const VariableInfo& v) { return v.name == name; })) {
+    throw InvalidArgumentError("CheckpointWriter: duplicate variable " + name);
+  }
+  VariableInfo info;
+  info.name = name;
+  info.element_width = element_width;
+  info.elements = elements;
+  info.stream_offset = body_.size();
+  info.stream_bytes = stream.size();
+  AppendBytes(body_, stream);
+  variables_.push_back(std::move(info));
+}
+
+void CheckpointWriter::Add(const std::string& name,
+                           std::span<const double> values,
+                           std::optional<PrimacyOptions> override_options) {
+  PrimacyOptions options = override_options.value_or(options_);
+  options.precision = Precision::kDouble;
+  AddStream(name, 8, values.size(),
+            PrimacyCompressor(options).Compress(values));
+}
+
+void CheckpointWriter::Add(const std::string& name,
+                           std::span<const float> values,
+                           std::optional<PrimacyOptions> override_options) {
+  PrimacyOptions options = override_options.value_or(options_);
+  options.precision = Precision::kSingle;
+  AddStream(name, 4, values.size(),
+            PrimacyCompressor(options).Compress(values));
+}
+
+Bytes CheckpointWriter::Finish() {
+  if (finished_) {
+    throw InvalidArgumentError("CheckpointWriter: double Finish");
+  }
+  finished_ = true;
+  Bytes footer;
+  PutVarint(footer, variables_.size());
+  for (const VariableInfo& info : variables_) {
+    PutBlock(footer, BytesFromString(info.name));
+    PutU8(footer, static_cast<std::uint8_t>(info.element_width));
+    PutVarint(footer, info.elements);
+    PutVarint(footer, info.stream_offset);
+    PutVarint(footer, info.stream_bytes);
+  }
+  AppendBytes(body_, footer);
+  // Fixed-width footer locator so the reader can seek from the end.
+  PutU32(body_, static_cast<std::uint32_t>(footer.size()));
+  PutU32(body_, kMagic);
+  return std::move(body_);
+}
+
+CheckpointReader::CheckpointReader(ByteSpan file) : file_(file) {
+  if (file.size() < 13) {
+    throw CorruptStreamError("checkpoint: file too small");
+  }
+  {
+    ByteReader head(file.first(5));
+    if (head.GetU32() != kMagic || head.GetU8() != kVersion) {
+      throw CorruptStreamError("checkpoint: bad header");
+    }
+  }
+  ByteReader locator(file.subspan(file.size() - 8));
+  const std::uint32_t footer_size = locator.GetU32();
+  if (locator.GetU32() != kMagic) {
+    throw CorruptStreamError("checkpoint: bad footer magic");
+  }
+  if (footer_size + 13u > file.size()) {
+    throw CorruptStreamError("checkpoint: footer size out of range");
+  }
+  ByteReader footer(file.subspan(file.size() - 8 - footer_size, footer_size));
+  const std::uint64_t count = footer.GetVarint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    VariableInfo info;
+    info.name = StringFromBytes(footer.GetBlock());
+    info.element_width = footer.GetU8();
+    if (info.element_width != 4 && info.element_width != 8) {
+      throw CorruptStreamError("checkpoint: bad element width");
+    }
+    info.elements = footer.GetVarint();
+    info.stream_offset = footer.GetVarint();
+    info.stream_bytes = footer.GetVarint();
+    if (info.stream_offset < 5 ||
+        info.stream_offset + info.stream_bytes > file.size() - 8 - footer_size) {
+      throw CorruptStreamError("checkpoint: variable extent out of range");
+    }
+    variables_.push_back(std::move(info));
+  }
+  if (!footer.AtEnd()) {
+    throw CorruptStreamError("checkpoint: trailing footer bytes");
+  }
+}
+
+const VariableInfo& CheckpointReader::Find(const std::string& name) const {
+  for (const VariableInfo& info : variables_) {
+    if (info.name == name) return info;
+  }
+  throw InvalidArgumentError("checkpoint: no variable named " + name);
+}
+
+std::vector<double> CheckpointReader::ReadDoubles(
+    const std::string& name) const {
+  const VariableInfo& info = Find(name);
+  if (info.element_width != 8) {
+    throw InvalidArgumentError("checkpoint: " + name + " is single precision");
+  }
+  const PrimacyDecompressor decompressor;
+  std::vector<double> values = decompressor.Decompress(
+      file_.subspan(info.stream_offset, info.stream_bytes));
+  if (values.size() != info.elements) {
+    throw CorruptStreamError("checkpoint: element count mismatch for " + name);
+  }
+  return values;
+}
+
+std::vector<float> CheckpointReader::ReadFloats(
+    const std::string& name) const {
+  const VariableInfo& info = Find(name);
+  if (info.element_width != 4) {
+    throw InvalidArgumentError("checkpoint: " + name + " is double precision");
+  }
+  const PrimacyDecompressor decompressor;
+  std::vector<float> values = decompressor.DecompressSingle(
+      file_.subspan(info.stream_offset, info.stream_bytes));
+  if (values.size() != info.elements) {
+    throw CorruptStreamError("checkpoint: element count mismatch for " + name);
+  }
+  return values;
+}
+
+}  // namespace primacy

@@ -1,0 +1,89 @@
+// Named-variable checkpoint container: the adoption surface a simulation
+// code actually wants. A checkpoint holds any number of named double/float
+// arrays, each compressed as an independent PRIMACY stream (so variables
+// restore independently and in parallel), with a footer index for O(1)
+// lookup without scanning the file.
+//
+// File format:
+//   u32 magic "PCK1", u8 version
+//   per variable: the raw PRIMACY stream bytes (self-describing)
+//   footer: varint variable_count,
+//           per variable: block(name), u8 element_width, varint elements,
+//                         varint stream_offset, varint stream_bytes
+//   varint footer_size, u32 magic again (footer locator, read from the end)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/primacy_codec.h"
+
+namespace primacy {
+
+/// Footer entry describing one stored variable.
+struct VariableInfo {
+  std::string name;
+  std::size_t element_width = 8;  // 8 = double, 4 = float
+  std::size_t elements = 0;
+  std::size_t stream_offset = 0;
+  std::size_t stream_bytes = 0;
+
+  double CompressionRatio() const {
+    return stream_bytes == 0 ? 0.0
+                             : static_cast<double>(elements * element_width) /
+                                   static_cast<double>(stream_bytes);
+  }
+};
+
+/// Builds a checkpoint in memory; variables are compressed on Add.
+class CheckpointWriter {
+ public:
+  /// `options` sets the default compression configuration; per-variable
+  /// overrides can be passed to Add.
+  explicit CheckpointWriter(PrimacyOptions options = {});
+
+  /// Adds a named double array. Names must be unique and non-empty.
+  void Add(const std::string& name, std::span<const double> values,
+           std::optional<PrimacyOptions> override_options = std::nullopt);
+  /// Adds a named float array.
+  void Add(const std::string& name, std::span<const float> values,
+           std::optional<PrimacyOptions> override_options = std::nullopt);
+
+  /// Finalizes the container (appends the footer). The writer is spent.
+  Bytes Finish();
+
+  std::size_t variable_count() const { return variables_.size(); }
+
+ private:
+  void AddStream(const std::string& name, std::size_t element_width,
+                 std::size_t elements, Bytes stream);
+
+  PrimacyOptions options_;
+  Bytes body_;
+  std::vector<VariableInfo> variables_;
+  bool finished_ = false;
+};
+
+/// Reads a checkpoint container. Lookup is footer-driven: nothing is
+/// decompressed until a variable is requested.
+class CheckpointReader {
+ public:
+  /// `file` must outlive the reader.
+  explicit CheckpointReader(ByteSpan file);
+
+  const std::vector<VariableInfo>& variables() const { return variables_; }
+
+  /// Metadata for `name`; throws InvalidArgumentError if absent.
+  const VariableInfo& Find(const std::string& name) const;
+
+  /// Decompress one variable.
+  std::vector<double> ReadDoubles(const std::string& name) const;
+  std::vector<float> ReadFloats(const std::string& name) const;
+
+ private:
+  ByteSpan file_;
+  std::vector<VariableInfo> variables_;
+};
+
+}  // namespace primacy

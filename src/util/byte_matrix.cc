@@ -1,0 +1,165 @@
+#include "util/byte_matrix.h"
+
+#include <bit>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace primacy {
+
+namespace {
+void RequireMultiple(std::size_t size, std::size_t width, const char* what) {
+  if (width == 0) throw InvalidArgumentError("byte_matrix: width must be > 0");
+  if (size % width != 0) {
+    throw InvalidArgumentError(std::string("byte_matrix: ") + what +
+                               " size is not a multiple of the element width");
+  }
+}
+}  // namespace
+
+SplitBytes SplitHighLow(ByteSpan data, std::size_t width,
+                        std::size_t high_width) {
+  RequireMultiple(data.size(), width, "input");
+  if (high_width > width) {
+    throw InvalidArgumentError("SplitHighLow: high_width exceeds width");
+  }
+  const std::size_t n = data.size() / width;
+  const std::size_t low_width = width - high_width;
+  SplitBytes out;
+  out.high.resize(n * high_width);
+  out.low.resize(n * low_width);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (high_width > 0) {
+      std::memcpy(out.high.data() + i * high_width, data.data() + i * width,
+                  high_width);
+    }
+    if (low_width > 0) {
+      std::memcpy(out.low.data() + i * low_width,
+                  data.data() + i * width + high_width, low_width);
+    }
+  }
+  return out;
+}
+
+Bytes MergeHighLow(ByteSpan high, ByteSpan low, std::size_t width,
+                   std::size_t high_width) {
+  if (high_width > width) {
+    throw InvalidArgumentError("MergeHighLow: high_width exceeds width");
+  }
+  const std::size_t low_width = width - high_width;
+  if (high_width > 0) RequireMultiple(high.size(), high_width, "high");
+  if (low_width > 0) RequireMultiple(low.size(), low_width, "low");
+  const std::size_t n =
+      high_width > 0 ? high.size() / high_width : low.size() / low_width;
+  if ((high_width > 0 && n != high.size() / high_width) ||
+      (low_width > 0 && n != low.size() / low_width)) {
+    throw InvalidArgumentError("MergeHighLow: inconsistent element counts");
+  }
+  Bytes out(n * width);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (high_width > 0) {
+      std::memcpy(out.data() + i * width, high.data() + i * high_width,
+                  high_width);
+    }
+    if (low_width > 0) {
+      std::memcpy(out.data() + i * width + high_width,
+                  low.data() + i * low_width, low_width);
+    }
+  }
+  return out;
+}
+
+Bytes RowToColumn(ByteSpan rows, std::size_t width) {
+  RequireMultiple(rows.size(), width, "input");
+  const std::size_t n = rows.size() / width;
+  Bytes out(rows.size());
+  for (std::size_t col = 0; col < width; ++col) {
+    std::byte* dst = out.data() + col * n;
+    for (std::size_t i = 0; i < n; ++i) dst[i] = rows[i * width + col];
+  }
+  return out;
+}
+
+Bytes ColumnToRow(ByteSpan columns, std::size_t width) {
+  RequireMultiple(columns.size(), width, "input");
+  const std::size_t n = columns.size() / width;
+  Bytes out(columns.size());
+  for (std::size_t col = 0; col < width; ++col) {
+    const std::byte* src = columns.data() + col * n;
+    for (std::size_t i = 0; i < n; ++i) out[i * width + col] = src[i];
+  }
+  return out;
+}
+
+Bytes ExtractColumn(ByteSpan rows, std::size_t width, std::size_t column) {
+  RequireMultiple(rows.size(), width, "input");
+  if (column >= width) {
+    throw InvalidArgumentError("ExtractColumn: column out of range");
+  }
+  const std::size_t n = rows.size() / width;
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = rows[i * width + column];
+  return out;
+}
+
+Bytes DoublesToBigEndianRows(std::span<const double> values) {
+  Bytes out(values.size() * 8);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto bits = std::bit_cast<std::uint64_t>(values[i]);
+    for (std::size_t b = 0; b < 8; ++b) {
+      out[i * 8 + b] = static_cast<std::byte>((bits >> (56 - 8 * b)) & 0xff);
+    }
+  }
+  return out;
+}
+
+Bytes FloatsToBigEndianRows(std::span<const float> values) {
+  Bytes out(values.size() * 4);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto bits = std::bit_cast<std::uint32_t>(values[i]);
+    for (std::size_t b = 0; b < 4; ++b) {
+      out[i * 4 + b] = static_cast<std::byte>((bits >> (24 - 8 * b)) & 0xff);
+    }
+  }
+  return out;
+}
+
+std::vector<float> BigEndianRowsToFloats(ByteSpan rows) {
+  RequireMultiple(rows.size(), 4, "input");
+  std::vector<float> out(rows.size() / 4);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint32_t bits = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      bits = (bits << 8) | static_cast<std::uint32_t>(rows[i * 4 + b]);
+    }
+    out[i] = std::bit_cast<float>(bits);
+  }
+  return out;
+}
+
+Bytes ReverseElementBytes(ByteSpan data, std::size_t width) {
+  RequireMultiple(data.size(), width, "input");
+  Bytes out(data.size());
+  const std::size_t n = data.size() / width;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t b = 0; b < width; ++b) {
+      out[i * width + b] = data[i * width + (width - 1 - b)];
+    }
+  }
+  return out;
+}
+
+std::vector<double> BigEndianRowsToDoubles(ByteSpan rows) {
+  RequireMultiple(rows.size(), 8, "input");
+  std::vector<double> out(rows.size() / 8);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint64_t bits = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      bits = (bits << 8) | static_cast<std::uint64_t>(rows[i * 8 + b]);
+    }
+    out[i] = std::bit_cast<double>(bits);
+  }
+  return out;
+}
+
+}  // namespace primacy

@@ -1,0 +1,70 @@
+// Core byte-buffer vocabulary types shared by every PRIMACY module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace primacy {
+
+/// Owning byte buffer. All codec inputs/outputs are expressed in terms of
+/// Bytes / ByteSpan so modules never depend on each other's containers.
+using Bytes = std::vector<std::byte>;
+
+/// Non-owning read-only view over raw bytes.
+using ByteSpan = std::span<const std::byte>;
+
+/// Non-owning mutable view over raw bytes.
+using MutableByteSpan = std::span<std::byte>;
+
+/// Reinterpret a span of trivially-copyable values as raw bytes.
+template <typename T>
+ByteSpan AsBytes(std::span<const T> values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::as_bytes(values);
+}
+
+/// Convenience overload for vectors.
+template <typename T>
+ByteSpan AsBytes(const std::vector<T>& values) {
+  return std::as_bytes(std::span<const T>(values));
+}
+
+inline Bytes ToBytes(ByteSpan view) { return Bytes(view.begin(), view.end()); }
+
+/// Copy raw bytes into a vector of trivially-copyable values. The byte count
+/// must be an exact multiple of sizeof(T).
+template <typename T>
+std::vector<T> FromBytes(ByteSpan raw) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<T> out(raw.size() / sizeof(T));
+  if (!out.empty()) {
+    std::memcpy(out.data(), raw.data(), out.size() * sizeof(T));
+  }
+  return out;
+}
+
+/// Build a Bytes buffer from a string literal (test convenience).
+inline Bytes BytesFromString(const std::string& text) {
+  Bytes out(text.size());
+  std::memcpy(out.data(), text.data(), text.size());
+  return out;
+}
+
+inline std::string StringFromBytes(ByteSpan raw) {
+  return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
+}
+
+/// Append `src` to `dst`.
+inline void AppendBytes(Bytes& dst, ByteSpan src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+constexpr std::byte operator""_b(unsigned long long v) {
+  return static_cast<std::byte>(v);
+}
+
+}  // namespace primacy

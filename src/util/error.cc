@@ -1,0 +1,13 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace primacy {
+
+void ThrowCheckFailure(const char* expr, const char* file, int line) {
+  std::ostringstream oss;
+  oss << "PRIMACY_CHECK failed: " << expr << " at " << file << ":" << line;
+  throw InternalError(oss.str());
+}
+
+}  // namespace primacy

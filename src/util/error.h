@@ -1,0 +1,50 @@
+// Error hierarchy for the PRIMACY library.
+//
+// Recoverable failures (corrupt stream, bad argument) throw exceptions from
+// this hierarchy; internal invariant violations use PRIMACY_CHECK which
+// throws InternalError with the failing expression.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace primacy {
+
+/// Base class for all PRIMACY errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// A caller supplied an argument outside the documented domain.
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& message) : Error(message) {}
+};
+
+/// A compressed stream failed validation during decode (truncated buffer,
+/// bad magic, inconsistent sizes, corrupt entropy stream...).
+class CorruptStreamError : public Error {
+ public:
+  explicit CorruptStreamError(const std::string& message) : Error(message) {}
+};
+
+/// An internal invariant did not hold; indicates a library bug.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& message) : Error(message) {}
+};
+
+[[noreturn]] void ThrowCheckFailure(const char* expr, const char* file,
+                                    int line);
+
+}  // namespace primacy
+
+/// Invariant check that stays on in release builds: codec correctness bugs
+/// must never silently corrupt scientific data.
+#define PRIMACY_CHECK(expr)                                   \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::primacy::ThrowCheckFailure(#expr, __FILE__, __LINE__); \
+    }                                                         \
+  } while (false)

@@ -1,0 +1,54 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Dataset generators and property tests need reproducible streams that are
+// identical across platforms and standard-library implementations, so we
+// implement xoshiro256** (Blackman & Vigna) rather than rely on std::mt19937
+// distributions whose results are unspecified across vendors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace primacy {
+
+/// xoshiro256** 1.0 generator with splitmix64 seeding.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t NextU64();
+  result_type operator()() { return NextU64(); }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal variate (Marsaglia polar method, deterministic).
+  double NextGaussian();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool NextBool(double p = 0.5);
+
+  /// Geometric-ish skewed index in [0, n): probability mass decays by
+  /// `decay` per rank. Used to synthesize skewed byte-sequence frequency
+  /// distributions.
+  std::uint64_t NextSkewed(std::uint64_t n, double decay);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace primacy

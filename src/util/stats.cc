@@ -1,0 +1,126 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace primacy {
+
+std::array<std::uint64_t, 256> ByteHistogram(ByteSpan data) {
+  std::array<std::uint64_t, 256> histogram{};
+  for (const std::byte b : data) ++histogram[static_cast<std::size_t>(b)];
+  return histogram;
+}
+
+double HistogramEntropyBits(const std::array<std::uint64_t, 256>& histogram) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : histogram) total += count;
+  if (total == 0) return 0.0;
+  double entropy = 0.0;
+  for (const std::uint64_t count : histogram) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+double ByteEntropyBits(ByteSpan data) {
+  return HistogramEntropyBits(ByteHistogram(data));
+}
+
+double TopByteFrequency(ByteSpan data) {
+  if (data.empty()) return 0.0;
+  const auto histogram = ByteHistogram(data);
+  const std::uint64_t top = *std::max_element(histogram.begin(), histogram.end());
+  return static_cast<double>(top) / static_cast<double>(data.size());
+}
+
+std::vector<double> DominantBitProbability(ByteSpan rows, std::size_t width) {
+  if (width == 0) throw InvalidArgumentError("DominantBitProbability: width 0");
+  if (rows.size() % width != 0) {
+    throw InvalidArgumentError(
+        "DominantBitProbability: size not a multiple of width");
+  }
+  const std::size_t n = rows.size() / width;
+  std::vector<std::uint64_t> ones(width * 8, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t b = 0; b < width; ++b) {
+      const auto value = static_cast<unsigned>(rows[i * width + b]);
+      for (std::size_t bit = 0; bit < 8; ++bit) {
+        ones[b * 8 + bit] += (value >> (7 - bit)) & 1u;
+      }
+    }
+  }
+  std::vector<double> out(width * 8, 0.5);
+  if (n == 0) return out;
+  for (std::size_t pos = 0; pos < out.size(); ++pos) {
+    const double p1 =
+        static_cast<double>(ones[pos]) / static_cast<double>(n);
+    out[pos] = std::max(p1, 1.0 - p1);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> BytePairHistogram(ByteSpan rows, std::size_t width,
+                                             std::size_t first) {
+  if (width < 2 || first + 1 >= width) {
+    throw InvalidArgumentError("BytePairHistogram: bad column range");
+  }
+  if (rows.size() % width != 0) {
+    throw InvalidArgumentError(
+        "BytePairHistogram: size not a multiple of width");
+  }
+  std::vector<std::uint64_t> histogram(65536, 0);
+  const std::size_t n = rows.size() / width;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto hi = static_cast<std::uint32_t>(rows[i * width + first]);
+    const auto lo = static_cast<std::uint32_t>(rows[i * width + first + 1]);
+    ++histogram[(hi << 8) | lo];
+  }
+  return histogram;
+}
+
+std::size_t CountDistinct(std::span<const std::uint64_t> histogram) {
+  std::size_t distinct = 0;
+  for (const std::uint64_t count : histogram) {
+    if (count != 0) ++distinct;
+  }
+  return distinct;
+}
+
+double PearsonCorrelation(std::span<const std::uint64_t> a,
+                          std::span<const std::uint64_t> b) {
+  if (a.size() != b.size()) {
+    throw InvalidArgumentError("PearsonCorrelation: size mismatch");
+  }
+  if (a.empty()) return 0.0;
+  const auto n = static_cast<double>(a.size());
+  double mean_a = 0.0, mean_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    mean_a += static_cast<double>(a[i]);
+    mean_b += static_cast<double>(b[i]);
+  }
+  mean_a /= n;
+  mean_b /= n;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = static_cast<double>(a[i]) - mean_a;
+    const double db = static_cast<double>(b[i]) - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace primacy

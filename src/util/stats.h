@@ -1,0 +1,51 @@
+// Statistical utilities shared by the ISOBAR analyzer, the dataset
+// characterization benches (Figures 1 and 3), and tests.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace primacy {
+
+/// 256-bin byte-value histogram.
+std::array<std::uint64_t, 256> ByteHistogram(ByteSpan data);
+
+/// Shannon entropy in bits/byte of a byte histogram (0 for empty input).
+double HistogramEntropyBits(const std::array<std::uint64_t, 256>& histogram);
+
+/// Shannon entropy in bits/byte of raw data.
+double ByteEntropyBits(ByteSpan data);
+
+/// Fraction of `data` occupied by its single most frequent byte value
+/// (0 for empty input). This is the paper's "repeatability of the most
+/// frequently occurring data byte" metric (Section II-C).
+double TopByteFrequency(ByteSpan data);
+
+/// Figure 1 metric: for each bit position b of a `width`-byte element
+/// (bit 0 = MSB of byte 0), the probability of the *more frequent* bit value
+/// at that position; always in [0.5, 1].
+std::vector<double> DominantBitProbability(ByteSpan rows, std::size_t width);
+
+/// Histogram over the 65,536 possible 16-bit byte-sequences formed by byte
+/// columns `first` and `first + 1` of a row-linearized `width`-byte matrix
+/// (paper Figure 3).
+std::vector<std::uint64_t> BytePairHistogram(ByteSpan rows, std::size_t width,
+                                             std::size_t first);
+
+/// Number of non-zero bins in a histogram.
+std::size_t CountDistinct(std::span<const std::uint64_t> histogram);
+
+/// Pearson correlation of two equally-sized frequency vectors; returns 0 when
+/// either vector is constant. Used by the index-reuse heuristic
+/// (paper Section II-F future work).
+double PearsonCorrelation(std::span<const std::uint64_t> a,
+                          std::span<const std::uint64_t> b);
+
+/// Arithmetic mean of a series (0 for empty input).
+double Mean(std::span<const double> values);
+
+}  // namespace primacy

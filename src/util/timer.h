@@ -1,0 +1,32 @@
+// Lightweight wall-clock timing used by the benchmark harnesses and by the
+// throughput calibration pass that feeds the performance model.
+#pragma once
+
+#include <chrono>
+
+namespace primacy {
+
+/// Monotonic stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Throughput in MB/s (decimal megabytes, as in the paper's tables).
+inline double ThroughputMBps(std::size_t bytes, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / 1.0e6 / seconds;
+}
+
+}  // namespace primacy

@@ -1,0 +1,118 @@
+#include "bitstream/byte_io.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace primacy {
+namespace {
+
+TEST(VarintTest, KnownEncodings) {
+  Bytes out;
+  PutVarint(out, 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(static_cast<unsigned>(out[0]), 0u);
+
+  out.clear();
+  PutVarint(out, 127);
+  ASSERT_EQ(out.size(), 1u);
+
+  out.clear();
+  PutVarint(out, 128);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(static_cast<unsigned>(out[0]), 0x80u);
+  EXPECT_EQ(static_cast<unsigned>(out[1]), 0x01u);
+}
+
+TEST(VarintTest, RoundTripsRandomValues) {
+  Rng rng(21);
+  Bytes out;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    // Mix small and large magnitudes.
+    const unsigned shift = static_cast<unsigned>(rng.NextBelow(64));
+    const std::uint64_t value = rng.NextU64() >> shift;
+    values.push_back(value);
+    PutVarint(out, value);
+  }
+  values.push_back(std::numeric_limits<std::uint64_t>::max());
+  PutVarint(out, values.back());
+
+  ByteReader reader(out);
+  for (const std::uint64_t value : values) {
+    EXPECT_EQ(reader.GetVarint(), value);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(VarintTest, TruncatedVarintThrows) {
+  Bytes out;
+  PutVarint(out, 1ULL << 40);
+  out.pop_back();
+  ByteReader reader(out);
+  EXPECT_THROW(reader.GetVarint(), CorruptStreamError);
+}
+
+TEST(VarintTest, OverlongVarintThrows) {
+  // 11 continuation bytes exceed the 64-bit budget.
+  Bytes out(11, 0xff_b);
+  ByteReader reader(out);
+  EXPECT_THROW(reader.GetVarint(), CorruptStreamError);
+}
+
+TEST(FixedWidthTest, LittleEndianLayout) {
+  Bytes out;
+  PutU16(out, 0x1234);
+  PutU32(out, 0xdeadbeef);
+  PutU64(out, 0x0102030405060708ULL);
+  ByteReader reader(out);
+  EXPECT_EQ(reader.GetU16(), 0x1234u);
+  EXPECT_EQ(reader.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.GetU64(), 0x0102030405060708ULL);
+  EXPECT_TRUE(reader.AtEnd());
+  // Verify byte order of the first field.
+  EXPECT_EQ(static_cast<unsigned>(out[0]), 0x34u);
+  EXPECT_EQ(static_cast<unsigned>(out[1]), 0x12u);
+}
+
+TEST(BlockTest, BlocksRoundTrip) {
+  Bytes out;
+  PutBlock(out, BytesFromString("first"));
+  PutBlock(out, Bytes{});
+  PutBlock(out, BytesFromString("second block"));
+  ByteReader reader(out);
+  EXPECT_EQ(StringFromBytes(reader.GetBlock()), "first");
+  EXPECT_TRUE(reader.GetBlock().empty());
+  EXPECT_EQ(StringFromBytes(reader.GetBlock()), "second block");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BlockTest, TruncatedBlockThrows) {
+  Bytes out;
+  PutBlock(out, BytesFromString("content"));
+  out.resize(out.size() - 2);
+  ByteReader reader(out);
+  EXPECT_THROW(reader.GetBlock(), CorruptStreamError);
+}
+
+TEST(ByteReaderTest, GetRawTracksOffset) {
+  const Bytes data = BytesFromString("abcdef");
+  ByteReader reader(data);
+  EXPECT_EQ(StringFromBytes(reader.GetRaw(3)), "abc");
+  EXPECT_EQ(reader.Offset(), 3u);
+  EXPECT_EQ(reader.Remaining(), 3u);
+  EXPECT_EQ(StringFromBytes(reader.GetRaw(3)), "def");
+  EXPECT_THROW(reader.GetRaw(1), CorruptStreamError);
+}
+
+TEST(ByteReaderTest, ReadPastEndThrows) {
+  ByteReader reader(ByteSpan{});
+  EXPECT_THROW(reader.GetU8(), CorruptStreamError);
+  EXPECT_THROW(reader.GetU32(), CorruptStreamError);
+}
+
+}  // namespace
+}  // namespace primacy

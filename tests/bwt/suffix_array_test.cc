@@ -1,0 +1,86 @@
+#include "bwt/suffix_array.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace primacy {
+namespace {
+
+/// Reference check: suffix i (with virtual sentinel) is lexicographically
+/// smaller than suffix j.
+bool SuffixLess(ByteSpan text, std::size_t i, std::size_t j) {
+  const std::size_t n = text.size();
+  while (i < n && j < n) {
+    if (text[i] != text[j]) return text[i] < text[j];
+    ++i;
+    ++j;
+  }
+  return i > j;  // shorter suffix (closer to the sentinel) sorts first
+}
+
+void CheckSuffixArray(ByteSpan text) {
+  const auto sa = BuildSuffixArray(text);
+  ASSERT_EQ(sa.size(), text.size() + 1);
+  EXPECT_EQ(sa[0], static_cast<std::int32_t>(text.size()));
+  // Permutation of [0, n].
+  std::vector<std::int32_t> sorted(sa.begin(), sa.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], static_cast<std::int32_t>(i));
+  }
+  // Sorted order.
+  for (std::size_t k = 0; k + 1 < sa.size(); ++k) {
+    EXPECT_TRUE(SuffixLess(text, static_cast<std::size_t>(sa[k]),
+                           static_cast<std::size_t>(sa[k + 1])))
+        << "rows " << k << " and " << k + 1;
+  }
+}
+
+TEST(SuffixArrayTest, EmptyString) {
+  const auto sa = BuildSuffixArray({});
+  ASSERT_EQ(sa.size(), 1u);
+  EXPECT_EQ(sa[0], 0);
+}
+
+TEST(SuffixArrayTest, KnownExample) {
+  // "banana": suffix order with sentinel: $, a$, ana$, anana$, banana$,
+  // na$, nana$ -> SA = [6, 5, 3, 1, 0, 4, 2].
+  const Bytes text = BytesFromString("banana");
+  const auto sa = BuildSuffixArray(text);
+  const std::vector<std::int32_t> expected{6, 5, 3, 1, 0, 4, 2};
+  EXPECT_EQ(sa, expected);
+}
+
+TEST(SuffixArrayTest, SingleByte) { CheckSuffixArray(BytesFromString("x")); }
+
+TEST(SuffixArrayTest, AllEqualBytes) {
+  CheckSuffixArray(Bytes(257, 7_b));
+}
+
+TEST(SuffixArrayTest, AlternatingPattern) {
+  Bytes text(300);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    text[i] = (i % 2 == 0) ? 1_b : 2_b;
+  }
+  CheckSuffixArray(text);
+}
+
+class SuffixArrayRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuffixArrayRandom, MatchesReferenceOrder) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 1 + rng.NextBelow(2000);
+  const std::size_t alphabet = 1 + rng.NextBelow(255);
+  Bytes text(n);
+  for (auto& b : text) b = static_cast<std::byte>(rng.NextBelow(alphabet));
+  CheckSuffixArray(text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuffixArrayRandom, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace primacy

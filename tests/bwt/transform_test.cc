@@ -1,0 +1,151 @@
+#include "bwt/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace primacy {
+namespace {
+
+TEST(BwtTest, KnownExample) {
+  // banana with sentinel-suffix construction: rows sorted as
+  // $banana, a$banan, ana$ban, anana$b, banana$, na$bana, nana$ba
+  // last column: a n n b $ a a -> with sentinel elided at row 4.
+  const Bytes text = BytesFromString("banana");
+  const BwtResult result = BwtForward(text);
+  EXPECT_EQ(StringFromBytes(result.last_column), "annbaa");
+  EXPECT_EQ(result.primary_index, 4u);
+}
+
+TEST(BwtTest, InverseRecoversKnownExample) {
+  const Bytes text = BytesFromString("banana");
+  const BwtResult result = BwtForward(text);
+  EXPECT_EQ(BwtInverse(result.last_column, result.primary_index), text);
+}
+
+TEST(BwtTest, EmptyInput) {
+  const BwtResult result = BwtForward({});
+  EXPECT_TRUE(result.last_column.empty());
+  EXPECT_TRUE(BwtInverse({}, 0).empty());
+}
+
+TEST(BwtTest, GroupsRepeatedContexts) {
+  // BWT of a periodic string concentrates identical symbols into runs.
+  Bytes text;
+  for (int i = 0; i < 200; ++i) AppendBytes(text, BytesFromString("abc"));
+  const BwtResult result = BwtForward(text);
+  // Count symbol alternations; grouped output has very few.
+  std::size_t switches = 0;
+  for (std::size_t i = 1; i < result.last_column.size(); ++i) {
+    switches += (result.last_column[i] != result.last_column[i - 1]);
+  }
+  EXPECT_LT(switches, 10u);
+}
+
+TEST(BwtTest, PrimaryIndexOutOfRangeRejected) {
+  const Bytes column = BytesFromString("abc");
+  EXPECT_THROW(BwtInverse(column, 4), CorruptStreamError);
+}
+
+TEST(BwtTest, WrongPrimaryIndexDoesNotCrash) {
+  const Bytes text = BytesFromString("mississippi river basin");
+  const BwtResult result = BwtForward(text);
+  for (std::size_t wrong = 0; wrong <= text.size(); ++wrong) {
+    if (wrong == result.primary_index) continue;
+    try {
+      const Bytes decoded = BwtInverse(result.last_column, wrong);
+      EXPECT_NE(decoded, text);
+    } catch (const CorruptStreamError&) {
+      // Detecting the inconsistency is equally acceptable.
+    }
+  }
+}
+
+class BwtRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BwtRoundTrip, InverseRecoversRandomInputs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const std::size_t n = 1 + rng.NextBelow(5000);
+  const std::size_t alphabet = 1 + rng.NextBelow(255);
+  Bytes text(n);
+  for (auto& b : text) b = static_cast<std::byte>(rng.NextBelow(alphabet));
+  const BwtResult result = BwtForward(text);
+  EXPECT_EQ(BwtInverse(result.last_column, result.primary_index), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BwtRoundTrip, ::testing::Range(0, 10));
+
+TEST(MtfTest, KnownSequence) {
+  // Input: 1 1 0 -> ranks: 1 (1 is at position 1), 0 (now front), 1 (0 moved
+  // to position 1).
+  const Bytes data{1_b, 1_b, 0_b};
+  const Bytes ranks = MtfEncode(data);
+  EXPECT_EQ(ranks, (Bytes{1_b, 0_b, 1_b}));
+  EXPECT_EQ(MtfDecode(ranks), data);
+}
+
+TEST(MtfTest, RunsBecomeZeros) {
+  const Bytes data(100, 42_b);
+  const Bytes ranks = MtfEncode(data);
+  EXPECT_EQ(static_cast<unsigned>(ranks[0]), 42u);
+  for (std::size_t i = 1; i < ranks.size(); ++i) {
+    EXPECT_EQ(ranks[i], 0_b);
+  }
+}
+
+TEST(MtfTest, RoundTripsRandomData) {
+  Rng rng(77);
+  Bytes data(20000);
+  for (auto& b : data) b = static_cast<std::byte>(rng.NextBelow(256));
+  EXPECT_EQ(MtfDecode(MtfEncode(data)), data);
+}
+
+TEST(MtfTest, EmptyInput) {
+  EXPECT_TRUE(MtfEncode({}).empty());
+  EXPECT_TRUE(MtfDecode({}).empty());
+}
+
+TEST(ZrleTest, EncodesZeroRunsCompactly) {
+  Bytes ranks(1000, 0_b);
+  const auto symbols = ZrleEncode(ranks);
+  // Bijective base-2 of 1000 needs ~10 digits.
+  EXPECT_LE(symbols.size(), 12u);
+  EXPECT_EQ(ZrleDecode(symbols), ranks);
+}
+
+TEST(ZrleTest, RoundTripsExhaustiveRunLengths) {
+  for (std::size_t run = 0; run <= 70; ++run) {
+    Bytes ranks(run, 0_b);
+    ranks.push_back(5_b);
+    const auto symbols = ZrleEncode(ranks);
+    EXPECT_EQ(ZrleDecode(symbols), ranks) << "run=" << run;
+  }
+}
+
+TEST(ZrleTest, NonZeroValuesShiftedByOne) {
+  const Bytes ranks{3_b, 255_b};
+  const auto symbols = ZrleEncode(ranks);
+  ASSERT_EQ(symbols.size(), 2u);
+  EXPECT_EQ(symbols[0], 4u);
+  EXPECT_EQ(symbols[1], 256u);
+}
+
+TEST(ZrleTest, RoundTripsMixedData) {
+  Rng rng(88);
+  Bytes ranks(30000);
+  for (auto& b : ranks) {
+    // MTF output profile: mostly zeros.
+    b = rng.NextBool(0.8) ? 0_b
+                          : static_cast<std::byte>(1 + rng.NextBelow(255));
+  }
+  EXPECT_EQ(ZrleDecode(ZrleEncode(ranks)), ranks);
+}
+
+TEST(ZrleTest, RejectsOutOfRangeSymbol) {
+  const std::vector<std::uint16_t> symbols{257};
+  EXPECT_THROW(ZrleDecode(symbols), CorruptStreamError);
+}
+
+}  // namespace
+}  // namespace primacy

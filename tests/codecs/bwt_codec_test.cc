@@ -1,0 +1,92 @@
+#include "bwt/bwt_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "codec_test_util.h"
+#include "deflate/deflate.h"
+#include "util/error.h"
+
+namespace primacy {
+namespace {
+
+TEST(BwtCodecTest, MultiBlockStreamsRoundTrip) {
+  // Input spanning several 128 KiB blocks.
+  const Bytes data = testing::AllInputGenerators()[4].make(400000, 1);
+  const BwtCodec codec;
+  EXPECT_EQ(codec.Decompress(codec.Compress(data)), data);
+}
+
+TEST(BwtCodecTest, CustomBlockSizeRoundTrips) {
+  const Bytes data = testing::AllInputGenerators()[4].make(100000, 2);
+  for (const std::size_t block : {1024u, 4096u, 1u << 16}) {
+    const BwtCodec codec(block);
+    EXPECT_EQ(codec.Decompress(codec.Compress(data)), data)
+        << "block=" << block;
+  }
+}
+
+TEST(BwtCodecTest, TinyBlockSizeRejected) {
+  EXPECT_THROW(BwtCodec codec(4), InvalidArgumentError);
+}
+
+TEST(BwtCodecTest, BeatsDeflateOnTextLikeData) {
+  // The block-sorting class should out-compress LZ+Huffman on structured
+  // repetitive data (its classic advantage).
+  const Bytes data = testing::AllInputGenerators()[4].make(300000, 3);
+  const BwtCodec bwt;
+  const DeflateCodec deflate;
+  EXPECT_LT(bwt.Compress(data).size(), deflate.Compress(data).size());
+}
+
+TEST(BwtCodecTest, IsSlowerThanDeflateClass) {
+  // The trade the paper rejects bzlib2 for (Section IV-C): better ratio,
+  // throughput unsuitable for in-situ use.
+  const Bytes data = testing::AllInputGenerators()[4].make(500000, 4);
+  const BwtCodec bwt;
+  const DeflateCodec deflate;
+  const CodecMeasurement bm = MeasureCodec(bwt, data);
+  const CodecMeasurement dm = MeasureCodec(deflate, data);
+  EXPECT_LT(bm.CompressMBps(), dm.CompressMBps());
+}
+
+TEST(BwtCodecTest, RandomDataFallsBackToStored) {
+  const Bytes data = testing::AllInputGenerators()[2].make(100000, 5);
+  const BwtCodec codec;
+  const Bytes compressed = codec.Compress(data);
+  EXPECT_LE(compressed.size(), data.size() + 16);
+  EXPECT_EQ(codec.Decompress(compressed), data);
+}
+
+TEST(BwtCodecTest, BlockLengthLieRejected) {
+  const Bytes data = testing::AllInputGenerators()[4].make(50000, 6);
+  const BwtCodec codec;
+  Bytes compressed = codec.Compress(data);
+  // The first varint after [size, mode] is the first block's length; bump it.
+  // size 50000 encodes as 3 varint bytes, mode 1 byte => offset 4.
+  ASSERT_GT(compressed.size(), 5u);
+  compressed[4] = static_cast<std::byte>(
+      static_cast<std::uint8_t>(compressed[4]) ^ 0x01);
+  EXPECT_THROW(codec.Decompress(compressed), CorruptStreamError);
+}
+
+TEST(BwtCodecTest, UnknownModeRejected) {
+  Bytes stream;
+  stream.push_back(4_b);
+  stream.push_back(9_b);
+  const BwtCodec codec;
+  EXPECT_THROW(codec.Decompress(stream), CorruptStreamError);
+}
+
+TEST(BwtCodecTest, HighlyStructuredDataCompressesExtremely) {
+  Bytes data;
+  for (int i = 0; i < 20000; ++i) {
+    AppendBytes(data, BytesFromString("abracadabra"));
+  }
+  const BwtCodec codec;
+  const Bytes compressed = codec.Compress(data);
+  EXPECT_LT(compressed.size(), data.size() / 50);
+  EXPECT_EQ(codec.Decompress(compressed), data);
+}
+
+}  // namespace
+}  // namespace primacy

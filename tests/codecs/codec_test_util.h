@@ -1,0 +1,103 @@
+// Shared fixtures for the cross-codec roundtrip suite: the list of codecs
+// under test and a family of adversarial input generators.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/codec.h"
+#include "util/bytes.h"
+#include "util/byte_matrix.h"
+#include "util/rng.h"
+
+namespace primacy::testing {
+
+struct CodecFactory {
+  std::string label;
+  std::function<std::unique_ptr<Codec>()> make;
+};
+
+/// Every codec in the library; defined in codec_roundtrip_test.cc and kept in
+/// sync as codecs are added.
+std::vector<CodecFactory> AllCodecFactories();
+
+struct InputGenerator {
+  std::string label;
+  std::function<Bytes(std::size_t, std::uint64_t)> make;
+};
+
+inline std::vector<InputGenerator> AllInputGenerators() {
+  return {
+      {"zeros", [](std::size_t n, std::uint64_t) { return Bytes(n, std::byte{0}); }},
+      {"constant_aa",
+       [](std::size_t n, std::uint64_t) { return Bytes(n, std::byte{0xaa}); }},
+      {"random",
+       [](std::size_t n, std::uint64_t seed) {
+         Rng rng(seed);
+         Bytes out(n);
+         for (auto& b : out) b = static_cast<std::byte>(rng.NextBelow(256));
+         return out;
+       }},
+      {"skewed_bytes",
+       [](std::size_t n, std::uint64_t seed) {
+         Rng rng(seed);
+         Bytes out(n);
+         for (auto& b : out) {
+           b = static_cast<std::byte>(rng.NextSkewed(256, 0.85));
+         }
+         return out;
+       }},
+      {"repeated_phrases",
+       [](std::size_t n, std::uint64_t seed) {
+         Rng rng(seed);
+         const Bytes phrase = BytesFromString("scientific floating point ");
+         Bytes out;
+         while (out.size() < n) {
+           if (rng.NextBool(0.8)) {
+             AppendBytes(out, phrase);
+           } else {
+             out.push_back(static_cast<std::byte>(rng.NextBelow(256)));
+           }
+         }
+         out.resize(n);
+         return out;
+       }},
+      {"smooth_doubles",
+       [](std::size_t n, std::uint64_t seed) {
+         // Slowly-varying time series, the predictive coders' home turf.
+         Rng rng(seed);
+         std::vector<double> values(n / 8 + 1);
+         double x = 1.0;
+         for (auto& v : values) {
+           x += rng.NextGaussian() * 1e-3;
+           v = x;
+         }
+         Bytes out = DoublesToBigEndianRows(values);
+         out.resize(n);
+         return out;
+       }},
+      {"noisy_doubles",
+       [](std::size_t n, std::uint64_t seed) {
+         Rng rng(seed);
+         std::vector<double> values(n / 8 + 1);
+         for (auto& v : values) {
+           v = rng.NextGaussian() * 1e6;
+         }
+         Bytes out = DoublesToBigEndianRows(values);
+         out.resize(n);
+         return out;
+       }},
+      {"ascending_bytes",
+       [](std::size_t n, std::uint64_t) {
+         Bytes out(n);
+         for (std::size_t i = 0; i < n; ++i) {
+           out[i] = static_cast<std::byte>(i & 0xff);
+         }
+         return out;
+       }},
+  };
+}
+
+}  // namespace primacy::testing

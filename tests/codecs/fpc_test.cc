@@ -1,0 +1,128 @@
+#include "fpc/fpc_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec_test_util.h"
+#include "deflate/deflate.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace primacy {
+namespace {
+
+Bytes DoubleBytes(const std::vector<double>& values) {
+  return ToBytes(AsBytes(values));
+}
+
+TEST(FpcTest, ConstantStreamCompressesToHeadersOnly) {
+  const std::vector<double> values(10000, 42.5);
+  const FpcCodec codec;
+  const Bytes compressed = codec.Compress(DoubleBytes(values));
+  // After warmup the FCM prediction is exact: residual 0 bytes, only the
+  // packed 4-bit headers remain (~0.5 bytes per value).
+  EXPECT_LT(compressed.size(), values.size());
+  EXPECT_EQ(codec.Decompress(compressed), DoubleBytes(values));
+}
+
+TEST(FpcTest, LinearRampIsPredictedByDfcm) {
+  // Constant stride: DFCM's delta table predicts exactly after warmup.
+  std::vector<double> values(20000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1.0 + static_cast<double>(i) * 1e-8;
+  }
+  const FpcCodec codec;
+  const Bytes raw = DoubleBytes(values);
+  const Bytes compressed = codec.Compress(raw);
+  EXPECT_LT(compressed.size(), raw.size() / 4);
+  EXPECT_EQ(codec.Decompress(compressed), raw);
+}
+
+TEST(FpcTest, PermutationDestroysPrediction) {
+  std::vector<double> values(50000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1.0 + static_cast<double>(i) * 1e-8;
+  }
+  // Shuffle deterministically.
+  Rng rng(7);
+  for (std::size_t i = values.size(); i > 1; --i) {
+    std::swap(values[i - 1], values[rng.NextBelow(i)]);
+  }
+  const FpcCodec codec;
+  const Bytes raw = DoubleBytes(values);
+  const Bytes ordered_size_probe = codec.Compress(raw);
+  // Permuted ramp: deltas are large and erratic; far worse than ordered.
+  std::vector<double> ordered(values);
+  std::sort(ordered.begin(), ordered.end());
+  const Bytes ordered_compressed = codec.Compress(DoubleBytes(ordered));
+  EXPECT_GT(ordered_size_probe.size(), ordered_compressed.size() * 2);
+}
+
+TEST(FpcTest, TableBitsSweepRoundTrips) {
+  const Bytes data = testing::AllInputGenerators()[5].make(100000, 9);
+  for (const unsigned bits : {4u, 8u, 16u, 20u}) {
+    const FpcCodec codec(bits);
+    EXPECT_EQ(codec.Decompress(codec.Compress(data)), data) << bits;
+  }
+}
+
+TEST(FpcTest, InvalidTableBitsRejected) {
+  EXPECT_THROW(FpcCodec codec(3), InvalidArgumentError);
+  EXPECT_THROW(FpcCodec codec(25), InvalidArgumentError);
+}
+
+TEST(FpcTest, LargerTablesNeverHurtMuchOnMixedStreams) {
+  // More context capacity should generally help (or tie) on data with many
+  // recurring contexts.
+  Rng rng(11);
+  std::vector<double> values(100000);
+  double x = 1.0;
+  for (auto& v : values) {
+    x = 0.999 * x + 0.001 + rng.NextGaussian() * 1e-6;
+    v = x;
+  }
+  const Bytes raw = DoubleBytes(values);
+  const std::size_t small = FpcCodec(6).Compress(raw).size();
+  const std::size_t large = FpcCodec(20).Compress(raw).size();
+  EXPECT_LE(large, small + small / 10);
+}
+
+TEST(FpcTest, NonAlignedTailStoredVerbatim) {
+  Bytes data = DoubleBytes(std::vector<double>(100, 3.25));
+  data.push_back(0xAB_b);
+  data.push_back(0xCD_b);
+  const FpcCodec codec;
+  const Bytes restored = codec.Decompress(codec.Compress(data));
+  EXPECT_EQ(restored, data);
+}
+
+TEST(FpcTest, BadTableBitsInStreamRejected) {
+  const FpcCodec codec;
+  Bytes compressed = codec.Compress(DoubleBytes({1.0, 2.0, 3.0}));
+  // Byte layout: varint(24) = 1 byte, then table_bits.
+  compressed[1] = std::byte{99};
+  EXPECT_THROW(codec.Decompress(compressed), CorruptStreamError);
+}
+
+TEST(FpcTest, TrailingGarbageRejected) {
+  const FpcCodec codec;
+  Bytes compressed = codec.Compress(DoubleBytes({1.0, 2.0, 3.0, 4.0}));
+  compressed.push_back(0_b);
+  EXPECT_THROW(codec.Decompress(compressed), CorruptStreamError);
+}
+
+TEST(FpcTest, ThroughputIsOrdersAboveDeflateClass) {
+  // FPC's selling point: hundreds of MB/s. Compare relative to the
+  // deflate-class codec on the same buffer so the assertion holds under
+  // sanitizer/debug slowdowns too.
+  const Bytes data = testing::AllInputGenerators()[6].make(2000000, 12);
+  const FpcCodec fpc;
+  const DeflateCodec deflate;
+  const CodecMeasurement fm = MeasureCodec(fpc, data);
+  const CodecMeasurement dm = MeasureCodec(deflate, data);
+  EXPECT_GT(fm.CompressMBps(), 3.0 * dm.CompressMBps());
+}
+
+}  // namespace
+}  // namespace primacy

@@ -1,0 +1,151 @@
+#include "fpzip_like/fpz_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "codec_test_util.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace primacy {
+namespace {
+
+Bytes DoubleBytes(const std::vector<double>& values) {
+  return ToBytes(AsBytes(values));
+}
+
+/// Smooth 2-D field: f(x, y) = sin-ish surface plus small noise; row-major.
+std::vector<double> SmoothField2D(std::size_t nx, std::size_t ny,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> field(nx * ny);
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      field[y * nx + x] =
+          std::sin(0.01 * static_cast<double>(x)) *
+              std::cos(0.02 * static_cast<double>(y)) +
+          rng.NextGaussian() * 1e-9;
+    }
+  }
+  return field;
+}
+
+TEST(FpzTest, Grid1DSmoothSeriesCompresses) {
+  Rng rng(1);
+  std::vector<double> values(50000);
+  double x = 1.0;
+  for (auto& v : values) {
+    x += rng.NextGaussian() * 1e-9;
+    v = x;
+  }
+  const FpzCodec codec;
+  const Bytes raw = DoubleBytes(values);
+  const Bytes compressed = codec.Compress(raw);
+  EXPECT_LT(compressed.size(), raw.size() / 2);
+  EXPECT_EQ(codec.Decompress(compressed), raw);
+}
+
+TEST(FpzTest, Grid2DBeatsGrid1DOnPlanarField) {
+  // A field varying along y as well as x: the 2-D Lorenzo predictor sees the
+  // north/northwest neighbours and should beat the 1-D stream predictor.
+  const std::size_t nx = 256, ny = 128;
+  const auto field = SmoothField2D(nx, ny, 2);
+  const Bytes raw = DoubleBytes(field);
+  const auto codec_1d = FpzCodec::Grid1D();
+  const auto codec_2d = FpzCodec::Grid2D(nx);
+  const Bytes c1 = codec_1d.Compress(raw);
+  const Bytes c2 = codec_2d.Compress(raw);
+  EXPECT_LE(c2.size(), c1.size());
+  EXPECT_EQ(codec_2d.Decompress(c2), raw);
+}
+
+TEST(FpzTest, Grid3DRoundTripsVolumes) {
+  const std::size_t nx = 16, ny = 16, nz = 12;
+  Rng rng(3);
+  std::vector<double> volume(nx * ny * nz);
+  for (std::size_t i = 0; i < volume.size(); ++i) {
+    volume[i] = static_cast<double>(i % 97) + rng.NextDouble() * 1e-6;
+  }
+  const auto codec = FpzCodec::Grid3D(nx, ny);
+  const Bytes raw = DoubleBytes(volume);
+  EXPECT_EQ(codec.Decompress(codec.Compress(raw)), raw);
+}
+
+TEST(FpzTest, GridShorterThanOneRowRoundTrips) {
+  const auto codec = FpzCodec::Grid2D(1000);  // row longer than the stream
+  const Bytes raw = DoubleBytes(std::vector<double>(10, 1.25));
+  EXPECT_EQ(codec.Decompress(codec.Compress(raw)), raw);
+}
+
+TEST(FpzTest, EntropyStageExploitsRepetitiveResiduals) {
+  // Exact arithmetic ramp: residuals are identical every step, so the
+  // entropy stage (standing in for fpzip's range coder) must collapse them.
+  std::vector<double> values(50000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  const FpzCodec codec;
+  const Bytes raw = DoubleBytes(values);
+  const Bytes compressed = codec.Compress(raw);
+  EXPECT_LT(compressed.size(), raw.size() / 6);
+  EXPECT_EQ(codec.Decompress(compressed), raw);
+}
+
+TEST(FpzTest, OrderMattersUnlikeFrequencyMethods) {
+  Rng rng(4);
+  std::vector<double> values(40000);
+  double x = 1.0;
+  for (auto& v : values) {
+    x += 1e-8 + rng.NextGaussian() * 1e-10;
+    v = x;
+  }
+  const FpzCodec codec;
+  const std::size_t ordered = codec.Compress(DoubleBytes(values)).size();
+  auto shuffled = values;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.NextBelow(i)]);
+  }
+  const std::size_t permuted = codec.Compress(DoubleBytes(shuffled)).size();
+  EXPECT_GT(permuted, ordered + ordered / 4);
+}
+
+TEST(FpzTest, ZeroExtentInStreamRejected) {
+  const FpzCodec codec;
+  // A compressible ramp so the stream is NOT the stored fallback.
+  std::vector<double> values(1000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  Bytes compressed = codec.Compress(DoubleBytes(values));
+  // Layout: varint(8000) = 2 bytes, dims = 1 byte, then varint nx; zeroing
+  // the first nx byte terminates the varint at value 0.
+  ASSERT_EQ(static_cast<unsigned>(compressed[2]), 1u);  // dims
+  compressed[3] = 0_b;
+  EXPECT_THROW(codec.Decompress(compressed), CorruptStreamError);
+}
+
+TEST(FpzTest, BadDimsRejected) {
+  const FpzCodec codec;
+  std::vector<double> values(1000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  Bytes compressed = codec.Compress(DoubleBytes(values));
+  compressed[2] = std::byte{7};  // dims byte after the 2-byte size varint
+  EXPECT_THROW(codec.Decompress(compressed), CorruptStreamError);
+}
+
+TEST(FpzTest, HeaderResidualConsistencyEnforced) {
+  const FpzCodec codec;
+  Bytes compressed = codec.Compress(DoubleBytes(
+      std::vector<double>{1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5}));
+  // Truncating the stream must be detected (either block framing or the
+  // residual-consumption check).
+  compressed.resize(compressed.size() - 3);
+  EXPECT_THROW(codec.Decompress(compressed), CorruptStreamError);
+}
+
+}  // namespace
+}  // namespace primacy

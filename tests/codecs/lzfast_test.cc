@@ -1,0 +1,110 @@
+#include "lzfast/lzfast.h"
+
+#include <gtest/gtest.h>
+
+#include "codec_test_util.h"
+#include "deflate/deflate.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace primacy {
+namespace {
+
+TEST(LzFastTest, LongLiteralRunsUseExtendedLengths) {
+  // > 15 literals forces the 255-run extension path.
+  Rng rng(1);
+  Bytes data(1000);
+  for (auto& b : data) b = static_cast<std::byte>(rng.NextBelow(256));
+  const LzFastCodec codec;
+  EXPECT_EQ(codec.Decompress(codec.Compress(data)), data);
+}
+
+TEST(LzFastTest, LongMatchesUseExtendedLengths) {
+  // A single byte repeated: one literal + one enormous overlapping match,
+  // whose length needs many extension bytes.
+  const Bytes data(100000, 9_b);
+  const LzFastCodec codec;
+  const Bytes compressed = codec.Compress(data);
+  EXPECT_LT(compressed.size(), 500u);
+  EXPECT_EQ(codec.Decompress(compressed), data);
+}
+
+TEST(LzFastTest, OverlappingMatchReplicates) {
+  Bytes data = BytesFromString("abab");
+  for (int i = 0; i < 10; ++i) AppendBytes(data, BytesFromString("abab"));
+  const LzFastCodec codec;
+  EXPECT_EQ(codec.Decompress(codec.Compress(data)), data);
+}
+
+TEST(LzFastTest, MatchBeyond64KWindowNotUsed) {
+  // The same phrase 100 KB apart: beyond the 16-bit distance limit, so the
+  // encoder must re-emit it as literals or nearer matches — correctness is
+  // what matters.
+  Bytes data = BytesFromString("unique-phrase-here");
+  AppendBytes(data, testing::AllInputGenerators()[2].make(100000, 3));
+  AppendBytes(data, BytesFromString("unique-phrase-here"));
+  const LzFastCodec codec;
+  EXPECT_EQ(codec.Decompress(codec.Compress(data)), data);
+}
+
+TEST(LzFastTest, IncompressibleInputFallsBackToStored) {
+  const Bytes data = testing::AllInputGenerators()[2].make(50000, 4);
+  const LzFastCodec codec;
+  const Bytes compressed = codec.Compress(data);
+  EXPECT_LE(compressed.size(), data.size() + 16);
+  EXPECT_EQ(codec.Decompress(compressed), data);
+}
+
+TEST(LzFastTest, IsSubstantiallyFasterThanDeflateClass) {
+  // The whole point of the lzo class. Compare on compressible data.
+  const Bytes data = testing::AllInputGenerators()[4].make(2000000, 5);
+  const LzFastCodec fast;
+  const DeflateCodec slow;
+  const CodecMeasurement fm = MeasureCodec(fast, data);
+  const CodecMeasurement sm = MeasureCodec(slow, data);
+  EXPECT_GT(fm.CompressMBps(), sm.CompressMBps());
+  // And with a weaker ratio (it has no entropy stage).
+  EXPECT_LE(fm.CompressionRatio(), sm.CompressionRatio() * 1.05);
+}
+
+TEST(LzFastTest, UnknownModeByteRejected) {
+  Bytes stream;
+  stream.push_back(8_b);  // varint size 8
+  stream.push_back(7_b);  // invalid mode
+  const LzFastCodec codec;
+  EXPECT_THROW(codec.Decompress(stream), CorruptStreamError);
+}
+
+TEST(LzFastTest, LiteralOverrunRejected) {
+  // Declared size 1 but a sequence with 5 literals.
+  Bytes stream;
+  stream.push_back(1_b);                           // original_size = 1
+  stream.push_back(1_b);                           // mode lz
+  stream.push_back(static_cast<std::byte>(5 << 4)); // 5 literals, match code 0
+  for (int i = 0; i < 5; ++i) stream.push_back(0_b);
+  const LzFastCodec codec;
+  EXPECT_THROW(codec.Decompress(stream), CorruptStreamError);
+}
+
+TEST(LzFastTest, ZeroDistanceRejected) {
+  Bytes stream;
+  stream.push_back(10_b);  // original_size = 10
+  stream.push_back(1_b);   // mode lz
+  stream.push_back(static_cast<std::byte>((1 << 4) | 0));  // 1 literal, match 4
+  stream.push_back(65_b);  // the literal
+  stream.push_back(0_b);   // distance low byte = 0
+  stream.push_back(0_b);   // distance high byte = 0
+  const LzFastCodec codec;
+  EXPECT_THROW(codec.Decompress(stream), CorruptStreamError);
+}
+
+TEST(LzFastTest, StoredModeTrailingBytesRejected) {
+  const LzFastCodec codec;
+  const Bytes data = testing::AllInputGenerators()[2].make(1000, 6);
+  Bytes compressed = codec.Compress(data);  // stored (random data)
+  compressed.push_back(0_b);
+  EXPECT_THROW(codec.Decompress(compressed), CorruptStreamError);
+}
+
+}  // namespace
+}  // namespace primacy

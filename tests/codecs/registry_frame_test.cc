@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "compress/frame.h"
+#include "compress/registry.h"
+#include "core/builtin_codecs.h"
+#include "deflate/deflate.h"
+#include "util/error.h"
+
+namespace primacy {
+namespace {
+
+TEST(RegistryTest, BuiltinCodecsAreRegistered) {
+  RegisterBuiltinCodecs();
+  for (const char* name :
+       {"deflate", "deflate-fast", "lzfast", "bwt", "fpc", "fpz"}) {
+    EXPECT_TRUE(CodecRegistry::Global().Contains(name)) << name;
+    const auto codec = CreateCodec(name);
+    EXPECT_EQ(codec->name(), name);
+  }
+}
+
+TEST(RegistryTest, RegisterBuiltinCodecsIsIdempotent) {
+  RegisterBuiltinCodecs();
+  RegisterBuiltinCodecs();
+  SUCCEED();
+}
+
+TEST(RegistryTest, UnknownCodecThrows) {
+  EXPECT_THROW(CreateCodec("no-such-codec"), InvalidArgumentError);
+}
+
+TEST(RegistryTest, DuplicateRegistrationThrows) {
+  RegisterBuiltinCodecs();
+  EXPECT_THROW(CodecRegistry::Global().Register(
+                   "deflate", [] { return std::make_unique<DeflateCodec>(); }),
+               InvalidArgumentError);
+}
+
+TEST(RegistryTest, NamesAreSorted) {
+  RegisterBuiltinCodecs();
+  const auto names = CodecRegistry::Global().Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_GE(names.size(), 6u);
+}
+
+TEST(FrameTest, RoundTripsThroughRegistry) {
+  RegisterBuiltinCodecs();
+  const DeflateCodec codec;
+  const Bytes input = BytesFromString(
+      "frame me frame me frame me frame me frame me frame me");
+  const Bytes frame = CompressToFrame(codec, input);
+  EXPECT_EQ(DecompressFrame(frame), input);
+}
+
+TEST(FrameTest, ParseExposesMetadata) {
+  const DeflateCodec codec;
+  const Bytes input(5000, std::byte{3});
+  const Bytes frame = CompressToFrame(codec, input);
+  const ParsedFrame parsed = ParseFrame(frame);
+  EXPECT_EQ(parsed.info.codec_name, "deflate");
+  EXPECT_EQ(parsed.info.original_bytes, input.size());
+  EXPECT_EQ(parsed.info.payload_bytes, parsed.payload.size());
+}
+
+TEST(FrameTest, BadMagicRejected) {
+  Bytes garbage(16, std::byte{0x77});
+  EXPECT_THROW(ParseFrame(garbage), CorruptStreamError);
+}
+
+TEST(FrameTest, WrongVersionRejected) {
+  const DeflateCodec codec;
+  Bytes frame = CompressToFrame(codec, BytesFromString("x"));
+  frame[4] = std::byte{99};  // version byte follows the 4-byte magic
+  EXPECT_THROW(ParseFrame(frame), CorruptStreamError);
+}
+
+TEST(FrameTest, SizeLieDetected) {
+  RegisterBuiltinCodecs();
+  const DeflateCodec codec;
+  const Bytes input = BytesFromString("truthful content");
+  const Bytes payload = codec.Compress(input);
+  const Bytes frame = WrapFrame("deflate", input.size() + 1, payload);
+  EXPECT_THROW(DecompressFrame(frame), CorruptStreamError);
+}
+
+}  // namespace
+}  // namespace primacy

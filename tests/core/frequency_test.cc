@@ -1,0 +1,111 @@
+#include "core/frequency.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace primacy {
+namespace {
+
+Bytes HighBytesFromSequences(std::span<const std::uint16_t> sequences) {
+  Bytes out(sequences.size() * 2);
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    out[i * 2] = static_cast<std::byte>(sequences[i] >> 8);
+    out[i * 2 + 1] = static_cast<std::byte>(sequences[i] & 0xff);
+  }
+  return out;
+}
+
+TEST(PairFrequencyTest, CountsBigEndianPairs) {
+  const std::vector<std::uint16_t> sequences{0x3f80, 0x3f80, 0x4000};
+  const PairFrequency freq =
+      AnalyzePairFrequency(HighBytesFromSequences(sequences));
+  EXPECT_EQ(freq.counts[0x3f80], 2u);
+  EXPECT_EQ(freq.counts[0x4000], 1u);
+  EXPECT_EQ(freq.DistinctSequences(), 2u);
+}
+
+TEST(PairFrequencyTest, OddByteCountRejected) {
+  EXPECT_THROW(AnalyzePairFrequency(Bytes(3)), InvalidArgumentError);
+}
+
+TEST(IdIndexTest, MostFrequentSequenceGetsIdZero) {
+  // 0x4000 x3, 0x3f80 x2, 0x1234 x1.
+  const std::vector<std::uint16_t> sequences{0x4000, 0x4000, 0x4000,
+                                             0x3f80, 0x3f80, 0x1234};
+  const IdIndex index = IdIndex::FromFrequency(
+      AnalyzePairFrequency(HighBytesFromSequences(sequences)));
+  ASSERT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.IdOf(0x4000), 0u);
+  EXPECT_EQ(index.IdOf(0x3f80), 1u);
+  EXPECT_EQ(index.IdOf(0x1234), 2u);
+  EXPECT_EQ(index.SequenceOf(0), 0x4000);
+}
+
+TEST(IdIndexTest, TiesBrokenByAscendingSequence) {
+  const std::vector<std::uint16_t> sequences{0x0500, 0x0300, 0x0400};
+  const IdIndex index = IdIndex::FromFrequency(
+      AnalyzePairFrequency(HighBytesFromSequences(sequences)));
+  EXPECT_EQ(index.IdOf(0x0300), 0u);
+  EXPECT_EQ(index.IdOf(0x0400), 1u);
+  EXPECT_EQ(index.IdOf(0x0500), 2u);
+}
+
+TEST(IdIndexTest, AbsentSequenceIsUnmapped) {
+  const std::vector<std::uint16_t> sequences{0x1111};
+  const IdIndex index = IdIndex::FromFrequency(
+      AnalyzePairFrequency(HighBytesFromSequences(sequences)));
+  EXPECT_EQ(index.IdOf(0x2222), IdIndex::kUnmapped);
+}
+
+TEST(IdIndexTest, MappingIsBijective) {
+  Rng rng(1);
+  std::vector<std::uint16_t> sequences(50000);
+  for (auto& s : sequences) {
+    s = static_cast<std::uint16_t>(rng.NextSkewed(1500, 0.99));
+  }
+  const IdIndex index = IdIndex::FromFrequency(
+      AnalyzePairFrequency(HighBytesFromSequences(sequences)));
+  for (std::size_t id = 0; id < index.size(); ++id) {
+    EXPECT_EQ(index.IdOf(index.SequenceOf(id)), id);
+  }
+}
+
+TEST(IdIndexTest, SerializationRoundTrips) {
+  Rng rng(2);
+  std::vector<std::uint16_t> sequences(10000);
+  for (auto& s : sequences) {
+    s = static_cast<std::uint16_t>(rng.NextSkewed(800, 0.98) * 37);
+  }
+  const IdIndex index = IdIndex::FromFrequency(
+      AnalyzePairFrequency(HighBytesFromSequences(sequences)));
+  const IdIndex restored = DeserializeIndex(SerializeIndex(index));
+  ASSERT_EQ(restored.size(), index.size());
+  for (std::size_t id = 0; id < index.size(); ++id) {
+    EXPECT_EQ(restored.SequenceOf(id), index.SequenceOf(id));
+  }
+}
+
+TEST(IdIndexTest, DuplicateSequencesInSerializedIndexRejected) {
+  const std::vector<std::uint16_t> duplicated{7, 7};
+  EXPECT_THROW(IdIndex::FromSequences(duplicated), CorruptStreamError);
+}
+
+TEST(IdIndexTest, TruncatedSerializationRejected) {
+  const std::vector<std::uint16_t> sequences{0x0102, 0x0304};
+  const IdIndex index = IdIndex::FromFrequency(
+      AnalyzePairFrequency(HighBytesFromSequences(sequences)));
+  Bytes data = SerializeIndex(index);
+  data.pop_back();
+  EXPECT_THROW(DeserializeIndex(data), CorruptStreamError);
+}
+
+TEST(IdIndexTest, EmptyFrequencyGivesEmptyIndex) {
+  const IdIndex index =
+      IdIndex::FromFrequency(AnalyzePairFrequency({}));
+  EXPECT_EQ(index.size(), 0u);
+}
+
+}  // namespace
+}  // namespace primacy

@@ -1,0 +1,74 @@
+// In-situ driver edge cases not covered by in_situ_test.cc: interaction with
+// options (solver, precision restrictions), shard boundaries, and stats
+// aggregation invariants.
+#include "core/in_situ.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/datasets.h"
+#include "util/error.h"
+
+namespace primacy {
+namespace {
+
+TEST(InSituEdgeTest, ShardSizeLargerThanInputGivesSingleShard) {
+  const auto values = GenerateDatasetByName("obs_info", 5000);
+  InSituOptions options;
+  options.shard_elements = 1 << 20;
+  const InSituResult result = InSituCompress(values, options);
+  EXPECT_EQ(result.shards.size(), 1u);
+  EXPECT_EQ(InSituDecompress(result.shards, options), values);
+}
+
+TEST(InSituEdgeTest, ExactShardBoundary) {
+  const auto values = GenerateDatasetByName("obs_info", 40000);
+  InSituOptions options;
+  options.shard_elements = 10000;  // divides exactly
+  const InSituResult result = InSituCompress(values, options);
+  EXPECT_EQ(result.shards.size(), 4u);
+  EXPECT_EQ(InSituDecompress(result.shards, options), values);
+}
+
+TEST(InSituEdgeTest, AlternativeSolverPropagates) {
+  const auto values = GenerateDatasetByName("num_plasma", 30000);
+  InSituOptions options;
+  options.primacy.solver = "lzfast";
+  options.shard_elements = 8000;
+  const InSituResult result = InSituCompress(values, options);
+  // Solver name is embedded per shard; a default-option decompressor works.
+  EXPECT_EQ(InSituDecompress(result.shards, InSituOptions{}), values);
+}
+
+TEST(InSituEdgeTest, StatsSumToWholeInput) {
+  const auto values = GenerateDatasetByName("flash_gamc", 50000);
+  InSituOptions options;
+  options.shard_elements = 12000;
+  const InSituResult result = InSituCompress(values, options);
+  std::size_t summed = 0;
+  for (const Bytes& shard : result.shards) summed += shard.size();
+  EXPECT_EQ(summed, result.totals.output_bytes);
+  EXPECT_EQ(result.totals.input_bytes, values.size() * 8);
+}
+
+TEST(InSituEdgeTest, ChunkSizeSmallerThanShardProducesMultipleChunks) {
+  const auto values = GenerateDatasetByName("obs_temp", 60000);
+  InSituOptions options;
+  options.shard_elements = 30000;      // 2 shards
+  options.primacy.chunk_bytes = 32 * 1024;  // 4096 elements/chunk
+  const InSituResult result = InSituCompress(values, options);
+  EXPECT_EQ(result.shards.size(), 2u);
+  EXPECT_GT(result.totals.chunks, 10u);
+  EXPECT_EQ(InSituDecompress(result.shards, options), values);
+}
+
+TEST(InSituEdgeTest, DecompressWithMissingShardFailsLoudly) {
+  const auto values = GenerateDatasetByName("obs_info", 30000);
+  InSituOptions options;
+  options.shard_elements = 10000;
+  InSituResult result = InSituCompress(values, options);
+  result.shards[1].resize(result.shards[1].size() / 2);  // corrupt a shard
+  EXPECT_THROW(InSituDecompress(result.shards, options), CorruptStreamError);
+}
+
+}  // namespace
+}  // namespace primacy

@@ -1,0 +1,69 @@
+#include "core/in_situ.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/datasets.h"
+#include "util/error.h"
+
+namespace primacy {
+namespace {
+
+TEST(InSituTest, ShardedRoundTripMatchesInput) {
+  const auto values = GenerateDatasetByName("num_comet", 150000);
+  InSituOptions options;
+  options.shard_elements = 20000;
+  options.threads = 4;
+  options.primacy.chunk_bytes = 64 * 1024;
+  const InSituResult result = InSituCompress(values, options);
+  EXPECT_EQ(result.shards.size(), 8u);  // ceil(150000 / 20000)
+  EXPECT_EQ(InSituDecompress(result.shards, options), values);
+}
+
+TEST(InSituTest, TotalsAggregateAcrossShards) {
+  const auto values = GenerateDatasetByName("obs_error", 100000);
+  InSituOptions options;
+  options.shard_elements = 25000;
+  options.threads = 2;
+  const InSituResult result = InSituCompress(values, options);
+  EXPECT_EQ(result.totals.input_bytes, values.size() * 8);
+  EXPECT_EQ(result.totals.output_bytes, result.TotalCompressedBytes());
+  EXPECT_GT(result.totals.chunks, 0u);
+}
+
+TEST(InSituTest, ShardOutputIndependentOfThreadCount) {
+  const auto values = GenerateDatasetByName("obs_spitzer", 80000);
+  InSituOptions one;
+  one.shard_elements = 10000;
+  one.threads = 1;
+  InSituOptions many = one;
+  many.threads = 8;
+  const InSituResult a = InSituCompress(values, one);
+  const InSituResult b = InSituCompress(values, many);
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (std::size_t i = 0; i < a.shards.size(); ++i) {
+    EXPECT_EQ(a.shards[i], b.shards[i]) << "shard " << i;
+  }
+}
+
+TEST(InSituTest, EmptyInputYieldsNoShards) {
+  const InSituResult result = InSituCompress(std::span<const double>{});
+  EXPECT_TRUE(result.shards.empty());
+  EXPECT_TRUE(InSituDecompress(result.shards).empty());
+}
+
+TEST(InSituTest, ZeroShardElementsRejected) {
+  InSituOptions options;
+  options.shard_elements = 0;
+  const std::vector<double> values(10, 1.0);
+  EXPECT_THROW(InSituCompress(values, options), InvalidArgumentError);
+}
+
+TEST(InSituTest, CompressionActuallyReduces) {
+  const auto values = GenerateDatasetByName("num_plasma", 200000);
+  const InSituResult result = InSituCompress(values);
+  EXPECT_LT(result.TotalCompressedBytes(), values.size() * 8);
+  EXPECT_GT(result.totals.CompressionRatio(), 1.0);
+}
+
+}  // namespace
+}  // namespace primacy

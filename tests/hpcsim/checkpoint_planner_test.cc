@@ -1,0 +1,100 @@
+#include "hpcsim/checkpoint_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace primacy::hpcsim {
+namespace {
+
+TEST(YoungIntervalTest, MatchesClosedForm) {
+  // delta = 50s, M = 10000s -> sqrt(2 * 50 * 10000) = 1000s.
+  EXPECT_DOUBLE_EQ(YoungInterval(50.0, 10000.0), 1000.0);
+}
+
+TEST(YoungIntervalTest, GrowsWithMtbfShrinksWithCost) {
+  EXPECT_GT(YoungInterval(50.0, 40000.0), YoungInterval(50.0, 10000.0));
+  EXPECT_LT(YoungInterval(10.0, 10000.0), YoungInterval(50.0, 10000.0));
+}
+
+TEST(DalyIntervalTest, CloseToYoungForSmallCosts) {
+  const double young = YoungInterval(10.0, 100000.0);
+  const double daly = DalyInterval(10.0, 100000.0);
+  EXPECT_NEAR(daly / young, 1.0, 0.05);
+}
+
+TEST(DalyIntervalTest, BoundaryCaseReturnsMtbf) {
+  EXPECT_DOUBLE_EQ(DalyInterval(500.0, 100.0), 100.0);
+}
+
+TEST(DalyIntervalTest, NeverBelowCheckpointCost) {
+  EXPECT_GE(DalyInterval(90.0, 100.0), 90.0);
+}
+
+TEST(MachineEfficiencyTest, PerfectWorldApproachesOne) {
+  // Tiny checkpoint cost, enormous MTBF.
+  EXPECT_GT(MachineEfficiency(3600.0, 1e-3, 1e9, 1e-3), 0.999);
+}
+
+TEST(MachineEfficiencyTest, PeaksNearOptimalInterval) {
+  const double delta = 50.0, mtbf = 10000.0, restart = 100.0;
+  const double optimum = DalyInterval(delta, mtbf);
+  const double at_optimum = MachineEfficiency(optimum, delta, mtbf, restart);
+  EXPECT_GT(at_optimum, MachineEfficiency(optimum / 8.0, delta, mtbf, restart));
+  EXPECT_GT(at_optimum, MachineEfficiency(optimum * 8.0, delta, mtbf, restart));
+}
+
+TEST(MachineEfficiencyTest, NeverNegative) {
+  EXPECT_GE(MachineEfficiency(1e6, 50.0, 100.0, 1000.0), 0.0);
+}
+
+TEST(MachineEfficiencyTest, ValidatesArguments) {
+  EXPECT_THROW(MachineEfficiency(0.0, 1.0, 1.0, 0.0), InvalidArgumentError);
+  EXPECT_THROW(MachineEfficiency(1.0, 0.0, 1.0, 0.0), InvalidArgumentError);
+  EXPECT_THROW(MachineEfficiency(1.0, 1.0, -1.0, 0.0), InvalidArgumentError);
+  EXPECT_THROW(MachineEfficiency(1.0, 1.0, 1.0, -1.0), InvalidArgumentError);
+}
+
+TEST(PlanCheckpointsTest, CompressionImprovesEfficiency) {
+  // A compressed checkpoint writes less, so it costs less, the optimal
+  // interval shortens, and machine efficiency rises — the end-to-end version
+  // of the paper's motivation.
+  ClusterConfig config;
+  config.compute_nodes = 8;
+  config.compute_per_io = 8;
+  config.network_bps = 120e6;
+  config.disk_write_bps = 25e6;
+  config.disk_read_bps = 80e6;
+
+  const double chunk = 512.0 * 1024 * 1024;  // 512 MB state per node
+  CompressionProfile raw = CompressionProfile::Null(chunk);
+  CompressionProfile compressed = CompressionProfile::Null(chunk);
+  compressed.output_bytes = chunk / 1.3;   // PRIMACY-class reduction
+  compressed.compress_seconds = chunk / 80e6;
+  compressed.decompress_seconds = chunk / 250e6;
+
+  const double mtbf = 6.0 * 3600.0;  // 6 hours
+  const CheckpointPlan raw_plan = PlanCheckpoints(config, raw, mtbf);
+  const CheckpointPlan comp_plan = PlanCheckpoints(config, compressed, mtbf);
+
+  EXPECT_LT(comp_plan.checkpoint_seconds, raw_plan.checkpoint_seconds);
+  EXPECT_LT(comp_plan.daly_interval, raw_plan.daly_interval);
+  EXPECT_GT(comp_plan.efficiency_at_daly, raw_plan.efficiency_at_daly);
+}
+
+TEST(PlanCheckpointsTest, PlanFieldsAreConsistent) {
+  ClusterConfig config;
+  config.compute_nodes = 16;
+  const CheckpointPlan plan = PlanCheckpoints(
+      config, CompressionProfile::Null(64.0 * 1024 * 1024), 3600.0);
+  EXPECT_GT(plan.checkpoint_seconds, 0.0);
+  EXPECT_GT(plan.restart_seconds, 0.0);
+  EXPECT_GT(plan.young_interval, plan.checkpoint_seconds);
+  EXPECT_GT(plan.efficiency_at_daly, 0.0);
+  EXPECT_LE(plan.efficiency_at_daly, 1.0);
+}
+
+}  // namespace
+}  // namespace primacy::hpcsim

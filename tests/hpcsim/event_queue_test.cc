@@ -1,0 +1,72 @@
+#include "hpcsim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace primacy::hpcsim {
+namespace {
+
+TEST(EventQueueTest, FiresInTimestampOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(3.0, [&] { order.push_back(3); });
+  queue.Schedule(1.0, [&] { order.push_back(1); });
+  queue.Schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(queue.Run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimestampsFifoByScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  queue.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CallbacksMayScheduleFurtherEvents) {
+  EventQueue queue;
+  std::vector<double> times;
+  queue.Schedule(1.0, [&] {
+    times.push_back(queue.Now());
+    queue.Schedule(2.5, [&] { times.push_back(queue.Now()); });
+  });
+  EXPECT_DOUBLE_EQ(queue.Run(), 2.5);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.5}));
+  EXPECT_EQ(queue.ProcessedEvents(), 2u);
+}
+
+TEST(EventQueueTest, NowAdvancesMonotonically) {
+  EventQueue queue;
+  double last = -1.0;
+  for (double t : {4.0, 2.0, 8.0, 2.0}) {
+    queue.Schedule(t, [&, t] {
+      EXPECT_GE(queue.Now(), last);
+      EXPECT_DOUBLE_EQ(queue.Now(), t);
+      last = queue.Now();
+    });
+  }
+  queue.Run();
+}
+
+TEST(EventQueueTest, SchedulingIntoThePastRejected) {
+  EventQueue queue;
+  queue.Schedule(5.0, [&] {
+    EXPECT_THROW(queue.Schedule(1.0, [] {}), InvalidArgumentError);
+  });
+  queue.Run();
+}
+
+TEST(EventQueueTest, EmptyRunReturnsZero) {
+  EventQueue queue;
+  EXPECT_DOUBLE_EQ(queue.Run(), 0.0);
+  EXPECT_TRUE(queue.Empty());
+}
+
+}  // namespace
+}  // namespace primacy::hpcsim

@@ -1,0 +1,95 @@
+// Heterogeneous per-node profiles: the paper's "variable length segments
+// from compute nodes" (Section I). Compressed payload sizes differ across
+// nodes; the bulk-synchronous step ends with the straggler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hpcsim/staging.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace primacy::hpcsim {
+namespace {
+
+ClusterConfig OneGroup() {
+  ClusterConfig config;
+  config.compute_nodes = 8;
+  config.compute_per_io = 8;
+  config.network_bps = 100e6;
+  config.disk_write_bps = 50e6;
+  config.disk_read_bps = 60e6;
+  return config;
+}
+
+TEST(HeterogeneousTest, UniformVectorMatchesScalarOverload) {
+  const ClusterConfig config = OneGroup();
+  const CompressionProfile profile = CompressionProfile::Null(1e6);
+  const std::vector<CompressionProfile> profiles(config.compute_nodes,
+                                                 profile);
+  const StagingResult a = SimulateWrite(config, profile);
+  const StagingResult b = SimulateWrite(config, profiles);
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_DOUBLE_EQ(a.aggregate_throughput_bps, b.aggregate_throughput_bps);
+}
+
+TEST(HeterogeneousTest, StragglerSetsStepTime) {
+  const ClusterConfig config = OneGroup();
+  std::vector<CompressionProfile> profiles(config.compute_nodes,
+                                           CompressionProfile::Null(0.5e6));
+  const StagingResult balanced = SimulateWrite(config, profiles);
+  // One node ships 4x the payload of the others.
+  profiles[3].output_bytes = 2e6;
+  const StagingResult skewed = SimulateWrite(config, profiles);
+  EXPECT_GT(skewed.total_seconds, balanced.total_seconds);
+  // The extra 1.5 MB must pass through the shared disk (50 MB/s), stretching
+  // the step by ~0.03 s regardless of which node drains last from the FIFO.
+  EXPECT_NEAR(skewed.total_seconds - balanced.total_seconds, 1.5e6 / 50e6,
+              5e-3);
+}
+
+TEST(HeterogeneousTest, VariableCompressedSizesAverageOut) {
+  // Per-node ratios drawn around a mean: total time should sit between the
+  // best-case and worst-case uniform runs.
+  const ClusterConfig config = OneGroup();
+  Rng rng(7);
+  std::vector<CompressionProfile> profiles;
+  for (std::size_t n = 0; n < config.compute_nodes; ++n) {
+    CompressionProfile profile = CompressionProfile::Null(1e6);
+    profile.output_bytes = 1e6 / (1.05 + 0.4 * rng.NextDouble());
+    profile.compress_seconds = 0.002;
+    profiles.push_back(profile);
+  }
+  const StagingResult mixed = SimulateWrite(config, profiles);
+
+  CompressionProfile best = CompressionProfile::Null(1e6);
+  best.output_bytes = 1e6 / 1.45;
+  best.compress_seconds = 0.002;
+  CompressionProfile worst = CompressionProfile::Null(1e6);
+  worst.output_bytes = 1e6 / 1.05;
+  worst.compress_seconds = 0.002;
+  EXPECT_GE(mixed.total_seconds, SimulateWrite(config, best).total_seconds);
+  EXPECT_LE(mixed.total_seconds, SimulateWrite(config, worst).total_seconds);
+}
+
+TEST(HeterogeneousTest, ReadPathSupportsPerNodeProfiles) {
+  const ClusterConfig config = OneGroup();
+  std::vector<CompressionProfile> profiles(config.compute_nodes,
+                                           CompressionProfile::Null(1e6));
+  profiles[0].output_bytes = 0.25e6;
+  profiles[0].decompress_seconds = 0.001;
+  const StagingResult result = SimulateRead(config, profiles);
+  EXPECT_GT(result.total_seconds, 0.0);
+  EXPECT_EQ(result.nodes.size(), config.compute_nodes);
+}
+
+TEST(HeterogeneousTest, WrongProfileCountRejected) {
+  const ClusterConfig config = OneGroup();
+  const std::vector<CompressionProfile> profiles(3,
+                                                 CompressionProfile::Null(1e6));
+  EXPECT_THROW(SimulateWrite(config, profiles), InvalidArgumentError);
+  EXPECT_THROW(SimulateRead(config, profiles), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace primacy::hpcsim

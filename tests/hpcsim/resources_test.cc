@@ -1,0 +1,51 @@
+#include "hpcsim/resources.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace primacy::hpcsim {
+namespace {
+
+TEST(FifoServerTest, ServiceTimeIsBytesOverRate) {
+  FifoServer server("disk", 100.0);  // 100 bytes/s
+  EXPECT_DOUBLE_EQ(server.Submit(0.0, 500.0), 5.0);
+}
+
+TEST(FifoServerTest, BackToBackJobsQueue) {
+  FifoServer server("net", 100.0);
+  EXPECT_DOUBLE_EQ(server.Submit(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(server.Submit(0.0, 100.0), 2.0);  // waits for the first
+  EXPECT_DOUBLE_EQ(server.Submit(0.0, 100.0), 3.0);
+}
+
+TEST(FifoServerTest, IdleGapsAreRespected) {
+  FifoServer server("net", 100.0);
+  EXPECT_DOUBLE_EQ(server.Submit(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(server.Submit(10.0, 100.0), 11.0);  // arrives after idle
+}
+
+TEST(FifoServerTest, AccountingTracksBusyTimeAndBytes) {
+  FifoServer server("disk", 50.0);
+  server.Submit(0.0, 100.0);
+  server.Submit(0.0, 50.0);
+  EXPECT_DOUBLE_EQ(server.busy_seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(server.bytes_served(), 150.0);
+  EXPECT_DOUBLE_EQ(server.Utilization(6.0), 0.5);
+  EXPECT_DOUBLE_EQ(server.Utilization(0.0), 0.0);
+}
+
+TEST(FifoServerTest, ZeroByteJobCompletesImmediately) {
+  FifoServer server("net", 10.0);
+  EXPECT_DOUBLE_EQ(server.Submit(2.0, 0.0), 2.0);
+}
+
+TEST(FifoServerTest, InvalidArgumentsRejected) {
+  EXPECT_THROW(FifoServer("bad", 0.0), InvalidArgumentError);
+  FifoServer server("net", 1.0);
+  EXPECT_THROW(server.Submit(-1.0, 10.0), InvalidArgumentError);
+  EXPECT_THROW(server.Submit(0.0, -10.0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace primacy::hpcsim

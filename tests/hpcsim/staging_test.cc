@@ -1,0 +1,227 @@
+#include "hpcsim/staging.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "model/perf_model.h"
+#include "util/error.h"
+
+namespace primacy::hpcsim {
+namespace {
+
+ClusterConfig SmallCluster() {
+  ClusterConfig config;
+  config.compute_nodes = 16;
+  config.compute_per_io = 8;
+  config.network_bps = 100e6;
+  config.disk_write_bps = 50e6;
+  config.disk_read_bps = 60e6;
+  return config;
+}
+
+TEST(StagingWriteTest, NullProfileTimingIsExact) {
+  // 8 nodes x 1 MB each through one 100 MB/s link then one 50 MB/s disk:
+  // last transfer completes at 8 MB / 100 MB/s = 0.08 s; disk starts as data
+  // lands and finishes at 0.01 (first arrival) + 8 MB / 50 MB/s = 0.17 s.
+  ClusterConfig config = SmallCluster();
+  config.compute_nodes = 8;
+  const CompressionProfile profile = CompressionProfile::Null(1e6);
+  const StagingResult result = SimulateWrite(config, profile);
+  EXPECT_NEAR(result.total_seconds, 0.01 + 8e6 / 50e6, 1e-9);
+  EXPECT_EQ(result.nodes.size(), 8u);
+  // Transfers serialize on the shared link: completions at 0.01, 0.02, ...
+  std::vector<double> transfer_times;
+  for (const auto& node : result.nodes) {
+    transfer_times.push_back(node.transfer_done);
+  }
+  std::sort(transfer_times.begin(), transfer_times.end());
+  for (std::size_t i = 0; i < transfer_times.size(); ++i) {
+    EXPECT_NEAR(transfer_times[i], 0.01 * static_cast<double>(i + 1), 1e-9);
+  }
+}
+
+TEST(StagingWriteTest, CompressionShrinksWireAndDiskTime) {
+  const ClusterConfig config = SmallCluster();
+  CompressionProfile compressed = CompressionProfile::Null(1e6);
+  compressed.output_bytes = 0.5e6;
+  compressed.precondition_seconds = 0.001;
+  compressed.compress_seconds = 0.004;
+  const StagingResult null_case =
+      SimulateWrite(config, CompressionProfile::Null(1e6));
+  const StagingResult comp_case = SimulateWrite(config, compressed);
+  EXPECT_LT(comp_case.total_seconds, null_case.total_seconds);
+  EXPECT_GT(comp_case.ThroughputMBps(), null_case.ThroughputMBps());
+}
+
+TEST(StagingWriteTest, SlowCompressionCanLose) {
+  const ClusterConfig config = SmallCluster();
+  CompressionProfile slow = CompressionProfile::Null(1e6);
+  slow.output_bytes = 0.9e6;      // barely shrinks
+  slow.compress_seconds = 0.5;    // very slow
+  const StagingResult null_case =
+      SimulateWrite(config, CompressionProfile::Null(1e6));
+  const StagingResult slow_case = SimulateWrite(config, slow);
+  EXPECT_GT(slow_case.total_seconds, null_case.total_seconds);
+}
+
+TEST(StagingWriteTest, IoGroupsRunIndependently) {
+  // Doubling compute nodes with proportional I/O groups leaves per-group
+  // timing unchanged.
+  ClusterConfig small = SmallCluster();
+  small.compute_nodes = 8;
+  ClusterConfig large = SmallCluster();
+  large.compute_nodes = 64;
+  const CompressionProfile profile = CompressionProfile::Null(2e6);
+  const StagingResult a = SimulateWrite(small, profile);
+  const StagingResult b = SimulateWrite(large, profile);
+  EXPECT_NEAR(a.total_seconds, b.total_seconds, 1e-9);
+  // Aggregate throughput scales with node count.
+  EXPECT_NEAR(b.aggregate_throughput_bps / a.aggregate_throughput_bps, 8.0,
+              1e-6);
+}
+
+TEST(StagingReadTest, ReadPathOrdersDiskThenNetworkThenCpu) {
+  const ClusterConfig config = SmallCluster();
+  CompressionProfile profile = CompressionProfile::Null(1e6);
+  profile.decompress_seconds = 0.002;
+  profile.postcondition_seconds = 0.001;
+  const StagingResult result = SimulateRead(config, profile);
+  for (const auto& node : result.nodes) {
+    EXPECT_LE(node.io_done, node.transfer_done);
+    EXPECT_LE(node.transfer_done, node.finished);
+    EXPECT_NEAR(node.finished - node.local_done, 0.0, 1e-12);
+  }
+}
+
+TEST(StagingReadTest, SmallerPayloadReadsFaster) {
+  const ClusterConfig config = SmallCluster();
+  CompressionProfile compressed = CompressionProfile::Null(1e6);
+  compressed.output_bytes = 0.4e6;
+  compressed.decompress_seconds = 0.003;
+  compressed.postcondition_seconds = 0.001;
+  const StagingResult null_case =
+      SimulateRead(config, CompressionProfile::Null(1e6));
+  const StagingResult comp_case = SimulateRead(config, compressed);
+  EXPECT_GT(comp_case.ThroughputMBps(), null_case.ThroughputMBps());
+}
+
+TEST(StagingTest, UtilizationsAreSane) {
+  const StagingResult result =
+      SimulateWrite(SmallCluster(), CompressionProfile::Null(1e6));
+  EXPECT_GT(result.network_utilization, 0.0);
+  EXPECT_LE(result.network_utilization, 1.0);
+  EXPECT_GT(result.disk_utilization, 0.0);
+  EXPECT_LE(result.disk_utilization, 1.0);
+  EXPECT_GT(result.events_processed, 0u);
+}
+
+TEST(CompressionPlacementTest, ComputeSideBeatsIoSide) {
+  // Section III-A: compression parallelizes across compute nodes; at the
+  // I/O node it serializes behind one CPU and the network still carries
+  // the raw payload.
+  ClusterConfig config = SmallCluster();
+  CompressionProfile profile = CompressionProfile::Null(2e6);
+  profile.output_bytes = 1.5e6;
+  profile.compress_seconds = 0.02;
+  const double compute_side =
+      SimulateWrite(config, profile).aggregate_throughput_bps;
+  const double io_side =
+      SimulateWriteAtIoNode(config, profile).aggregate_throughput_bps;
+  EXPECT_GT(compute_side, io_side);
+}
+
+TEST(CompressionPlacementTest, IoSideStillBeatsNullWhenCompressionIsCheap) {
+  ClusterConfig config = SmallCluster();
+  CompressionProfile profile = CompressionProfile::Null(2e6);
+  profile.output_bytes = 1e6;
+  profile.compress_seconds = 0.0005;  // nearly free compression
+  const double null_case =
+      SimulateWrite(config, CompressionProfile::Null(2e6))
+          .aggregate_throughput_bps;
+  const double io_side =
+      SimulateWriteAtIoNode(config, profile).aggregate_throughput_bps;
+  EXPECT_GT(io_side, null_case);
+}
+
+TEST(CompressionPlacementTest, IoSideValidatesProfile) {
+  CompressionProfile profile = CompressionProfile::Null(2e6);
+  profile.chunks_per_node = 0;
+  EXPECT_THROW(SimulateWriteAtIoNode(SmallCluster(), profile),
+               InvalidArgumentError);
+}
+
+TEST(StagingTest, InvalidConfigRejected) {
+  ClusterConfig config = SmallCluster();
+  config.compute_nodes = 0;
+  EXPECT_THROW(SimulateWrite(config, CompressionProfile::Null(1e6)),
+               InvalidArgumentError);
+}
+
+// The paper validates its analytical model against the staging environment
+// (Figure 4: theoretical vs empirical bars). Here: simulator and model must
+// agree within a modest band on both paths, since the simulator resolves
+// contention the model only approximates.
+TEST(ModelAgreementTest, WriteModelTracksSimulator) {
+  ModelInputs in;
+  in.chunk_bytes = 3.0 * 1024 * 1024;
+  in.metadata_bytes = 3000;
+  in.alpha1 = 0.25;
+  in.alpha2 = 0.3;
+  in.sigma_ho = 0.4;
+  in.sigma_lo = 0.9;
+  in.rho = 8.0;
+  in.network_bps = 400e6;
+  in.disk_write_bps = 150e6;
+  in.precondition_bps = 700e6;
+  in.compress_bps = 90e6;
+
+  ClusterConfig config;
+  config.compute_nodes = 8;
+  config.compute_per_io = 8;
+  config.network_bps = in.network_bps;
+  config.disk_write_bps = in.disk_write_bps;
+
+  CompressionProfile profile;
+  profile.input_bytes = in.chunk_bytes;
+  profile.output_bytes = PrimacyOutputBytes(in);
+  profile.precondition_seconds =
+      in.chunk_bytes / in.precondition_bps +
+      (1.0 - in.alpha1) * in.chunk_bytes / in.precondition_bps;
+  profile.compress_seconds =
+      in.alpha1 * in.chunk_bytes / in.compress_bps +
+      in.alpha2 * (1.0 - in.alpha1) * in.chunk_bytes / in.compress_bps;
+
+  const double model_mbps = PrimacyWrite(in).ThroughputMBps();
+  const double sim_mbps = SimulateWrite(config, profile).ThroughputMBps();
+  EXPECT_NEAR(sim_mbps / model_mbps, 1.0, 0.35);
+}
+
+TEST(ModelAgreementTest, BaselineModelTracksSimulator) {
+  ModelInputs in;
+  in.chunk_bytes = 3.0 * 1024 * 1024;
+  in.rho = 8.0;
+  in.network_bps = 400e6;
+  in.disk_write_bps = 150e6;
+
+  ClusterConfig config;
+  config.compute_nodes = 8;
+  config.compute_per_io = 8;
+  config.network_bps = in.network_bps;
+  config.disk_write_bps = in.disk_write_bps;
+
+  const double model_mbps = BaselineWrite(in).ThroughputMBps();
+  const double sim_mbps =
+      SimulateWrite(config, CompressionProfile::Null(in.chunk_bytes))
+          .ThroughputMBps();
+  // The model serializes transfer and write (Eq. 6) while the simulator
+  // overlaps them, so the model is systematically pessimistic; the paper's
+  // own Figure 4 shows the same one-sided gap. Require agreement within 50%
+  // and the correct direction.
+  EXPECT_NEAR(sim_mbps / model_mbps, 1.0, 0.5);
+  EXPECT_GE(sim_mbps, model_mbps * 0.99);
+}
+
+}  // namespace
+}  // namespace primacy::hpcsim

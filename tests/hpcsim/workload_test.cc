@@ -1,0 +1,105 @@
+// Failure-injected workload simulation vs the analytic efficiency model.
+#include <gtest/gtest.h>
+
+#include "hpcsim/checkpoint_planner.h"
+#include "util/error.h"
+
+namespace primacy::hpcsim {
+namespace {
+
+TEST(WorkloadTest, NoFailuresMatchesDeterministicAccounting) {
+  // MTBF enormous: wall time = work + checkpoints * delta exactly.
+  const WorkloadResult result =
+      SimulateFailingWorkload(1000.0, 100.0, 10.0, 50.0, 1e12, 1);
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_EQ(result.checkpoints_written, 10u);
+  EXPECT_NEAR(result.wall_seconds, 1000.0 + 10 * 10.0, 1e-9);
+  EXPECT_NEAR(result.efficiency, 1000.0 / 1100.0, 1e-9);
+}
+
+TEST(WorkloadTest, FailuresExtendWallClock) {
+  const WorkloadResult calm =
+      SimulateFailingWorkload(10000.0, 500.0, 20.0, 100.0, 1e12, 2);
+  const WorkloadResult stormy =
+      SimulateFailingWorkload(10000.0, 500.0, 20.0, 100.0, 3000.0, 2);
+  EXPECT_GT(stormy.failures, 0u);
+  EXPECT_GT(stormy.wall_seconds, calm.wall_seconds);
+  EXPECT_LT(stormy.efficiency, calm.efficiency);
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  const WorkloadResult a =
+      SimulateFailingWorkload(5000.0, 200.0, 15.0, 60.0, 2000.0, 7);
+  const WorkloadResult b =
+      SimulateFailingWorkload(5000.0, 200.0, 15.0, 60.0, 2000.0, 7);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, b.wall_seconds);
+  const WorkloadResult c =
+      SimulateFailingWorkload(5000.0, 200.0, 15.0, 60.0, 2000.0, 8);
+  EXPECT_NE(a.wall_seconds, c.wall_seconds);
+}
+
+TEST(WorkloadTest, AnalyticEfficiencyTracksMonteCarlo) {
+  // Long horizon + many failures: the analytic first-order model must land
+  // within a few points of the simulated ground truth near the optimum.
+  const double delta = 30.0, mtbf = 6 * 3600.0, restart = 120.0;
+  const double interval = DalyInterval(delta, mtbf);
+  const double analytic = MachineEfficiency(interval, delta, mtbf, restart);
+  double total_eff = 0.0;
+  constexpr int kRuns = 20;
+  for (int seed = 0; seed < kRuns; ++seed) {
+    total_eff += SimulateFailingWorkload(200.0 * 3600.0, interval, delta,
+                                         restart, mtbf,
+                                         static_cast<std::uint64_t>(seed))
+                     .efficiency;
+  }
+  const double simulated = total_eff / kRuns;
+  EXPECT_NEAR(simulated, analytic, 0.05);
+}
+
+TEST(WorkloadTest, OptimalIntervalBeatsBadIntervalsInSimulation) {
+  const double delta = 60.0, mtbf = 4 * 3600.0, restart = 150.0;
+  const double optimum = DalyInterval(delta, mtbf);
+  const auto run = [&](double interval) {
+    double total = 0.0;
+    for (int seed = 0; seed < 12; ++seed) {
+      total += SimulateFailingWorkload(100.0 * 3600.0, interval, delta,
+                                       restart, mtbf,
+                                       static_cast<std::uint64_t>(seed))
+                   .efficiency;
+    }
+    return total / 12.0;
+  };
+  const double at_optimum = run(optimum);
+  EXPECT_GT(at_optimum, run(optimum / 10.0));
+  EXPECT_GT(at_optimum, run(optimum * 10.0));
+}
+
+TEST(WorkloadTest, FasterCheckpointsRaiseSimulatedEfficiency) {
+  // The compression payoff, Monte-Carlo edition.
+  const double mtbf = 2 * 3600.0, restart = 100.0;
+  const auto run = [&](double delta) {
+    const double interval = DalyInterval(delta, mtbf);
+    double total = 0.0;
+    for (int seed = 0; seed < 12; ++seed) {
+      total += SimulateFailingWorkload(50.0 * 3600.0, interval, delta,
+                                       restart, mtbf,
+                                       static_cast<std::uint64_t>(seed))
+                   .efficiency;
+    }
+    return total / 12.0;
+  };
+  EXPECT_GT(run(90.0), run(180.0));  // halving checkpoint cost helps
+}
+
+TEST(WorkloadTest, ValidatesArguments) {
+  EXPECT_THROW(SimulateFailingWorkload(0.0, 1.0, 1.0, 1.0, 1.0, 0),
+               InvalidArgumentError);
+  EXPECT_THROW(SimulateFailingWorkload(1.0, 0.0, 1.0, 1.0, 1.0, 0),
+               InvalidArgumentError);
+  EXPECT_THROW(SimulateFailingWorkload(1.0, 1.0, 1.0, -1.0, 1.0, 0),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace primacy::hpcsim

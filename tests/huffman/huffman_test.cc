@@ -1,0 +1,211 @@
+#include "huffman/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace primacy {
+namespace {
+
+double KraftSum(std::span<const std::uint8_t> lengths) {
+  double sum = 0.0;
+  for (const std::uint8_t len : lengths) {
+    if (len != 0) sum += std::pow(2.0, -static_cast<double>(len));
+  }
+  return sum;
+}
+
+TEST(BuildCodeLengthsTest, EmptyAlphabetGivesAllZeros) {
+  const std::vector<std::uint64_t> freq(10, 0);
+  const auto lengths = BuildCodeLengths(freq);
+  for (const auto len : lengths) EXPECT_EQ(len, 0);
+}
+
+TEST(BuildCodeLengthsTest, SingleSymbolGetsLengthOne) {
+  std::vector<std::uint64_t> freq(10, 0);
+  freq[4] = 99;
+  const auto lengths = BuildCodeLengths(freq);
+  EXPECT_EQ(lengths[4], 1);
+  EXPECT_EQ(std::accumulate(lengths.begin(), lengths.end(), 0), 1);
+}
+
+TEST(BuildCodeLengthsTest, TwoSymbolsGetOneBitEach) {
+  const std::vector<std::uint64_t> freq{5, 100};
+  const auto lengths = BuildCodeLengths(freq);
+  EXPECT_EQ(lengths[0], 1);
+  EXPECT_EQ(lengths[1], 1);
+}
+
+TEST(BuildCodeLengthsTest, KraftEqualityHolds) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint64_t> freq(256);
+    for (auto& f : freq) f = rng.NextBelow(1000);
+    const auto lengths = BuildCodeLengths(freq);
+    std::size_t active = 0;
+    for (const auto f : freq) active += (f != 0);
+    if (active < 2) continue;
+    EXPECT_NEAR(KraftSum(lengths), 1.0, 1e-12);
+  }
+}
+
+TEST(BuildCodeLengthsTest, RespectsMaxLength) {
+  // Fibonacci-like frequencies force deep unconstrained Huffman trees.
+  std::vector<std::uint64_t> freq(30);
+  std::uint64_t a = 1, b = 1;
+  for (auto& f : freq) {
+    f = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  for (unsigned max_len : {5u, 8u, 15u}) {
+    const auto lengths = BuildCodeLengths(freq, max_len);
+    for (const auto len : lengths) EXPECT_LE(len, max_len);
+    EXPECT_NEAR(KraftSum(lengths), 1.0, 1e-12);
+  }
+}
+
+TEST(BuildCodeLengthsTest, MoreFrequentSymbolsGetShorterOrEqualCodes) {
+  const std::vector<std::uint64_t> freq{1000, 500, 100, 10, 1};
+  const auto lengths = BuildCodeLengths(freq);
+  for (std::size_t i = 0; i + 1 < freq.size(); ++i) {
+    EXPECT_LE(lengths[i], lengths[i + 1]);
+  }
+}
+
+TEST(BuildCodeLengthsTest, CostIsWithinOneBitOfEntropy) {
+  // Optimality sanity: average code length <= H + 1 (Huffman bound).
+  Rng rng(2);
+  std::vector<std::uint64_t> freq(256);
+  Bytes sample(100000);
+  for (auto& byte : sample) {
+    byte = static_cast<std::byte>(rng.NextSkewed(256, 0.95));
+  }
+  for (const auto byte : sample) ++freq[static_cast<std::size_t>(byte)];
+  const auto lengths = BuildCodeLengths(freq);
+  double total_bits = 0.0;
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < 256; ++s) {
+    total_bits += static_cast<double>(freq[s]) * lengths[s];
+    total += freq[s];
+  }
+  const double avg_len = total_bits / static_cast<double>(total);
+  const double entropy = ByteEntropyBits(sample);
+  EXPECT_LE(avg_len, entropy + 1.0);
+  EXPECT_GE(avg_len, entropy);  // Shannon lower bound
+}
+
+TEST(BuildCodeLengthsTest, AlphabetTooLargeForMaxLengthThrows) {
+  const std::vector<std::uint64_t> freq(5, 1);  // 5 symbols, max length 2
+  EXPECT_THROW(BuildCodeLengths(freq, 2), InvalidArgumentError);
+  EXPECT_THROW(BuildCodeLengths(freq, 0), InvalidArgumentError);
+  EXPECT_THROW(BuildCodeLengths(freq, 16), InvalidArgumentError);
+}
+
+TEST(HuffmanRoundTripTest, EncodesAndDecodesSkewedStream) {
+  Rng rng(3);
+  std::vector<std::uint64_t> freq(64, 0);
+  std::vector<std::size_t> symbols;
+  for (int i = 0; i < 20000; ++i) {
+    symbols.push_back(rng.NextSkewed(64, 0.8));
+    ++freq[symbols.back()];
+  }
+  const auto lengths = BuildCodeLengths(freq);
+  const HuffmanEncoder encoder(lengths);
+  BitWriter writer;
+  for (const auto s : symbols) encoder.Encode(writer, s);
+  const Bytes data = writer.Finish();
+
+  const HuffmanDecoder decoder(lengths);
+  BitReader reader(data);
+  for (const auto s : symbols) EXPECT_EQ(decoder.Decode(reader), s);
+}
+
+TEST(HuffmanRoundTripTest, DegenerateSingleSymbolStream) {
+  std::vector<std::uint64_t> freq(10, 0);
+  freq[7] = 5;
+  const auto lengths = BuildCodeLengths(freq);
+  const HuffmanEncoder encoder(lengths);
+  BitWriter writer;
+  for (int i = 0; i < 5; ++i) encoder.Encode(writer, 7);
+  const Bytes data = writer.Finish();
+  const HuffmanDecoder decoder(lengths);
+  BitReader reader(data);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(decoder.Decode(reader), 7u);
+}
+
+TEST(HuffmanRoundTripTest, FullByteAlphabet) {
+  Rng rng(4);
+  std::vector<std::uint64_t> freq(256, 1);  // every symbol present
+  const auto lengths = BuildCodeLengths(freq);
+  const HuffmanEncoder encoder(lengths);
+  const HuffmanDecoder decoder(lengths);
+  BitWriter writer;
+  std::vector<std::size_t> symbols;
+  for (int i = 0; i < 4096; ++i) {
+    symbols.push_back(rng.NextBelow(256));
+    encoder.Encode(writer, symbols.back());
+  }
+  const Bytes data = writer.Finish();
+  BitReader reader(data);
+  for (const auto s : symbols) EXPECT_EQ(decoder.Decode(reader), s);
+}
+
+TEST(HuffmanDecoderTest, EmptyCodeRejected) {
+  const std::vector<std::uint8_t> lengths(8, 0);
+  EXPECT_THROW(HuffmanDecoder decoder(lengths), InvalidArgumentError);
+}
+
+TEST(HuffmanDecoderTest, OversubscribedLengthsRejected) {
+  // Three symbols of length 1 oversubscribe.
+  const std::vector<std::uint8_t> lengths{1, 1, 1};
+  EXPECT_THROW(HuffmanDecoder decoder(lengths), InvalidArgumentError);
+  EXPECT_THROW(HuffmanEncoder encoder(lengths), InvalidArgumentError);
+}
+
+TEST(HuffmanDecoderTest, IncompleteCodeInvalidWindowThrows) {
+  // Lengths {2, 2}: windows starting with the two missing 2-bit codes are
+  // invalid and must be rejected, not silently decoded.
+  const std::vector<std::uint8_t> lengths{2, 2};
+  const HuffmanDecoder decoder(lengths);
+  // Codes assigned canonically: symbol0 = 00, symbol1 = 01 (MSB-first).
+  // An all-ones byte cannot start with either code.
+  const Bytes data{0xff_b};
+  BitReader reader(data);
+  EXPECT_THROW(decoder.Decode(reader), CorruptStreamError);
+}
+
+TEST(CodeLengthSerializationTest, RoundTripsTypicalVectors) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> freq(286, 0);
+    for (int i = 0; i < 5000; ++i) ++freq[rng.NextSkewed(286, 0.9)];
+    const auto lengths = BuildCodeLengths(freq);
+    const Bytes serialized = SerializeCodeLengths(lengths);
+    EXPECT_EQ(DeserializeCodeLengths(serialized, lengths.size()), lengths);
+  }
+}
+
+TEST(CodeLengthSerializationTest, SizeMismatchThrows) {
+  const std::vector<std::uint8_t> lengths{1, 1};
+  const Bytes serialized = SerializeCodeLengths(lengths);
+  EXPECT_THROW(DeserializeCodeLengths(serialized, 3), CorruptStreamError);
+}
+
+TEST(CodeLengthSerializationTest, CompactForRunHeavyVectors) {
+  std::vector<std::uint8_t> lengths(286, 0);
+  lengths[0] = 1;
+  lengths[285] = 1;
+  const Bytes serialized = SerializeCodeLengths(lengths);
+  EXPECT_LT(serialized.size(), 20u);
+}
+
+}  // namespace
+}  // namespace primacy

@@ -1,0 +1,95 @@
+// Optimality properties of the package-merge construction, checked against
+// a reference unconstrained Huffman cost computed with a priority queue.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "huffman/huffman.h"
+#include "util/rng.h"
+
+namespace primacy {
+namespace {
+
+/// Total encoded cost (sum over symbols of freq * length).
+std::uint64_t Cost(std::span<const std::uint64_t> freq,
+                   std::span<const std::uint8_t> lengths) {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < freq.size(); ++s) {
+    total += freq[s] * lengths[s];
+  }
+  return total;
+}
+
+/// Reference: unconstrained Huffman cost = sum of all internal-node weights
+/// produced by the classic two-smallest merge.
+std::uint64_t ReferenceHuffmanCost(std::span<const std::uint64_t> freq) {
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>> heap;
+  for (const std::uint64_t f : freq) {
+    if (f != 0) heap.push(f);
+  }
+  if (heap.size() < 2) return heap.size();  // degenerate: 1 bit per symbol
+  std::uint64_t cost = 0;
+  while (heap.size() > 1) {
+    const std::uint64_t a = heap.top();
+    heap.pop();
+    const std::uint64_t b = heap.top();
+    heap.pop();
+    cost += a + b;
+    heap.push(a + b);
+  }
+  return cost;
+}
+
+TEST(PackageMergeOptimalityTest, MatchesUnconstrainedHuffmanWhenDepthFits) {
+  // Frequencies within a 2x band keep the optimal depth near log2(n), far
+  // below the 15-bit cap, so the constrained optimum equals the Huffman
+  // optimum exactly.
+  Rng rng(42);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint64_t> freq(256);
+    for (auto& f : freq) f = 100 + rng.NextBelow(100);
+    const auto lengths = BuildCodeLengths(freq);
+    EXPECT_EQ(Cost(freq, lengths), ReferenceHuffmanCost(freq))
+        << "trial " << trial;
+  }
+}
+
+TEST(PackageMergeOptimalityTest, ConstrainedCostNeverBelowUnconstrained) {
+  // With wildly skewed frequencies the 15-bit cap may bind; the constrained
+  // cost must then be >= the unconstrained optimum (and still decodable,
+  // which BuildCodeLengths' Kraft check enforces).
+  Rng rng(43);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> freq(64);
+    std::uint64_t value = 1;
+    for (auto& f : freq) {
+      f = value;
+      value = value * 2 > 1000000 ? 1 : value * 2;  // exponential bands
+    }
+    // Shuffle so symbol order is not depth order.
+    for (std::size_t i = freq.size(); i > 1; --i) {
+      std::swap(freq[i - 1], freq[rng.NextBelow(i)]);
+    }
+    const auto lengths = BuildCodeLengths(freq);
+    EXPECT_GE(Cost(freq, lengths), ReferenceHuffmanCost(freq));
+  }
+}
+
+TEST(PackageMergeOptimalityTest, CostMonotoneInLengthBudget) {
+  // A tighter cap can only cost more.
+  Rng rng(44);
+  std::vector<std::uint64_t> freq(200);
+  for (auto& f : freq) f = 1 + rng.NextSkewed(100000, 0.999);
+  std::uint64_t previous = ~std::uint64_t{0};
+  for (unsigned cap : {8u, 10u, 12u, 15u}) {
+    const auto lengths = BuildCodeLengths(freq, cap);
+    const std::uint64_t cost = Cost(freq, lengths);
+    EXPECT_LE(cost, previous) << "cap " << cap;
+    previous = cost;
+  }
+}
+
+}  // namespace
+}  // namespace primacy

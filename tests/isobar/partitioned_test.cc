@@ -1,0 +1,118 @@
+#include "isobar/partitioned_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "deflate/deflate.h"
+#include "lzfast/lzfast.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace primacy {
+namespace {
+
+Bytes MixedMatrix(std::size_t n, std::uint64_t seed) {
+  // 6-byte elements: 2 skewed columns, 4 random (a mantissa-like profile).
+  Rng rng(seed);
+  Bytes rows(n * 6);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows[i * 6 + 0] = static_cast<std::byte>(rng.NextSkewed(16, 0.5));
+    rows[i * 6 + 1] = static_cast<std::byte>(rng.NextSkewed(64, 0.7));
+    for (std::size_t c = 2; c < 6; ++c) {
+      rows[i * 6 + c] = static_cast<std::byte>(rng.NextBelow(256));
+    }
+  }
+  return rows;
+}
+
+TEST(IsobarPartitionedTest, RoundTripsMixedMatrix) {
+  const Bytes rows = MixedMatrix(20000, 1);
+  const DeflateCodec solver;
+  const IsobarCompressed compressed = IsobarCompress(rows, 6, solver);
+  EXPECT_EQ(IsobarDecompress(compressed.stream, solver), rows);
+}
+
+TEST(IsobarPartitionedTest, OnlyCompressibleColumnsGoThroughSolver) {
+  const Bytes rows = MixedMatrix(20000, 2);
+  const DeflateCodec solver;
+  const IsobarCompressed compressed = IsobarCompress(rows, 6, solver);
+  EXPECT_EQ(compressed.plan.CompressibleColumns().size(), 2u);
+  EXPECT_EQ(compressed.raw_bytes, 4u * 20000u);
+  // The solver output must actually be smaller than the 2 skewed columns.
+  EXPECT_LT(compressed.compressed_bytes, 2u * 20000u);
+}
+
+TEST(IsobarPartitionedTest, BeatsWholesaleCompressionOnMixedData) {
+  // The point of ISOBAR: skipping noise both shrinks nothing *and* costs
+  // nothing; the partitioned stream must not be bigger than compressing
+  // everything (within framing overhead).
+  const Bytes rows = MixedMatrix(50000, 3);
+  const DeflateCodec solver;
+  const IsobarCompressed partitioned = IsobarCompress(rows, 6, solver);
+  const Bytes wholesale = solver.Compress(rows);
+  EXPECT_LT(partitioned.stream.size(),
+            wholesale.size() + wholesale.size() / 10);
+}
+
+TEST(IsobarPartitionedTest, AllRandomMatrixStoredNearlyRaw) {
+  Rng rng(4);
+  Bytes rows(6 * 30000);
+  for (auto& b : rows) b = static_cast<std::byte>(rng.NextBelow(256));
+  const DeflateCodec solver;
+  const IsobarCompressed compressed = IsobarCompress(rows, 6, solver);
+  EXPECT_EQ(compressed.plan.CompressibleColumns().size(), 0u);
+  EXPECT_LE(compressed.stream.size(), rows.size() + 64);
+  EXPECT_EQ(IsobarDecompress(compressed.stream, solver), rows);
+}
+
+TEST(IsobarPartitionedTest, AllConstantMatrixFullyCompressed) {
+  const Bytes rows(6 * 10000, 5_b);
+  const DeflateCodec solver;
+  const IsobarCompressed compressed = IsobarCompress(rows, 6, solver);
+  EXPECT_EQ(compressed.plan.CompressibleColumns().size(), 6u);
+  EXPECT_EQ(compressed.raw_bytes, 0u);
+  EXPECT_LT(compressed.stream.size(), 1000u);
+  EXPECT_EQ(IsobarDecompress(compressed.stream, solver), rows);
+}
+
+TEST(IsobarPartitionedTest, WorksWithDifferentSolvers) {
+  const Bytes rows = MixedMatrix(10000, 5);
+  const LzFastCodec solver;
+  const IsobarCompressed compressed = IsobarCompress(rows, 6, solver);
+  EXPECT_EQ(IsobarDecompress(compressed.stream, solver), rows);
+}
+
+TEST(IsobarPartitionedTest, ExplicitPlanIsHonored) {
+  const Bytes rows = MixedMatrix(5000, 6);
+  const DeflateCodec solver;
+  IsobarPlan plan = AnalyzeColumns(rows, 6);
+  // Force every column raw.
+  for (auto& col : plan.columns) col.compressible = false;
+  const IsobarCompressed compressed = IsobarCompress(rows, 6, plan, solver);
+  EXPECT_EQ(compressed.raw_bytes, rows.size());
+  EXPECT_EQ(IsobarDecompress(compressed.stream, solver), rows);
+}
+
+TEST(IsobarPartitionedTest, PlanWidthMismatchRejected) {
+  const Bytes rows = MixedMatrix(100, 7);
+  const DeflateCodec solver;
+  const IsobarPlan plan = AnalyzeColumns(rows, 6);
+  EXPECT_THROW(IsobarCompress(rows, 3, plan, solver), InvalidArgumentError);
+}
+
+TEST(IsobarPartitionedTest, EmptyMatrixRoundTrips) {
+  const DeflateCodec solver;
+  const IsobarCompressed compressed = IsobarCompress({}, 6, solver);
+  EXPECT_TRUE(IsobarDecompress(compressed.stream, solver).empty());
+}
+
+TEST(IsobarPartitionedTest, CorruptStreamDetected) {
+  const Bytes rows = MixedMatrix(5000, 8);
+  const DeflateCodec solver;
+  IsobarCompressed compressed = IsobarCompress(rows, 6, solver);
+  compressed.stream.resize(compressed.stream.size() / 3);
+  EXPECT_THROW(IsobarDecompress(compressed.stream, solver),
+               CorruptStreamError);
+}
+
+}  // namespace
+}  // namespace primacy

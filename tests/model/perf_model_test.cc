@@ -1,0 +1,174 @@
+#include "model/perf_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace primacy {
+namespace {
+
+ModelInputs Typical() {
+  ModelInputs in;
+  in.chunk_bytes = 3.0 * 1024 * 1024;
+  in.metadata_bytes = 4096;
+  in.alpha1 = 0.25;
+  in.alpha2 = 0.3;
+  in.sigma_ho = 0.4;
+  in.sigma_lo = 0.9;
+  in.rho = 8.0;
+  in.network_bps = 500e6;
+  in.disk_write_bps = 180e6;
+  in.disk_read_bps = 220e6;
+  in.precondition_bps = 600e6;
+  in.compress_bps = 80e6;
+  in.decompress_bps = 250e6;
+  in.postcondition_bps = 800e6;
+  return in;
+}
+
+TEST(BaselineWriteTest, MatchesEquationsFourThroughSix) {
+  const ModelInputs in = Typical();
+  const ModelBreakdown out = BaselineWrite(in);
+  const double c = in.chunk_bytes;
+  EXPECT_DOUBLE_EQ(out.t_transfer, 9.0 * c / 500e6);          // Eq. 4
+  EXPECT_DOUBLE_EQ(out.t_io, 8.0 * c / 180e6);                // Eq. 5
+  EXPECT_DOUBLE_EQ(out.t_total, out.t_transfer + out.t_io);   // Eq. 6
+  EXPECT_DOUBLE_EQ(out.throughput_bps, 8.0 * c / out.t_total);  // Eq. 3
+  EXPECT_DOUBLE_EQ(out.t_prec1, 0.0);
+  EXPECT_DOUBLE_EQ(out.t_compress1, 0.0);
+}
+
+TEST(PrimacyWriteTest, MatchesEquationsSevenThroughThirteen) {
+  const ModelInputs in = Typical();
+  const ModelBreakdown out = PrimacyWrite(in);
+  const double c = in.chunk_bytes;
+  EXPECT_DOUBLE_EQ(out.t_prec1, c / in.precondition_bps);               // Eq. 7
+  EXPECT_DOUBLE_EQ(out.t_prec2, 0.75 * c / in.precondition_bps);        // Eq. 8
+  EXPECT_DOUBLE_EQ(out.t_compress1, 0.25 * c / in.compress_bps);        // Eq. 9
+  EXPECT_DOUBLE_EQ(out.t_compress2, 0.3 * 0.75 * c / in.compress_bps);  // Eq.10
+  const double fraction = 0.25 * 0.4 + 0.3 * 0.75 * 0.9 + 0.7 * 0.75;
+  const double payload = fraction * c + in.metadata_bytes;
+  EXPECT_DOUBLE_EQ(out.t_transfer, 9.0 * payload / in.network_bps);
+  EXPECT_DOUBLE_EQ(out.t_io, 8.0 * payload / in.disk_write_bps);
+  EXPECT_DOUBLE_EQ(out.t_total,
+                   out.t_prec1 + out.t_prec2 + out.t_compress1 +
+                       out.t_compress2 + out.t_transfer + out.t_io);
+  EXPECT_DOUBLE_EQ(out.throughput_bps, 8.0 * c / out.t_total);
+}
+
+TEST(PrimacyWriteTest, LiteralEq11ShrinksRawShare) {
+  ModelInputs in = Typical();
+  const double corrected = PrimacyOutputBytes(in);
+  in.literal_eq11 = true;
+  const double literal = PrimacyOutputBytes(in);
+  // sigma_lo < 1 means the published form underestimates the payload.
+  EXPECT_LT(literal, corrected);
+}
+
+TEST(PrimacyWriteTest, BeatsBaselineWhenCompressionIsGoodAndCheap) {
+  ModelInputs in = Typical();
+  in.sigma_ho = 0.2;
+  in.alpha2 = 0.5;
+  in.sigma_lo = 0.5;
+  in.compress_bps = 300e6;  // fast solver
+  EXPECT_GT(PrimacyWrite(in).throughput_bps,
+            BaselineWrite(in).throughput_bps);
+}
+
+TEST(PrimacyWriteTest, LosesToBaselineWhenCompressionIsSlowAndPoor) {
+  ModelInputs in = Typical();
+  in.sigma_ho = 0.98;
+  in.alpha2 = 0.05;
+  in.sigma_lo = 0.99;
+  in.compress_bps = 10e6;  // pathologically slow solver
+  EXPECT_LT(PrimacyWrite(in).throughput_bps,
+            BaselineWrite(in).throughput_bps);
+}
+
+TEST(ReadModelTest, ReadMirrorsWriteStructure) {
+  const ModelInputs in = Typical();
+  const ModelBreakdown read = PrimacyRead(in);
+  EXPECT_GT(read.t_io, 0.0);
+  EXPECT_GT(read.t_transfer, 0.0);
+  EXPECT_GT(read.t_compress1, 0.0);  // decompression share
+  EXPECT_GT(read.throughput_bps, 0.0);
+  const ModelBreakdown base = BaselineRead(in);
+  EXPECT_DOUBLE_EQ(base.t_io, 8.0 * in.chunk_bytes / in.disk_read_bps);
+}
+
+TEST(ReadModelTest, FastDecompressionMakesPrimacyReadsWin) {
+  ModelInputs in = Typical();
+  in.sigma_ho = 0.25;
+  in.alpha2 = 0.4;
+  in.sigma_lo = 0.6;
+  in.decompress_bps = 400e6;
+  in.postcondition_bps = 1200e6;
+  EXPECT_GT(PrimacyRead(in).throughput_bps, BaselineRead(in).throughput_bps);
+}
+
+TEST(ModelTest, ThroughputScalesWithNetworkWhenNetworkBound) {
+  ModelInputs in = Typical();
+  in.disk_write_bps = 1e12;  // effectively infinite disk
+  const double tau1 = BaselineWrite(in).throughput_bps;
+  in.network_bps *= 2.0;
+  const double tau2 = BaselineWrite(in).throughput_bps;
+  // Not exactly 2.0: the disk term is tiny but non-zero.
+  EXPECT_NEAR(tau2 / tau1, 2.0, 1e-2);
+}
+
+TEST(ModelTest, RhoIncreasesContention) {
+  ModelInputs low = Typical();
+  low.rho = 2.0;
+  ModelInputs high = Typical();
+  high.rho = 32.0;
+  // Per-node effective bandwidth drops as rho grows: throughput per raw byte
+  // saturates, total time grows superlinearly.
+  const double per_node_low =
+      BaselineWrite(low).throughput_bps / low.rho;
+  const double per_node_high =
+      BaselineWrite(high).throughput_bps / high.rho;
+  EXPECT_GT(per_node_low, per_node_high);
+}
+
+TEST(ModelTest, ValidationRejectsBadInputs) {
+  ModelInputs in = Typical();
+  in.alpha1 = 1.5;
+  EXPECT_THROW(PrimacyWrite(in), InvalidArgumentError);
+  in = Typical();
+  in.network_bps = 0.0;
+  EXPECT_THROW(BaselineWrite(in), InvalidArgumentError);
+  in = Typical();
+  in.chunk_bytes = 0.0;
+  EXPECT_THROW(BaselineWrite(in), InvalidArgumentError);
+}
+
+TEST(CalibrationTest, FillsDataDependentFields) {
+  PrimacyStats stats;
+  stats.input_bytes = 8'000'000;
+  stats.chunks = 4;
+  stats.index_bytes = 8000;
+  stats.id_compressed_bytes = 600'000;   // of 2,000,000 high-order bytes
+  stats.mantissa_stream_bytes = 5'200'000;
+  stats.mantissa_raw_bytes = 4'000'000;
+  stats.mean_compressible_fraction = 1.0 / 3.0;
+
+  const ModelInputs in = CalibrateFromMeasurements(
+      ModelInputs{}, stats, 600e6, 80e6, 250e6, 800e6);
+  EXPECT_DOUBLE_EQ(in.alpha1, 0.25);
+  EXPECT_NEAR(in.alpha2, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(in.sigma_ho, 600'000.0 / 2'000'000.0, 1e-12);
+  // Compressible low bytes: (1/3) * 6,000,000 = 2,000,000; compressed to
+  // 5,200,000 - 4,000,000 = 1,200,000.
+  EXPECT_NEAR(in.sigma_lo, 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(in.metadata_bytes, 2000.0);
+  EXPECT_DOUBLE_EQ(in.compress_bps, 80e6);
+}
+
+TEST(CalibrationTest, EmptyStatsRejected) {
+  EXPECT_THROW(CalibrateFromMeasurements(ModelInputs{}, PrimacyStats{}, 1e6,
+                                         1e6, 1e6, 1e6),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace primacy

@@ -1,0 +1,95 @@
+// Exact-value tests of the read-path model equations (the write path is
+// pinned in perf_model_test.cc; Section III-C says reads follow the inverse
+// order of operations, so each term must mirror its write counterpart).
+#include <gtest/gtest.h>
+
+#include "model/perf_model.h"
+
+namespace primacy {
+namespace {
+
+ModelInputs Inputs() {
+  ModelInputs in;
+  in.chunk_bytes = 1e7;
+  in.metadata_bytes = 1000;
+  in.alpha1 = 0.25;
+  in.alpha2 = 0.4;
+  in.sigma_ho = 0.3;
+  in.sigma_lo = 0.8;
+  in.rho = 4.0;
+  in.network_bps = 200e6;
+  in.disk_write_bps = 100e6;
+  in.disk_read_bps = 150e6;
+  in.precondition_bps = 500e6;
+  in.compress_bps = 100e6;
+  in.decompress_bps = 300e6;
+  in.postcondition_bps = 900e6;
+  return in;
+}
+
+double Payload(const ModelInputs& in) {
+  const double fraction = in.alpha1 * in.sigma_ho +
+                          in.alpha2 * (1.0 - in.alpha1) * in.sigma_lo +
+                          (1.0 - in.alpha2) * (1.0 - in.alpha1);
+  return fraction * in.chunk_bytes + in.metadata_bytes;
+}
+
+TEST(ReadModelExactTest, BaselineReadTerms) {
+  const ModelInputs in = Inputs();
+  const ModelBreakdown out = BaselineRead(in);
+  EXPECT_DOUBLE_EQ(out.t_io, in.rho * in.chunk_bytes / in.disk_read_bps);
+  EXPECT_DOUBLE_EQ(out.t_transfer,
+                   (1.0 + in.rho) * in.chunk_bytes / in.network_bps);
+  EXPECT_DOUBLE_EQ(out.t_total, out.t_io + out.t_transfer);
+  EXPECT_DOUBLE_EQ(out.throughput_bps,
+                   in.rho * in.chunk_bytes / out.t_total);
+}
+
+TEST(ReadModelExactTest, PrimacyReadTerms) {
+  const ModelInputs in = Inputs();
+  const ModelBreakdown out = PrimacyRead(in);
+  const double payload = Payload(in);
+  EXPECT_DOUBLE_EQ(out.t_io, in.rho * payload / in.disk_read_bps);
+  EXPECT_DOUBLE_EQ(out.t_transfer,
+                   (1.0 + in.rho) * payload / in.network_bps);
+  EXPECT_DOUBLE_EQ(out.t_compress1,
+                   in.alpha1 * in.chunk_bytes / in.decompress_bps);
+  EXPECT_DOUBLE_EQ(out.t_compress2, in.alpha2 * (1.0 - in.alpha1) *
+                                        in.chunk_bytes / in.decompress_bps);
+  EXPECT_DOUBLE_EQ(out.t_prec1, in.chunk_bytes / in.postcondition_bps);
+  EXPECT_DOUBLE_EQ(out.t_prec2,
+                   (1.0 - in.alpha1) * in.chunk_bytes / in.postcondition_bps);
+  EXPECT_DOUBLE_EQ(out.t_total, out.t_io + out.t_transfer + out.t_compress1 +
+                                    out.t_compress2 + out.t_prec1 +
+                                    out.t_prec2);
+}
+
+TEST(ReadModelExactTest, PayloadMatchesPrimacyOutputBytes) {
+  const ModelInputs in = Inputs();
+  EXPECT_DOUBLE_EQ(PrimacyOutputBytes(in), Payload(in));
+}
+
+TEST(ReadModelExactTest, ReadAndWriteSharePayload) {
+  // The bytes on disk are the same whichever direction they move.
+  const ModelInputs in = Inputs();
+  const double write_io = PrimacyWrite(in).t_io;
+  const double read_io = PrimacyRead(in).t_io;
+  EXPECT_DOUBLE_EQ(write_io * in.disk_write_bps,
+                   read_io * in.disk_read_bps);
+}
+
+TEST(ReadModelExactTest, PerfectCompressorBoundsThroughput) {
+  // sigma -> 0 and infinite CPU: read throughput approaches the metadata-
+  // limited ceiling, far above the baseline.
+  ModelInputs in = Inputs();
+  in.sigma_ho = 0.0;
+  in.sigma_lo = 0.0;
+  in.alpha2 = 1.0;
+  in.decompress_bps = 1e15;
+  in.postcondition_bps = 1e15;
+  EXPECT_GT(PrimacyRead(in).throughput_bps,
+            5.0 * BaselineRead(in).throughput_bps);
+}
+
+}  // namespace
+}  // namespace primacy

@@ -1,0 +1,24 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "primacy.h"
+
+#include <gtest/gtest.h>
+
+namespace primacy {
+namespace {
+
+TEST(UmbrellaHeaderTest, CoreTypesAreVisible) {
+  const PrimacyCompressor compressor;
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  const Bytes stream = compressor.Compress(values);
+  EXPECT_EQ(PrimacyDecompressor().Decompress(stream), values);
+  EXPECT_GE(AllDatasets().size(), 20u);
+  RegisterBuiltinCodecs();
+  EXPECT_TRUE(CodecRegistry::Global().Contains("primacy"));
+  hpcsim::ClusterConfig config;
+  (void)config;
+  ModelInputs inputs;
+  (void)BaselineWrite(inputs);
+}
+
+}  // namespace
+}  // namespace primacy

@@ -1,0 +1,126 @@
+#include "util/byte_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace primacy {
+namespace {
+
+Bytes RandomBytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.NextBelow(256));
+  return out;
+}
+
+TEST(SplitHighLowTest, SplitsExpectedColumns) {
+  // Two elements of width 4: [0 1 2 3] [4 5 6 7], high width 2.
+  Bytes data(8);
+  for (std::size_t i = 0; i < 8; ++i) data[i] = static_cast<std::byte>(i);
+  const SplitBytes split = SplitHighLow(data, 4, 2);
+  ASSERT_EQ(split.high.size(), 4u);
+  ASSERT_EQ(split.low.size(), 4u);
+  EXPECT_EQ(split.high, (Bytes{0_b, 1_b, 4_b, 5_b}));
+  EXPECT_EQ(split.low, (Bytes{2_b, 3_b, 6_b, 7_b}));
+}
+
+TEST(SplitHighLowTest, MergeInvertsSplit) {
+  const Bytes data = RandomBytes(8 * 257, 1);
+  for (std::size_t high_width : {0u, 1u, 2u, 4u, 7u, 8u}) {
+    const SplitBytes split = SplitHighLow(data, 8, high_width);
+    EXPECT_EQ(MergeHighLow(split.high, split.low, 8, high_width), data)
+        << "high_width=" << high_width;
+  }
+}
+
+TEST(SplitHighLowTest, RejectsBadArguments) {
+  const Bytes data = RandomBytes(16, 2);
+  EXPECT_THROW(SplitHighLow(data, 0, 0), InvalidArgumentError);
+  EXPECT_THROW(SplitHighLow(data, 5, 2), InvalidArgumentError);  // 16 % 5 != 0
+  EXPECT_THROW(SplitHighLow(data, 8, 9), InvalidArgumentError);
+}
+
+TEST(MergeHighLowTest, RejectsInconsistentCounts) {
+  const Bytes high = RandomBytes(4, 3);  // 2 elements at width 2
+  const Bytes low = RandomBytes(18, 4);  // 3 elements at width 6
+  EXPECT_THROW(MergeHighLow(high, low, 8, 2), InvalidArgumentError);
+}
+
+TEST(LinearizationTest, RowToColumnSmallExample) {
+  // Rows: [a b c] [d e f] -> Columns: [a d] [b e] [c f]
+  const Bytes rows{10_b, 11_b, 12_b, 20_b, 21_b, 22_b};
+  const Bytes expected{10_b, 20_b, 11_b, 21_b, 12_b, 22_b};
+  EXPECT_EQ(RowToColumn(rows, 3), expected);
+}
+
+TEST(LinearizationTest, ColumnToRowInvertsRowToColumn) {
+  for (std::size_t width : {1u, 2u, 3u, 8u}) {
+    const Bytes rows = RandomBytes(width * 1000, width);
+    EXPECT_EQ(ColumnToRow(RowToColumn(rows, width), width), rows);
+  }
+}
+
+TEST(LinearizationTest, EmptyInputAllowed) {
+  EXPECT_TRUE(RowToColumn({}, 8).empty());
+  EXPECT_TRUE(ColumnToRow({}, 8).empty());
+}
+
+TEST(ExtractColumnTest, PullsSingleColumn) {
+  const Bytes rows{1_b, 2_b, 3_b, 4_b, 5_b, 6_b};
+  EXPECT_EQ(ExtractColumn(rows, 2, 0), (Bytes{1_b, 3_b, 5_b}));
+  EXPECT_EQ(ExtractColumn(rows, 2, 1), (Bytes{2_b, 4_b, 6_b}));
+  EXPECT_THROW(ExtractColumn(rows, 2, 2), InvalidArgumentError);
+}
+
+TEST(DoubleConversionTest, BigEndianRowsPutExponentFirst) {
+  // 1.0 = 0x3FF0000000000000: byte 0 must be 0x3F, byte 1 0xF0.
+  const std::vector<double> values{1.0};
+  const Bytes rows = DoublesToBigEndianRows(values);
+  ASSERT_EQ(rows.size(), 8u);
+  EXPECT_EQ(rows[0], 0x3f_b);
+  EXPECT_EQ(rows[1], 0xf0_b);
+  for (std::size_t i = 2; i < 8; ++i) EXPECT_EQ(rows[i], 0x00_b);
+}
+
+TEST(DoubleConversionTest, RoundTripsArbitraryDoubles) {
+  Rng rng(9);
+  std::vector<double> values(4096);
+  for (auto& v : values) {
+    v = rng.NextGaussian() * std::pow(10.0, rng.NextDouble(-30, 30));
+  }
+  values[0] = 0.0;
+  values[1] = -0.0;
+  values[2] = std::numeric_limits<double>::infinity();
+  values[3] = -std::numeric_limits<double>::infinity();
+  values[4] = std::numeric_limits<double>::denorm_min();
+  values[5] = std::numeric_limits<double>::max();
+
+  const Bytes rows = DoublesToBigEndianRows(values);
+  const std::vector<double> restored = BigEndianRowsToDoubles(rows);
+  ASSERT_EQ(restored.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(restored[i]),
+              std::bit_cast<std::uint64_t>(values[i]))
+        << "index " << i;
+  }
+}
+
+TEST(DoubleConversionTest, NaNPayloadPreservedBitExactly) {
+  const auto nan_bits = std::uint64_t{0x7ff8dead0000beefULL};
+  const std::vector<double> values{std::bit_cast<double>(nan_bits)};
+  const auto restored =
+      BigEndianRowsToDoubles(DoublesToBigEndianRows(values));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(restored[0]), nan_bits);
+}
+
+TEST(DoubleConversionTest, RejectsUnalignedInput) {
+  EXPECT_THROW(BigEndianRowsToDoubles(Bytes(7)), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace primacy

@@ -1,0 +1,38 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace primacy {
+namespace {
+
+TEST(BytesTest, StringRoundTrip) {
+  const std::string text = "hello, primacy";
+  EXPECT_EQ(StringFromBytes(BytesFromString(text)), text);
+}
+
+TEST(BytesTest, FromBytesReassemblesValues) {
+  const std::vector<std::uint32_t> values{1u, 0xdeadbeefu, 42u};
+  const ByteSpan raw = AsBytes(values);
+  EXPECT_EQ(raw.size(), 12u);
+  EXPECT_EQ(FromBytes<std::uint32_t>(raw), values);
+}
+
+TEST(BytesTest, AppendBytesConcatenates) {
+  Bytes dst = BytesFromString("ab");
+  AppendBytes(dst, BytesFromString("cd"));
+  EXPECT_EQ(StringFromBytes(dst), "abcd");
+}
+
+TEST(BytesTest, ByteLiteralProducesByte) {
+  EXPECT_EQ(static_cast<unsigned>(0xab_b), 0xabu);
+}
+
+TEST(BytesTest, ToBytesCopies) {
+  const Bytes original = BytesFromString("xyz");
+  Bytes copy = ToBytes(original);
+  copy[0] = 0_b;
+  EXPECT_EQ(StringFromBytes(original), "xyz");
+}
+
+}  // namespace
+}  // namespace primacy

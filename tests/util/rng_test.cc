@@ -1,0 +1,121 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace primacy {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.NextU64() == b.NextU64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  // Must not be stuck at zero (the one invalid xoshiro state).
+  std::uint64_t ored = 0;
+  for (int i = 0; i < 16; ++i) ored |= rng.NextU64();
+  EXPECT_NE(ored, 0u);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextBelow(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBelowRejectsZeroBound) {
+  Rng rng(7);
+  EXPECT_THROW(rng.NextBelow(0), InvalidArgumentError);
+}
+
+TEST(RngTest, NextBelowCoversSmallRangeUniformly) {
+  Rng rng(13);
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBelow(8)];
+  for (const int count : counts) {
+    EXPECT_NEAR(count, kDraws / 8, kDraws / 80);  // within 10% of expected
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRangeRespected) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble(-5.0, 3.0);
+    EXPECT_GE(x, -5.0);
+    EXPECT_LT(x, 3.0);
+  }
+  EXPECT_THROW(rng.NextDouble(1.0, 1.0), InvalidArgumentError);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(123);
+  constexpr int kDraws = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, SkewedDistributionIsMonotoneDecreasing) {
+  Rng rng(5);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.NextSkewed(16, 0.7)];
+  // Strong decay: each rank should be clearly less popular than rank 0.
+  for (std::size_t k = 4; k < counts.size(); ++k) {
+    EXPECT_LT(counts[k], counts[0]);
+  }
+  EXPECT_GT(counts[0], counts[1]);
+}
+
+TEST(RngTest, SkewedStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.NextSkewed(5, 0.5), 5u);
+}
+
+TEST(RngTest, SkewedValidatesArguments) {
+  Rng rng(5);
+  EXPECT_THROW(rng.NextSkewed(0, 0.5), InvalidArgumentError);
+  EXPECT_THROW(rng.NextSkewed(5, 0.0), InvalidArgumentError);
+  EXPECT_THROW(rng.NextSkewed(5, 1.0), InvalidArgumentError);
+}
+
+TEST(RngTest, NextBoolProbabilityRoughlyRespected) {
+  Rng rng(77);
+  int trues = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) trues += rng.NextBool(0.25);
+  EXPECT_NEAR(trues, kDraws / 4, kDraws / 50);
+}
+
+}  // namespace
+}  // namespace primacy

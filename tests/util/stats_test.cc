@@ -1,0 +1,136 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "util/byte_matrix.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace primacy {
+namespace {
+
+TEST(ByteHistogramTest, CountsEveryByte) {
+  const Bytes data{0_b, 1_b, 1_b, 255_b, 255_b, 255_b};
+  const auto histogram = ByteHistogram(data);
+  EXPECT_EQ(histogram[0], 1u);
+  EXPECT_EQ(histogram[1], 2u);
+  EXPECT_EQ(histogram[255], 3u);
+  EXPECT_EQ(histogram[7], 0u);
+}
+
+TEST(EntropyTest, ConstantDataHasZeroEntropy) {
+  const Bytes data(1024, 42_b);
+  EXPECT_DOUBLE_EQ(ByteEntropyBits(data), 0.0);
+}
+
+TEST(EntropyTest, UniformBytesApproachEightBits) {
+  Bytes data(256 * 64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i % 256);
+  }
+  EXPECT_DOUBLE_EQ(ByteEntropyBits(data), 8.0);
+}
+
+TEST(EntropyTest, TwoValueDataHasOneBit) {
+  Bytes data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = (i % 2 == 0) ? 0_b : 1_b;
+  }
+  EXPECT_NEAR(ByteEntropyBits(data), 1.0, 1e-9);
+}
+
+TEST(EntropyTest, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(ByteEntropyBits({}), 0.0);
+}
+
+TEST(TopByteFrequencyTest, MatchesConstruction) {
+  Bytes data(100, 9_b);
+  for (std::size_t i = 0; i < 25; ++i) data[i] = static_cast<std::byte>(i);
+  // 9 appears 75 times (indices 25..99) plus once at index 9 = 76.
+  EXPECT_NEAR(TopByteFrequency(data), 0.76, 1e-12);
+  EXPECT_DOUBLE_EQ(TopByteFrequency({}), 0.0);
+}
+
+TEST(DominantBitProbabilityTest, AlwaysAtLeastHalf) {
+  Rng rng(3);
+  Bytes data(8 * 500);
+  for (auto& b : data) b = static_cast<std::byte>(rng.NextBelow(256));
+  for (const double p : DominantBitProbability(data, 8)) {
+    EXPECT_GE(p, 0.5);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(DominantBitProbabilityTest, DetectsFixedBits) {
+  // Doubles in [1, 2): fixed sign/exponent bits, uniformly random mantissa
+  // (constructed at the bit level so even the LSB is unbiased).
+  std::vector<double> values(20000);
+  Rng rng(4);
+  for (auto& v : values) {
+    const std::uint64_t mantissa = rng.NextU64() >> 12;
+    v = std::bit_cast<double>((0x3ffULL << 52) | mantissa);
+  }
+  const Bytes rows = DoublesToBigEndianRows(values);
+  const auto probs = DominantBitProbability(rows, 8);
+  ASSERT_EQ(probs.size(), 64u);
+  // Sign and all 11 exponent bits are identical across [1, 2).
+  for (std::size_t bit = 0; bit < 12; ++bit) {
+    EXPECT_DOUBLE_EQ(probs[bit], 1.0) << "bit " << bit;
+  }
+  // Mantissa bits are essentially random (4 sigma at n=20000 is ~0.014).
+  for (std::size_t bit = 12; bit < 64; ++bit) {
+    EXPECT_LT(probs[bit], 0.52) << "bit " << bit;
+  }
+}
+
+TEST(DominantBitProbabilityTest, ValidatesWidth) {
+  EXPECT_THROW(DominantBitProbability(Bytes(10), 0), InvalidArgumentError);
+  EXPECT_THROW(DominantBitProbability(Bytes(10), 3), InvalidArgumentError);
+}
+
+TEST(BytePairHistogramTest, CountsPairs) {
+  // One element, width 4, bytes [0x12 0x34 0x56 0x78].
+  const Bytes rows{0x12_b, 0x34_b, 0x56_b, 0x78_b};
+  const auto histogram = BytePairHistogram(rows, 4, 0);
+  EXPECT_EQ(histogram[0x1234], 1u);
+  EXPECT_EQ(CountDistinct(histogram), 1u);
+  const auto mantissa = BytePairHistogram(rows, 4, 2);
+  EXPECT_EQ(mantissa[0x5678], 1u);
+}
+
+TEST(BytePairHistogramTest, ValidatesColumnRange) {
+  EXPECT_THROW(BytePairHistogram(Bytes(8), 8, 7), InvalidArgumentError);
+  EXPECT_THROW(BytePairHistogram(Bytes(8), 1, 0), InvalidArgumentError);
+}
+
+TEST(PearsonCorrelationTest, PerfectAndInverseCorrelation) {
+  const std::vector<std::uint64_t> a{1, 2, 3, 4, 5};
+  const std::vector<std::uint64_t> b{2, 4, 6, 8, 10};
+  const std::vector<std::uint64_t> c{5, 4, 3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelationTest, ConstantVectorYieldsZero) {
+  const std::vector<std::uint64_t> a{3, 3, 3};
+  const std::vector<std::uint64_t> b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(PearsonCorrelationTest, SizeMismatchThrows) {
+  const std::vector<std::uint64_t> a{1, 2};
+  const std::vector<std::uint64_t> b{1, 2, 3};
+  EXPECT_THROW(PearsonCorrelation(a, b), InvalidArgumentError);
+}
+
+TEST(MeanTest, BasicAndEmpty) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace primacy
