@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_chunk_size"
+  "../bench/ablation_chunk_size.pdb"
+  "CMakeFiles/ablation_chunk_size.dir/ablation_chunk_size.cc.o"
+  "CMakeFiles/ablation_chunk_size.dir/ablation_chunk_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chunk_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_compress_location"
+  "../bench/ablation_compress_location.pdb"
+  "CMakeFiles/ablation_compress_location.dir/ablation_compress_location.cc.o"
+  "CMakeFiles/ablation_compress_location.dir/ablation_compress_location.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compress_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

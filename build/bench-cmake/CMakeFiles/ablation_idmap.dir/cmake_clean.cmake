@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_idmap"
+  "../bench/ablation_idmap.pdb"
+  "CMakeFiles/ablation_idmap.dir/ablation_idmap.cc.o"
+  "CMakeFiles/ablation_idmap.dir/ablation_idmap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_idmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

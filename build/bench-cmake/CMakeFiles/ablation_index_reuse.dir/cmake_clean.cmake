@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_index_reuse"
+  "../bench/ablation_index_reuse.pdb"
+  "CMakeFiles/ablation_index_reuse.dir/ablation_index_reuse.cc.o"
+  "CMakeFiles/ablation_index_reuse.dir/ablation_index_reuse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_index_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_isobar"
+  "../bench/ablation_isobar.pdb"
+  "CMakeFiles/ablation_isobar.dir/ablation_isobar.cc.o"
+  "CMakeFiles/ablation_isobar.dir/ablation_isobar.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_isobar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

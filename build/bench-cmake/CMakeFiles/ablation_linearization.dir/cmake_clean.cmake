@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_linearization"
+  "../bench/ablation_linearization.pdb"
+  "CMakeFiles/ablation_linearization.dir/ablation_linearization.cc.o"
+  "CMakeFiles/ablation_linearization.dir/ablation_linearization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_linearization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

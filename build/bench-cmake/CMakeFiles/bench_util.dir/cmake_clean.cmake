@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/bench_util.dir/bench_util.cc.o.d"
+  "libbench_util.a"
+  "libbench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

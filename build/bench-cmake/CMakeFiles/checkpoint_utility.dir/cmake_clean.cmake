@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/checkpoint_utility"
+  "../bench/checkpoint_utility.pdb"
+  "CMakeFiles/checkpoint_utility.dir/checkpoint_utility.cc.o"
+  "CMakeFiles/checkpoint_utility.dir/checkpoint_utility.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

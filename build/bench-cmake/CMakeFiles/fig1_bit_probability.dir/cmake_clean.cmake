@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_bit_probability"
+  "../bench/fig1_bit_probability.pdb"
+  "CMakeFiles/fig1_bit_probability.dir/fig1_bit_probability.cc.o"
+  "CMakeFiles/fig1_bit_probability.dir/fig1_bit_probability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_bit_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_byte_frequency"
+  "../bench/fig3_byte_frequency.pdb"
+  "CMakeFiles/fig3_byte_frequency.dir/fig3_byte_frequency.cc.o"
+  "CMakeFiles/fig3_byte_frequency.dir/fig3_byte_frequency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_byte_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

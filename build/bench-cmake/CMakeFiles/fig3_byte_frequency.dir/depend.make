@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_byte_frequency.
+# This may be replaced when dependencies are built.

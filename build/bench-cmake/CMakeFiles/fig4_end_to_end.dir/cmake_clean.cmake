@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_end_to_end"
+  "../bench/fig4_end_to_end.pdb"
+  "CMakeFiles/fig4_end_to_end.dir/fig4_end_to_end.cc.o"
+  "CMakeFiles/fig4_end_to_end.dir/fig4_end_to_end.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

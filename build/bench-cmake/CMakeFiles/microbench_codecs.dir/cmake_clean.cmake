@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/microbench_codecs"
+  "../bench/microbench_codecs.pdb"
+  "CMakeFiles/microbench_codecs.dir/microbench_codecs.cc.o"
+  "CMakeFiles/microbench_codecs.dir/microbench_codecs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

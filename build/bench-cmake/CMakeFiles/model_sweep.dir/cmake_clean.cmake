@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/model_sweep"
+  "../bench/model_sweep.pdb"
+  "CMakeFiles/model_sweep.dir/model_sweep.cc.o"
+  "CMakeFiles/model_sweep.dir/model_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_compression"
+  "../bench/table3_compression.pdb"
+  "CMakeFiles/table3_compression.dir/table3_compression.cc.o"
+  "CMakeFiles/table3_compression.dir/table3_compression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_predictive_comparison"
+  "../bench/table_predictive_comparison.pdb"
+  "CMakeFiles/table_predictive_comparison.dir/table_predictive_comparison.cc.o"
+  "CMakeFiles/table_predictive_comparison.dir/table_predictive_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_predictive_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

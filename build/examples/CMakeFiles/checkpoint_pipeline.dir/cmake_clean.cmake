@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_pipeline.dir/checkpoint_pipeline.cpp.o"
+  "CMakeFiles/checkpoint_pipeline.dir/checkpoint_pipeline.cpp.o.d"
+  "checkpoint_pipeline"
+  "checkpoint_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

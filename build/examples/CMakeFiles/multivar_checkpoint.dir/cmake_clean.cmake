@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multivar_checkpoint.dir/multivar_checkpoint.cpp.o"
+  "CMakeFiles/multivar_checkpoint.dir/multivar_checkpoint.cpp.o.d"
+  "multivar_checkpoint"
+  "multivar_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multivar_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

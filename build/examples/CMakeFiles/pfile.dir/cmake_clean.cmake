@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfile.dir/pfile.cpp.o"
+  "CMakeFiles/pfile.dir/pfile.cpp.o.d"
+  "pfile"
+  "pfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

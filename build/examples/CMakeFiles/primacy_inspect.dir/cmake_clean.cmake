@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_inspect.dir/primacy_inspect.cpp.o"
+  "CMakeFiles/primacy_inspect.dir/primacy_inspect.cpp.o.d"
+  "primacy_inspect"
+  "primacy_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

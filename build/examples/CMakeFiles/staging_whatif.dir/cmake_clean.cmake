@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staging_whatif.dir/staging_whatif.cpp.o"
+  "CMakeFiles/staging_whatif.dir/staging_whatif.cpp.o.d"
+  "staging_whatif"
+  "staging_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staging_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

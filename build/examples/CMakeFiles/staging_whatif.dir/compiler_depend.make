@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for staging_whatif.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for staging_whatif.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_insitu.dir/streaming_insitu.cpp.o"
+  "CMakeFiles/streaming_insitu.dir/streaming_insitu.cpp.o.d"
+  "streaming_insitu"
+  "streaming_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("bitstream")
+subdirs("huffman")
+subdirs("lz77")
+subdirs("compress")
+subdirs("deflate")
+subdirs("lzfast")
+subdirs("bwt")
+subdirs("fpc")
+subdirs("fpzip_like")
+subdirs("isobar")
+subdirs("datasets")
+subdirs("core")
+subdirs("store")
+subdirs("model")
+subdirs("hpcsim")

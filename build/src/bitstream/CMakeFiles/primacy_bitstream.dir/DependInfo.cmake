@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitstream/bit_io.cc" "src/bitstream/CMakeFiles/primacy_bitstream.dir/bit_io.cc.o" "gcc" "src/bitstream/CMakeFiles/primacy_bitstream.dir/bit_io.cc.o.d"
+  "/root/repo/src/bitstream/byte_io.cc" "src/bitstream/CMakeFiles/primacy_bitstream.dir/byte_io.cc.o" "gcc" "src/bitstream/CMakeFiles/primacy_bitstream.dir/byte_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/primacy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

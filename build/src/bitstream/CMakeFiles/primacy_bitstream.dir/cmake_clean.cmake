@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_bitstream.dir/bit_io.cc.o"
+  "CMakeFiles/primacy_bitstream.dir/bit_io.cc.o.d"
+  "CMakeFiles/primacy_bitstream.dir/byte_io.cc.o"
+  "CMakeFiles/primacy_bitstream.dir/byte_io.cc.o.d"
+  "libprimacy_bitstream.a"
+  "libprimacy_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_bwt.dir/bwt_codec.cc.o"
+  "CMakeFiles/primacy_bwt.dir/bwt_codec.cc.o.d"
+  "CMakeFiles/primacy_bwt.dir/suffix_array.cc.o"
+  "CMakeFiles/primacy_bwt.dir/suffix_array.cc.o.d"
+  "CMakeFiles/primacy_bwt.dir/transform.cc.o"
+  "CMakeFiles/primacy_bwt.dir/transform.cc.o.d"
+  "libprimacy_bwt.a"
+  "libprimacy_bwt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_bwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

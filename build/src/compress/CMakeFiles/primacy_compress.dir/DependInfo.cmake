@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/codec.cc" "src/compress/CMakeFiles/primacy_compress.dir/codec.cc.o" "gcc" "src/compress/CMakeFiles/primacy_compress.dir/codec.cc.o.d"
+  "/root/repo/src/compress/frame.cc" "src/compress/CMakeFiles/primacy_compress.dir/frame.cc.o" "gcc" "src/compress/CMakeFiles/primacy_compress.dir/frame.cc.o.d"
+  "/root/repo/src/compress/registry.cc" "src/compress/CMakeFiles/primacy_compress.dir/registry.cc.o" "gcc" "src/compress/CMakeFiles/primacy_compress.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/primacy_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/primacy_bitstream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

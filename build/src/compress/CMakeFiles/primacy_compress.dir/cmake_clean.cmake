@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_compress.dir/codec.cc.o"
+  "CMakeFiles/primacy_compress.dir/codec.cc.o.d"
+  "CMakeFiles/primacy_compress.dir/frame.cc.o"
+  "CMakeFiles/primacy_compress.dir/frame.cc.o.d"
+  "CMakeFiles/primacy_compress.dir/registry.cc.o"
+  "CMakeFiles/primacy_compress.dir/registry.cc.o.d"
+  "libprimacy_compress.a"
+  "libprimacy_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

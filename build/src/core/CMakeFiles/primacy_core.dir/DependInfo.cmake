@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/builtin_codecs.cc" "src/core/CMakeFiles/primacy_core.dir/builtin_codecs.cc.o" "gcc" "src/core/CMakeFiles/primacy_core.dir/builtin_codecs.cc.o.d"
+  "/root/repo/src/core/chunk_pipeline.cc" "src/core/CMakeFiles/primacy_core.dir/chunk_pipeline.cc.o" "gcc" "src/core/CMakeFiles/primacy_core.dir/chunk_pipeline.cc.o.d"
+  "/root/repo/src/core/frequency.cc" "src/core/CMakeFiles/primacy_core.dir/frequency.cc.o" "gcc" "src/core/CMakeFiles/primacy_core.dir/frequency.cc.o.d"
+  "/root/repo/src/core/id_mapper.cc" "src/core/CMakeFiles/primacy_core.dir/id_mapper.cc.o" "gcc" "src/core/CMakeFiles/primacy_core.dir/id_mapper.cc.o.d"
+  "/root/repo/src/core/in_situ.cc" "src/core/CMakeFiles/primacy_core.dir/in_situ.cc.o" "gcc" "src/core/CMakeFiles/primacy_core.dir/in_situ.cc.o.d"
+  "/root/repo/src/core/primacy_codec.cc" "src/core/CMakeFiles/primacy_core.dir/primacy_codec.cc.o" "gcc" "src/core/CMakeFiles/primacy_core.dir/primacy_codec.cc.o.d"
+  "/root/repo/src/core/stream_format.cc" "src/core/CMakeFiles/primacy_core.dir/stream_format.cc.o" "gcc" "src/core/CMakeFiles/primacy_core.dir/stream_format.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/core/CMakeFiles/primacy_core.dir/streaming.cc.o" "gcc" "src/core/CMakeFiles/primacy_core.dir/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/primacy_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/primacy_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/primacy_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/isobar/CMakeFiles/primacy_isobar.dir/DependInfo.cmake"
+  "/root/repo/build/src/deflate/CMakeFiles/primacy_deflate.dir/DependInfo.cmake"
+  "/root/repo/build/src/lzfast/CMakeFiles/primacy_lzfast.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwt/CMakeFiles/primacy_bwt.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpc/CMakeFiles/primacy_fpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpzip_like/CMakeFiles/primacy_fpzip_like.dir/DependInfo.cmake"
+  "/root/repo/build/src/lz77/CMakeFiles/primacy_lz77.dir/DependInfo.cmake"
+  "/root/repo/build/src/huffman/CMakeFiles/primacy_huffman.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_core.dir/builtin_codecs.cc.o"
+  "CMakeFiles/primacy_core.dir/builtin_codecs.cc.o.d"
+  "CMakeFiles/primacy_core.dir/chunk_pipeline.cc.o"
+  "CMakeFiles/primacy_core.dir/chunk_pipeline.cc.o.d"
+  "CMakeFiles/primacy_core.dir/frequency.cc.o"
+  "CMakeFiles/primacy_core.dir/frequency.cc.o.d"
+  "CMakeFiles/primacy_core.dir/id_mapper.cc.o"
+  "CMakeFiles/primacy_core.dir/id_mapper.cc.o.d"
+  "CMakeFiles/primacy_core.dir/in_situ.cc.o"
+  "CMakeFiles/primacy_core.dir/in_situ.cc.o.d"
+  "CMakeFiles/primacy_core.dir/primacy_codec.cc.o"
+  "CMakeFiles/primacy_core.dir/primacy_codec.cc.o.d"
+  "CMakeFiles/primacy_core.dir/stream_format.cc.o"
+  "CMakeFiles/primacy_core.dir/stream_format.cc.o.d"
+  "CMakeFiles/primacy_core.dir/streaming.cc.o"
+  "CMakeFiles/primacy_core.dir/streaming.cc.o.d"
+  "libprimacy_core.a"
+  "libprimacy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_datasets.dir/datasets.cc.o"
+  "CMakeFiles/primacy_datasets.dir/datasets.cc.o.d"
+  "libprimacy_datasets.a"
+  "libprimacy_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

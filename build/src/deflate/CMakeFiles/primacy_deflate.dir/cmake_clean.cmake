@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_deflate.dir/deflate.cc.o"
+  "CMakeFiles/primacy_deflate.dir/deflate.cc.o.d"
+  "libprimacy_deflate.a"
+  "libprimacy_deflate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_deflate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

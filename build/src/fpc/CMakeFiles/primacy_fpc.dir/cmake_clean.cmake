@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_fpc.dir/fpc_codec.cc.o"
+  "CMakeFiles/primacy_fpc.dir/fpc_codec.cc.o.d"
+  "libprimacy_fpc.a"
+  "libprimacy_fpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_fpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

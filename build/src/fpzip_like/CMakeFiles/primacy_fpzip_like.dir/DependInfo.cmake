@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpzip_like/fpz_codec.cc" "src/fpzip_like/CMakeFiles/primacy_fpzip_like.dir/fpz_codec.cc.o" "gcc" "src/fpzip_like/CMakeFiles/primacy_fpzip_like.dir/fpz_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/primacy_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/primacy_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/primacy_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/huffman/CMakeFiles/primacy_huffman.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

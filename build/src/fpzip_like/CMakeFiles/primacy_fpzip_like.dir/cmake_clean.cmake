@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_fpzip_like.dir/fpz_codec.cc.o"
+  "CMakeFiles/primacy_fpzip_like.dir/fpz_codec.cc.o.d"
+  "libprimacy_fpzip_like.a"
+  "libprimacy_fpzip_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_fpzip_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprimacy_fpzip_like.a"
+)

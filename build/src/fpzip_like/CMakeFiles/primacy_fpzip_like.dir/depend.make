@@ -1,0 +1,2 @@
+# Empty dependencies file for primacy_fpzip_like.
+# This may be replaced when dependencies are built.

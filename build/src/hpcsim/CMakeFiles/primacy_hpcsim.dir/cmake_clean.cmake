@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_hpcsim.dir/checkpoint_planner.cc.o"
+  "CMakeFiles/primacy_hpcsim.dir/checkpoint_planner.cc.o.d"
+  "CMakeFiles/primacy_hpcsim.dir/event_queue.cc.o"
+  "CMakeFiles/primacy_hpcsim.dir/event_queue.cc.o.d"
+  "CMakeFiles/primacy_hpcsim.dir/resources.cc.o"
+  "CMakeFiles/primacy_hpcsim.dir/resources.cc.o.d"
+  "CMakeFiles/primacy_hpcsim.dir/staging.cc.o"
+  "CMakeFiles/primacy_hpcsim.dir/staging.cc.o.d"
+  "libprimacy_hpcsim.a"
+  "libprimacy_hpcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_hpcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for primacy_hpcsim.
+# This may be replaced when dependencies are built.

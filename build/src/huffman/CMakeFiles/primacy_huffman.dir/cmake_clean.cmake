@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_huffman.dir/huffman.cc.o"
+  "CMakeFiles/primacy_huffman.dir/huffman.cc.o.d"
+  "libprimacy_huffman.a"
+  "libprimacy_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_isobar.dir/analyzer.cc.o"
+  "CMakeFiles/primacy_isobar.dir/analyzer.cc.o.d"
+  "CMakeFiles/primacy_isobar.dir/partitioned_codec.cc.o"
+  "CMakeFiles/primacy_isobar.dir/partitioned_codec.cc.o.d"
+  "libprimacy_isobar.a"
+  "libprimacy_isobar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_isobar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

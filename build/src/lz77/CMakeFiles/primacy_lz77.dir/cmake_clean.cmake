@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_lz77.dir/lz77.cc.o"
+  "CMakeFiles/primacy_lz77.dir/lz77.cc.o.d"
+  "libprimacy_lz77.a"
+  "libprimacy_lz77.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_lz77.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

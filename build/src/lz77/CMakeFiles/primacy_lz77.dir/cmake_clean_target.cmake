@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprimacy_lz77.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for primacy_lz77.
+# This may be replaced when dependencies are built.

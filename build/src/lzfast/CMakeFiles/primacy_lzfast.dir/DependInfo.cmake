@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lzfast/lzfast.cc" "src/lzfast/CMakeFiles/primacy_lzfast.dir/lzfast.cc.o" "gcc" "src/lzfast/CMakeFiles/primacy_lzfast.dir/lzfast.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/primacy_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/primacy_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/primacy_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_lzfast.dir/lzfast.cc.o"
+  "CMakeFiles/primacy_lzfast.dir/lzfast.cc.o.d"
+  "libprimacy_lzfast.a"
+  "libprimacy_lzfast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_lzfast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

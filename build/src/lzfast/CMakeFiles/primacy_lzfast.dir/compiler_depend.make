@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for primacy_lzfast.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for primacy_lzfast.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_model.dir/perf_model.cc.o"
+  "CMakeFiles/primacy_model.dir/perf_model.cc.o.d"
+  "libprimacy_model.a"
+  "libprimacy_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_store.dir/checkpoint_store.cc.o"
+  "CMakeFiles/primacy_store.dir/checkpoint_store.cc.o.d"
+  "libprimacy_store.a"
+  "libprimacy_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primacy_util.dir/byte_matrix.cc.o"
+  "CMakeFiles/primacy_util.dir/byte_matrix.cc.o.d"
+  "CMakeFiles/primacy_util.dir/error.cc.o"
+  "CMakeFiles/primacy_util.dir/error.cc.o.d"
+  "CMakeFiles/primacy_util.dir/rng.cc.o"
+  "CMakeFiles/primacy_util.dir/rng.cc.o.d"
+  "CMakeFiles/primacy_util.dir/stats.cc.o"
+  "CMakeFiles/primacy_util.dir/stats.cc.o.d"
+  "CMakeFiles/primacy_util.dir/thread_pool.cc.o"
+  "CMakeFiles/primacy_util.dir/thread_pool.cc.o.d"
+  "libprimacy_util.a"
+  "libprimacy_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primacy_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

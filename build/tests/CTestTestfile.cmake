@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_umbrella[1]_include.cmake")
+subdirs("util")
+subdirs("bitstream")
+subdirs("huffman")
+subdirs("lz77")
+subdirs("codecs")
+subdirs("bwt")
+subdirs("isobar")
+subdirs("core")
+subdirs("store")
+subdirs("datasets")
+subdirs("model")
+subdirs("hpcsim")
+subdirs("integration")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bit_io.dir/bit_io_test.cc.o"
+  "CMakeFiles/test_bit_io.dir/bit_io_test.cc.o.d"
+  "test_bit_io"
+  "test_bit_io.pdb"
+  "test_bit_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bit_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

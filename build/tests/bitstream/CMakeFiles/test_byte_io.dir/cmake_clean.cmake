@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_byte_io.dir/byte_io_test.cc.o"
+  "CMakeFiles/test_byte_io.dir/byte_io_test.cc.o.d"
+  "test_byte_io"
+  "test_byte_io.pdb"
+  "test_byte_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_byte_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

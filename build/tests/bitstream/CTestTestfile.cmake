@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/bitstream
+# Build directory: /root/repo/build/tests/bitstream
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bitstream/test_bit_io[1]_include.cmake")
+include("/root/repo/build/tests/bitstream/test_byte_io[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bwt_transform.dir/transform_test.cc.o"
+  "CMakeFiles/test_bwt_transform.dir/transform_test.cc.o.d"
+  "test_bwt_transform"
+  "test_bwt_transform.pdb"
+  "test_bwt_transform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bwt_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suffix_array.dir/suffix_array_test.cc.o"
+  "CMakeFiles/test_suffix_array.dir/suffix_array_test.cc.o.d"
+  "test_suffix_array"
+  "test_suffix_array.pdb"
+  "test_suffix_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suffix_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

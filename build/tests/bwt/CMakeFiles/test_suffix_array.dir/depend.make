@@ -1,0 +1,2 @@
+# Empty dependencies file for test_suffix_array.
+# This may be replaced when dependencies are built.

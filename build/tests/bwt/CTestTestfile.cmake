@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/bwt
+# Build directory: /root/repo/build/tests/bwt
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bwt/test_suffix_array[1]_include.cmake")
+include("/root/repo/build/tests/bwt/test_bwt_transform[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bwt_codec.dir/bwt_codec_test.cc.o"
+  "CMakeFiles/test_bwt_codec.dir/bwt_codec_test.cc.o.d"
+  "test_bwt_codec"
+  "test_bwt_codec.pdb"
+  "test_bwt_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bwt_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

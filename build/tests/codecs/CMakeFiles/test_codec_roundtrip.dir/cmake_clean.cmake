@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codec_roundtrip.dir/codec_roundtrip_test.cc.o"
+  "CMakeFiles/test_codec_roundtrip.dir/codec_roundtrip_test.cc.o.d"
+  "test_codec_roundtrip"
+  "test_codec_roundtrip.pdb"
+  "test_codec_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codec_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

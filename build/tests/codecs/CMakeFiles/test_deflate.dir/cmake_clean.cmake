@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deflate.dir/deflate_test.cc.o"
+  "CMakeFiles/test_deflate.dir/deflate_test.cc.o.d"
+  "test_deflate"
+  "test_deflate.pdb"
+  "test_deflate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deflate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpz.dir/fpz_test.cc.o"
+  "CMakeFiles/test_fpz.dir/fpz_test.cc.o.d"
+  "test_fpz"
+  "test_fpz.pdb"
+  "test_fpz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

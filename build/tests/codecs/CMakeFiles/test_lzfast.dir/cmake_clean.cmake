@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lzfast.dir/lzfast_test.cc.o"
+  "CMakeFiles/test_lzfast.dir/lzfast_test.cc.o.d"
+  "test_lzfast"
+  "test_lzfast.pdb"
+  "test_lzfast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lzfast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_registry_frame.dir/registry_frame_test.cc.o"
+  "CMakeFiles/test_registry_frame.dir/registry_frame_test.cc.o.d"
+  "test_registry_frame"
+  "test_registry_frame.pdb"
+  "test_registry_frame[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_registry_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_registry_frame.
+# This may be replaced when dependencies are built.

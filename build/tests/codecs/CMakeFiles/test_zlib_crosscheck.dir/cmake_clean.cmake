@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zlib_crosscheck.dir/zlib_crosscheck_test.cc.o"
+  "CMakeFiles/test_zlib_crosscheck.dir/zlib_crosscheck_test.cc.o.d"
+  "test_zlib_crosscheck"
+  "test_zlib_crosscheck.pdb"
+  "test_zlib_crosscheck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zlib_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/codecs
+# Build directory: /root/repo/build/tests/codecs
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/codecs/test_codec_roundtrip[1]_include.cmake")
+include("/root/repo/build/tests/codecs/test_deflate[1]_include.cmake")
+include("/root/repo/build/tests/codecs/test_registry_frame[1]_include.cmake")
+include("/root/repo/build/tests/codecs/test_zlib_crosscheck[1]_include.cmake")
+include("/root/repo/build/tests/codecs/test_lzfast[1]_include.cmake")
+include("/root/repo/build/tests/codecs/test_bwt_codec[1]_include.cmake")
+include("/root/repo/build/tests/codecs/test_fpc[1]_include.cmake")
+include("/root/repo/build/tests/codecs/test_fpz[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunk_pipeline.dir/chunk_pipeline_test.cc.o"
+  "CMakeFiles/test_chunk_pipeline.dir/chunk_pipeline_test.cc.o.d"
+  "test_chunk_pipeline"
+  "test_chunk_pipeline.pdb"
+  "test_chunk_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunk_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frequency.dir/frequency_test.cc.o"
+  "CMakeFiles/test_frequency.dir/frequency_test.cc.o.d"
+  "test_frequency"
+  "test_frequency.pdb"
+  "test_frequency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

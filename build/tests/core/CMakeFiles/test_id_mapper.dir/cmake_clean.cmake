@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_id_mapper.dir/id_mapper_test.cc.o"
+  "CMakeFiles/test_id_mapper.dir/id_mapper_test.cc.o.d"
+  "test_id_mapper"
+  "test_id_mapper.pdb"
+  "test_id_mapper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_id_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/in_situ_test.cc" "tests/core/CMakeFiles/test_in_situ.dir/in_situ_test.cc.o" "gcc" "tests/core/CMakeFiles/test_in_situ.dir/in_situ_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datasets/CMakeFiles/primacy_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/primacy_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpcsim/CMakeFiles/primacy_hpcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/primacy_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/primacy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/deflate/CMakeFiles/primacy_deflate.dir/DependInfo.cmake"
+  "/root/repo/build/src/lz77/CMakeFiles/primacy_lz77.dir/DependInfo.cmake"
+  "/root/repo/build/src/lzfast/CMakeFiles/primacy_lzfast.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwt/CMakeFiles/primacy_bwt.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpc/CMakeFiles/primacy_fpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpzip_like/CMakeFiles/primacy_fpzip_like.dir/DependInfo.cmake"
+  "/root/repo/build/src/huffman/CMakeFiles/primacy_huffman.dir/DependInfo.cmake"
+  "/root/repo/build/src/isobar/CMakeFiles/primacy_isobar.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/primacy_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/primacy_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/primacy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_in_situ.dir/in_situ_test.cc.o"
+  "CMakeFiles/test_in_situ.dir/in_situ_test.cc.o.d"
+  "test_in_situ"
+  "test_in_situ.pdb"
+  "test_in_situ[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_in_situ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_in_situ_edge.dir/in_situ_edge_test.cc.o"
+  "CMakeFiles/test_in_situ_edge.dir/in_situ_edge_test.cc.o.d"
+  "test_in_situ_edge"
+  "test_in_situ_edge.pdb"
+  "test_in_situ_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_in_situ_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_primacy_codec.dir/primacy_codec_test.cc.o"
+  "CMakeFiles/test_primacy_codec.dir/primacy_codec_test.cc.o.d"
+  "test_primacy_codec"
+  "test_primacy_codec.pdb"
+  "test_primacy_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_primacy_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

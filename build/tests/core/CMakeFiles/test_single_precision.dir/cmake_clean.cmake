@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_single_precision.dir/single_precision_test.cc.o"
+  "CMakeFiles/test_single_precision.dir/single_precision_test.cc.o.d"
+  "test_single_precision"
+  "test_single_precision.pdb"
+  "test_single_precision[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_single_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

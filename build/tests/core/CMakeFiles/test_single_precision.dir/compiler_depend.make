@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_single_precision.
+# This may be replaced when dependencies are built.

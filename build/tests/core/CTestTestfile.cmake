@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/test_frequency[1]_include.cmake")
+include("/root/repo/build/tests/core/test_id_mapper[1]_include.cmake")
+include("/root/repo/build/tests/core/test_primacy_codec[1]_include.cmake")
+include("/root/repo/build/tests/core/test_in_situ[1]_include.cmake")
+include("/root/repo/build/tests/core/test_single_precision[1]_include.cmake")
+include("/root/repo/build/tests/core/test_streaming[1]_include.cmake")
+include("/root/repo/build/tests/core/test_chunk_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/core/test_in_situ_edge[1]_include.cmake")

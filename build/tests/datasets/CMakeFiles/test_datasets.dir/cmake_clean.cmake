@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datasets.dir/datasets_test.cc.o"
+  "CMakeFiles/test_datasets.dir/datasets_test.cc.o.d"
+  "test_datasets"
+  "test_datasets.pdb"
+  "test_datasets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkpoint_planner.dir/checkpoint_planner_test.cc.o"
+  "CMakeFiles/test_checkpoint_planner.dir/checkpoint_planner_test.cc.o.d"
+  "test_checkpoint_planner"
+  "test_checkpoint_planner.pdb"
+  "test_checkpoint_planner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkpoint_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

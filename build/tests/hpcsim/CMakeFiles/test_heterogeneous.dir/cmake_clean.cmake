@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heterogeneous.dir/heterogeneous_test.cc.o"
+  "CMakeFiles/test_heterogeneous.dir/heterogeneous_test.cc.o.d"
+  "test_heterogeneous"
+  "test_heterogeneous.pdb"
+  "test_heterogeneous[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_staging.dir/staging_test.cc.o"
+  "CMakeFiles/test_staging.dir/staging_test.cc.o.d"
+  "test_staging"
+  "test_staging.pdb"
+  "test_staging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

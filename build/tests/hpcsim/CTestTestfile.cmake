@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hpcsim
+# Build directory: /root/repo/build/tests/hpcsim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hpcsim/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/hpcsim/test_resources[1]_include.cmake")
+include("/root/repo/build/tests/hpcsim/test_staging[1]_include.cmake")
+include("/root/repo/build/tests/hpcsim/test_checkpoint_planner[1]_include.cmake")
+include("/root/repo/build/tests/hpcsim/test_heterogeneous[1]_include.cmake")
+include("/root/repo/build/tests/hpcsim/test_workload[1]_include.cmake")

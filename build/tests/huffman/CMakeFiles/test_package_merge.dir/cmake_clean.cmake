@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_package_merge.dir/package_merge_test.cc.o"
+  "CMakeFiles/test_package_merge.dir/package_merge_test.cc.o.d"
+  "test_package_merge"
+  "test_package_merge.pdb"
+  "test_package_merge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_package_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/huffman
+# Build directory: /root/repo/build/tests/huffman
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/huffman/test_huffman[1]_include.cmake")
+include("/root/repo/build/tests/huffman/test_package_merge[1]_include.cmake")

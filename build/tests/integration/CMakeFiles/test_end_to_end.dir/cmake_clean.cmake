@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_end_to_end.dir/end_to_end_test.cc.o"
+  "CMakeFiles/test_end_to_end.dir/end_to_end_test.cc.o.d"
+  "test_end_to_end"
+  "test_end_to_end.pdb"
+  "test_end_to_end[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

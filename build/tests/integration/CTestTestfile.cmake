@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/integration/test_paper_claims[1]_include.cmake")
+include("/root/repo/build/tests/integration/test_end_to_end[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isobar_analyzer.dir/analyzer_test.cc.o"
+  "CMakeFiles/test_isobar_analyzer.dir/analyzer_test.cc.o.d"
+  "test_isobar_analyzer"
+  "test_isobar_analyzer.pdb"
+  "test_isobar_analyzer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isobar_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isobar_partitioned.dir/partitioned_test.cc.o"
+  "CMakeFiles/test_isobar_partitioned.dir/partitioned_test.cc.o.d"
+  "test_isobar_partitioned"
+  "test_isobar_partitioned.pdb"
+  "test_isobar_partitioned[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isobar_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/isobar
+# Build directory: /root/repo/build/tests/isobar
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/isobar/test_isobar_analyzer[1]_include.cmake")
+include("/root/repo/build/tests/isobar/test_isobar_partitioned[1]_include.cmake")

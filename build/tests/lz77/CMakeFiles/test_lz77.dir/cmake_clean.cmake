@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lz77.dir/lz77_test.cc.o"
+  "CMakeFiles/test_lz77.dir/lz77_test.cc.o.d"
+  "test_lz77"
+  "test_lz77.pdb"
+  "test_lz77[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lz77.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

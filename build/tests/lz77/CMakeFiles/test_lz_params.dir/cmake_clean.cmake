@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lz_params.dir/lz_params_test.cc.o"
+  "CMakeFiles/test_lz_params.dir/lz_params_test.cc.o.d"
+  "test_lz_params"
+  "test_lz_params.pdb"
+  "test_lz_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lz_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

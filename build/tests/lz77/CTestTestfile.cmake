@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/lz77
+# Build directory: /root/repo/build/tests/lz77
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/lz77/test_lz77[1]_include.cmake")
+include("/root/repo/build/tests/lz77/test_lz_params[1]_include.cmake")

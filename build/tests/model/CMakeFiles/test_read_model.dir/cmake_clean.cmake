@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_read_model.dir/read_model_test.cc.o"
+  "CMakeFiles/test_read_model.dir/read_model_test.cc.o.d"
+  "test_read_model"
+  "test_read_model.pdb"
+  "test_read_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_read_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/model
+# Build directory: /root/repo/build/tests/model
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/model/test_perf_model[1]_include.cmake")
+include("/root/repo/build/tests/model/test_read_model[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkpoint_store.dir/checkpoint_store_test.cc.o"
+  "CMakeFiles/test_checkpoint_store.dir/checkpoint_store_test.cc.o.d"
+  "test_checkpoint_store"
+  "test_checkpoint_store.pdb"
+  "test_checkpoint_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkpoint_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[UmbrellaHeaderTest.CoreTypesAreVisible]=]  /root/repo/build/tests/test_umbrella [==[--gtest_filter=UmbrellaHeaderTest.CoreTypesAreVisible]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[UmbrellaHeaderTest.CoreTypesAreVisible]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_umbrella_TESTS UmbrellaHeaderTest.CoreTypesAreVisible)

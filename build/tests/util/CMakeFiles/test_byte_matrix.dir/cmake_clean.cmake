@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_byte_matrix.dir/byte_matrix_test.cc.o"
+  "CMakeFiles/test_byte_matrix.dir/byte_matrix_test.cc.o.d"
+  "test_byte_matrix"
+  "test_byte_matrix.pdb"
+  "test_byte_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_byte_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

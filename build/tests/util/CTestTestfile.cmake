@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/util
+# Build directory: /root/repo/build/tests/util
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/util/test_byte_matrix[1]_include.cmake")
+include("/root/repo/build/tests/util/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/util/test_thread_pool[1]_include.cmake")
+include("/root/repo/build/tests/util/test_bytes[1]_include.cmake")
