@@ -10,12 +10,16 @@
 //   * theoretical and empirical values agree.
 #include <array>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/builtin_codecs.h"
 #include "compress/registry.h"
 #include "hpcsim/staging.h"
 #include "model/perf_model.h"
+#include "util/error.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -121,6 +125,86 @@ Entry CodecEntry(const std::string& codec_name, ByteSpan raw) {
   return e;
 }
 
+/// Best-of-three wall time for `fn`, in seconds.
+template <typename Fn>
+double BestSeconds(const Fn& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.Seconds());
+  }
+  return best;
+}
+
+struct DecompressRow {
+  std::string dataset;
+  std::size_t chunks = 0;
+  double serial_mbps = 0.0;
+  double parallel_mbps = 0.0;
+  double speedup = 0.0;
+  double range_read_us = 0.0;  // latency of a 1024-element mid-stream read
+};
+
+constexpr std::size_t kDecodeThreads = 4;
+
+/// Read-path microbenchmark over the v2 directory: serial vs thread-pool
+/// decode of one stream, plus random-access range-read latency.
+DecompressRow MeasureDecompress(const char* name) {
+  PrimacyOptions options;
+  options.chunk_bytes = 64 * 1024;  // >= 32 chunks at the default bench size
+  const std::vector<double>& values = bench::DatasetValues(name);
+  const Bytes stream = PrimacyCompressor(options).Compress(values);
+
+  PrimacyOptions parallel_options = options;
+  parallel_options.threads = kDecodeThreads;
+  const PrimacyDecompressor serial(options);
+  const PrimacyDecompressor parallel(parallel_options);
+
+  PrimacyDecodeStats stats;
+  const auto serial_out = serial.Decompress(stream, &stats);
+  if (serial.Decompress(stream) != parallel.Decompress(stream) ||
+      serial_out != values) {
+    throw InternalError("fig4: parallel decode mismatch");
+  }
+
+  DecompressRow row;
+  row.dataset = name;
+  row.chunks = stats.chunks_decoded;
+  const double mb = static_cast<double>(values.size()) * 8.0 / 1e6;
+  row.serial_mbps = mb / BestSeconds([&] { serial.Decompress(stream); });
+  row.parallel_mbps = mb / BestSeconds([&] { parallel.Decompress(stream); });
+  row.speedup = row.parallel_mbps / row.serial_mbps;
+
+  constexpr std::size_t kRangeElements = 1024;
+  const std::size_t mid = values.size() / 2 - kRangeElements / 2;
+  row.range_read_us =
+      BestSeconds([&] { serial.DecompressRange(stream, mid, kRangeElements); }) *
+      1e6;
+  return row;
+}
+
+void WriteDecompressJson(const std::vector<DecompressRow>& rows) {
+  std::FILE* out = std::fopen("BENCH_decompress.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out,
+               "{\n  \"threads\": %zu,\n  \"hardware_concurrency\": %u,\n"
+               "  \"datasets\": [\n",
+               kDecodeThreads, std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const DecompressRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"chunks\": %zu, "
+                 "\"serial_mbps\": %.2f, \"parallel_mbps\": %.2f, "
+                 "\"speedup\": %.3f, \"range_read_us\": %.2f}%s\n",
+                 r.dataset.c_str(), r.chunks, r.serial_mbps, r.parallel_mbps,
+                 r.speedup, r.range_read_us,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
 }  // namespace
 
 int main() {
@@ -157,6 +241,23 @@ int main() {
     }
     std::printf("\n");
   }
+
+  std::printf(
+      "[DECOMPRESS] stream v2 read path (64 KiB chunks); %u hardware\n"
+      "threads available — the T4 speedup column scales with cores.\n",
+      std::thread::hardware_concurrency());
+  std::printf("%-12s %7s %10s %12s %8s %14s\n", "dataset", "chunks",
+              "ser MB/s", "par MB/s(T4)", "speedup", "range us/1Ki");
+  std::vector<DecompressRow> rows;
+  for (const char* name : datasets) {
+    rows.push_back(MeasureDecompress(name));
+    const DecompressRow& r = rows.back();
+    std::printf("%-12s %7zu %10.1f %12.1f %7.2fx %14.1f\n", r.dataset.c_str(),
+                r.chunks, r.serial_mbps, r.parallel_mbps, r.speedup,
+                r.range_read_us);
+  }
+  WriteDecompressJson(rows);
+  std::printf("(machine-readable copy: BENCH_decompress.json)\n\n");
 
   bench::PrintRule();
   std::printf(

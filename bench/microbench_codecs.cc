@@ -48,7 +48,62 @@ void BM_Decompress(benchmark::State& state) {
   state.SetLabel(codec_name);
 }
 
+// v2 read path: thread-pool parallel decompression of one PRIMACY stream
+// (64 KiB chunks so the directory has plenty of independent decode groups).
+// Arg = worker threads (1 = serial baseline).
+void BM_PrimacyParallelDecompress(benchmark::State& state) {
+  RegisterBuiltinCodecs();
+  PrimacyOptions options;
+  options.chunk_bytes = 64 * 1024;
+  const std::vector<double>& values = bench::DatasetValues("obs_info");
+  const Bytes stream = PrimacyCompressor(options).Compress(values);
+  options.threads = static_cast<std::size_t>(state.range(0));
+  const PrimacyDecompressor decompressor(options);
+  PrimacyDecodeStats stats;
+  for (auto _ : state) {
+    const auto restored = decompressor.Decompress(stream, &stats);
+    benchmark::DoNotOptimize(restored.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(values.size() * 8 * state.iterations()));
+  state.counters["chunks"] = static_cast<double>(stats.chunks_decoded);
+  state.counters["threads_used"] = static_cast<double>(stats.threads_used);
+}
+
+// Random-access range read through the chunk directory: 1024 elements from
+// the middle of the stream, against full-stream decode cost above.
+void BM_PrimacyRangeRead(benchmark::State& state) {
+  RegisterBuiltinCodecs();
+  PrimacyOptions options;
+  options.chunk_bytes = 64 * 1024;
+  const std::vector<double>& values = bench::DatasetValues("obs_info");
+  const Bytes stream = PrimacyCompressor(options).Compress(values);
+  const PrimacyDecompressor decompressor(options);
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  const std::size_t first = values.size() / 2 - count / 2;
+  PrimacyDecodeStats stats;
+  for (auto _ : state) {
+    const auto range =
+        decompressor.DecompressRange(stream, first, count, &stats);
+    benchmark::DoNotOptimize(range.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(count * 8 * state.iterations()));
+  state.counters["chunks_touched"] = static_cast<double>(stats.chunks_decoded);
+}
+
 }  // namespace
 
 BENCHMARK(BM_Compress)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Decompress)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PrimacyParallelDecompress)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PrimacyRangeRead)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Unit(benchmark::kMicrosecond);

@@ -31,8 +31,12 @@ void Inspect(primacy::ByteSpan stream) {
   using namespace primacy;
   ByteReader reader(stream);
   const internal::StreamHeader header = internal::ReadStreamHeader(reader);
+  const std::size_t chunks_begin = reader.Offset();
 
   std::printf("stream: %zu bytes\n", stream.size());
+  std::printf("  format        : v%u%s\n", header.version,
+              header.version >= internal::kFormatVersion2 ? " (seekable)"
+                                                          : "");
   std::printf("  solver        : %s\n", header.solver_name.c_str());
   std::printf("  element width : %zu (%s precision)\n", header.width,
               header.width == 8 ? "double" : "single");
@@ -86,6 +90,14 @@ void Inspect(primacy::ByteSpan stream) {
   if (streamed) {
     std::printf("trailer total: %llu bytes\n",
                 static_cast<unsigned long long>(reader.GetVarint()));
+  }
+  if (header.version >= internal::kFormatVersion2 && !streamed) {
+    const internal::ChunkDirectory directory =
+        internal::ReadChunkDirectory(stream, chunks_begin);
+    std::printf("directory: %zu entries, %zu bytes incl. footer (seekable)\n",
+                directory.chunks.size(),
+                stream.size() -
+                    static_cast<std::size_t>(directory.directory_offset));
   }
 }
 

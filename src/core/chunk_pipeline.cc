@@ -1,5 +1,7 @@
 #include "core/chunk_pipeline.h"
 
+#include <bit>
+#include <cstring>
 #include <vector>
 
 #include "bitstream/byte_io.h"
@@ -18,16 +20,6 @@ Bytes ToBigEndianRows(ByteSpan chunk, std::size_t width) {
   if (width == 8) return DoublesToBigEndianRows(FromBytes<double>(chunk));
   PRIMACY_CHECK(width == 4);
   return FloatsToBigEndianRows(FromBytes<float>(chunk));
-}
-
-Bytes FromBigEndianRows(ByteSpan rows, std::size_t width) {
-  if (width == 8) {
-    const std::vector<double> values = BigEndianRowsToDoubles(rows);
-    return ToBytes(AsBytes(values));
-  }
-  PRIMACY_CHECK(width == 4);
-  const std::vector<float> values = BigEndianRowsToFloats(rows);
-  return ToBytes(AsBytes(values));
 }
 
 double FrequencyCorrelation(const PairFrequency& a, const PairFrequency& b) {
@@ -146,6 +138,17 @@ void ChunkDecoder::DecodeChunk(ByteReader& reader, std::uint64_t count,
   if (count == 0) {
     throw CorruptStreamError("primacy: bad chunk element count");
   }
+  const std::size_t old_size = out.size();
+  out.resize(old_size + static_cast<std::size_t>(count) * width_);
+  DecodeChunkInto(reader, count, MutableByteSpan(out).subspan(old_size));
+}
+
+void ChunkDecoder::DecodeChunkInto(ByteReader& reader, std::uint64_t count,
+                                   MutableByteSpan out) {
+  if (count == 0) {
+    throw CorruptStreamError("primacy: bad chunk element count");
+  }
+  PRIMACY_CHECK(out.size() == count * width_);
   const std::uint8_t index_flag = reader.GetU8();
   if (index_flag == 1) {
     index_ = DeserializeIndex(reader.GetBlock());
@@ -163,11 +166,39 @@ void ChunkDecoder::DecodeChunk(ByteReader& reader, std::uint64_t count,
   }
   const Bytes high = MapFromIds(id_bytes, *index_, linearization_);
   const Bytes low = IsobarDecompress(reader.GetBlock(), solver_);
-  if (low.size() != count * (width_ - kHighWidth)) {
+  const std::size_t low_width = width_ - kHighWidth;
+  if (low.size() != count * low_width) {
     throw CorruptStreamError("primacy: mantissa byte count mismatch");
   }
-  const Bytes rows = MergeHighLow(high, low, width_, kHighWidth);
-  AppendBytes(out, FromBigEndianRows(rows, width_));
+  // Fused high/low merge + big-endian-rows -> native conversion, writing
+  // each element once. The old path materialized the merged row matrix, a
+  // native value vector, and a byte copy of it before appending — three
+  // full-size temporaries per chunk that this loop eliminates.
+  const std::size_t n = static_cast<std::size_t>(count);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::byte* hi = high.data() + i * kHighWidth;
+    const std::byte* lo = low.data() + i * low_width;
+    std::byte* dst = out.data() + i * width_;
+    if (width_ == 8) {
+      std::uint64_t bits = 0;
+      bits = (bits << 8) | static_cast<std::uint64_t>(hi[0]);
+      bits = (bits << 8) | static_cast<std::uint64_t>(hi[1]);
+      for (std::size_t b = 0; b < 6; ++b) {
+        bits = (bits << 8) | static_cast<std::uint64_t>(lo[b]);
+      }
+      const double value = std::bit_cast<double>(bits);
+      std::memcpy(dst, &value, 8);
+    } else {
+      std::uint32_t bits = 0;
+      bits = (bits << 8) | static_cast<std::uint32_t>(hi[0]);
+      bits = (bits << 8) | static_cast<std::uint32_t>(hi[1]);
+      for (std::size_t b = 0; b < low_width; ++b) {
+        bits = (bits << 8) | static_cast<std::uint32_t>(lo[b]);
+      }
+      const float value = std::bit_cast<float>(bits);
+      std::memcpy(dst, &value, 4);
+    }
+  }
 }
 
 }  // namespace primacy

@@ -63,6 +63,19 @@ class ChunkDecoder {
   /// to `out`.
   void DecodeChunk(ByteReader& reader, std::uint64_t count, Bytes& out);
 
+  /// Same, but writes the restored bytes straight into `out`, which must be
+  /// exactly count * element_width bytes. This is the parallel-decode path:
+  /// each chunk's output position is known from the v2 directory, so workers
+  /// decode into disjoint slices of one preallocated buffer with no
+  /// intermediate append/copy.
+  void DecodeChunkInto(ByteReader& reader, std::uint64_t count,
+                       MutableByteSpan out);
+
+  /// Seeds the cross-chunk index state. Range reads resolve the index chain
+  /// (nearest full index plus deltas) out-of-band and prime the decoder with
+  /// the result before decoding the covering chunks.
+  void SetIndex(IdIndex index) { index_ = std::move(index); }
+
  private:
   const Codec& solver_;
   Linearization linearization_;

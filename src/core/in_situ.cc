@@ -1,10 +1,38 @@
 #include "core/in_situ.h"
 
+#include <algorithm>
 #include <numeric>
 
+#include "bitstream/byte_io.h"
+#include "core/stream_format.h"
 #include "util/error.h"
 
 namespace primacy {
+namespace {
+
+/// Element count of a self-contained shard stream, read from its header
+/// without decoding any payload.
+std::uint64_t ShardElements(ByteSpan shard) {
+  ByteReader reader(shard);
+  const internal::StreamHeader header = internal::ReadStreamHeader(reader);
+  if (header.total_bytes == ~std::uint64_t{0}) {
+    throw InvalidArgumentError(
+        "InSituDecompressRange: streamed shard has no element count");
+  }
+  if (header.width != 8) {
+    throw InvalidArgumentError("InSituDecompressRange: shard is not doubles");
+  }
+  return header.total_bytes / header.width;
+}
+
+void Accumulate(PrimacyDecodeStats& totals, const PrimacyDecodeStats& s) {
+  totals.chunks_decoded += s.chunks_decoded;
+  totals.index_loads += s.index_loads;
+  totals.output_bytes += s.output_bytes;
+  totals.used_directory = totals.used_directory || s.used_directory;
+}
+
+}  // namespace
 
 std::size_t InSituResult::TotalCompressedBytes() const {
   return std::accumulate(
@@ -27,18 +55,19 @@ InSituResult InSituCompress(std::span<const double> values,
   std::vector<PrimacyStats> stats(shard_count);
 
   const PrimacyCompressor compressor(options.primacy);
-  ThreadPool pool(options.threads);
-  pool.ParallelFor(shard_count, [&](std::size_t shard) {
-    const std::size_t first = shard * options.shard_elements;
-    const std::size_t count =
-        std::min(options.shard_elements, values.size() - first);
-    result.shards[shard] =
-        compressor.Compress(values.subspan(first, count), &stats[shard]);
-  });
+  SharedThreadPool().ParallelForSlots(
+      shard_count, options.threads, [&](std::size_t, std::size_t shard) {
+        const std::size_t first = shard * options.shard_elements;
+        const std::size_t count =
+            std::min(options.shard_elements, values.size() - first);
+        result.shards[shard] =
+            compressor.Compress(values.subspan(first, count), &stats[shard]);
+      });
 
   for (const PrimacyStats& s : stats) {
     result.totals.chunks += s.chunks;
     result.totals.indexes_emitted += s.indexes_emitted;
+    result.totals.delta_indexes += s.delta_indexes;
     result.totals.input_bytes += s.input_bytes;
     result.totals.output_bytes += s.output_bytes;
     result.totals.index_bytes += s.index_bytes;
@@ -61,19 +90,90 @@ InSituResult InSituCompress(std::span<const double> values,
   return result;
 }
 
+InSituDecodeResult InSituDecompressWithStats(const std::vector<Bytes>& shards,
+                                             const InSituOptions& options) {
+  // Shard-parallel on the shared pool; each shard decodes serially inside
+  // (the outer fan-out already saturates the requested concurrency).
+  PrimacyOptions shard_options = options.primacy;
+  shard_options.threads = 1;
+  const PrimacyDecompressor decompressor(std::move(shard_options));
+  std::vector<std::vector<double>> pieces(shards.size());
+  std::vector<PrimacyDecodeStats> stats(shards.size());
+  SharedThreadPool().ParallelForSlots(
+      shards.size(), options.threads, [&](std::size_t, std::size_t shard) {
+        pieces[shard] = decompressor.Decompress(shards[shard], &stats[shard]);
+      });
+
+  InSituDecodeResult result;
+  std::size_t total = 0;
+  for (const auto& piece : pieces) total += piece.size();
+  result.values.reserve(total);
+  for (const auto& piece : pieces) {
+    result.values.insert(result.values.end(), piece.begin(), piece.end());
+  }
+  for (const PrimacyDecodeStats& s : stats) Accumulate(result.totals, s);
+  return result;
+}
+
 std::vector<double> InSituDecompress(const std::vector<Bytes>& shards,
                                      const InSituOptions& options) {
-  const PrimacyDecompressor decompressor(options.primacy);
-  std::vector<std::vector<double>> pieces(shards.size());
-  ThreadPool pool(options.threads);
-  pool.ParallelFor(shards.size(), [&](std::size_t shard) {
-    pieces[shard] = decompressor.Decompress(shards[shard]);
-  });
-  std::vector<double> out;
-  for (const auto& piece : pieces) {
-    out.insert(out.end(), piece.begin(), piece.end());
+  return InSituDecompressWithStats(shards, options).values;
+}
+
+InSituDecodeResult InSituDecompressRange(const std::vector<Bytes>& shards,
+                                         std::uint64_t first_element,
+                                         std::uint64_t count,
+                                         const InSituOptions& options) {
+  // Map the global element range onto shard-local ranges from the headers
+  // alone, then range-read only the overlapping shards.
+  std::vector<std::uint64_t> starts(shards.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    starts[i] = total;
+    total += ShardElements(shards[i]);
   }
-  return out;
+  if (first_element > total || count > total - first_element) {
+    throw InvalidArgumentError("InSituDecompressRange: range out of bounds");
+  }
+
+  struct ShardRange {
+    std::size_t shard;
+    std::uint64_t local_first;
+    std::uint64_t local_count;
+    std::uint64_t result_offset;
+  };
+  std::vector<ShardRange> ranges;
+  for (std::size_t i = 0; i < shards.size() && count > 0; ++i) {
+    const std::uint64_t shard_end =
+        i + 1 < shards.size() ? starts[i + 1] : total;
+    const std::uint64_t overlap_first = std::max(starts[i], first_element);
+    const std::uint64_t overlap_end =
+        std::min(shard_end, first_element + count);
+    if (overlap_first >= overlap_end) continue;
+    ranges.push_back({i, overlap_first - starts[i],
+                      overlap_end - overlap_first,
+                      overlap_first - first_element});
+  }
+
+  InSituDecodeResult result;
+  result.values.resize(static_cast<std::size_t>(count));
+  PrimacyOptions shard_options = options.primacy;
+  shard_options.threads = 1;
+  const PrimacyDecompressor decompressor(std::move(shard_options));
+  std::vector<PrimacyDecodeStats> stats(ranges.size());
+  SharedThreadPool().ParallelForSlots(
+      ranges.size(), options.threads, [&](std::size_t, std::size_t r) {
+        const ShardRange& range = ranges[r];
+        const std::vector<double> piece = decompressor.DecompressRange(
+            shards[range.shard], range.local_first, range.local_count,
+            &stats[r]);
+        PRIMACY_CHECK(piece.size() == range.local_count);
+        std::copy(piece.begin(), piece.end(),
+                  result.values.begin() +
+                      static_cast<std::ptrdiff_t>(range.result_offset));
+      });
+  for (const PrimacyDecodeStats& s : stats) Accumulate(result.totals, s);
+  return result;
 }
 
 }  // namespace primacy

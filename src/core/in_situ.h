@@ -27,12 +27,35 @@ struct InSituOptions {
   std::size_t threads = 0;  // 0 = hardware concurrency
 };
 
+/// Shard-parallel decompression output: the restored array plus aggregated
+/// per-shard decode accounting (chunks decoded, index loads, ...).
+struct InSituDecodeResult {
+  std::vector<double> values;
+  PrimacyDecodeStats totals;
+};
+
 /// Compresses `values` shard-parallel.
 InSituResult InSituCompress(std::span<const double> values,
                             const InSituOptions& options = {});
 
-/// Decompresses shards (in order) back into one array.
+/// Decompresses shards (in order) back into one array. Shards decode in
+/// parallel on the shared pool (`options.threads`; 0 = hardware
+/// concurrency, matching InSituCompress).
 std::vector<double> InSituDecompress(const std::vector<Bytes>& shards,
                                      const InSituOptions& options = {});
+
+/// As InSituDecompress, but also returns the decode stats summed across
+/// shards instead of dropping them.
+InSituDecodeResult InSituDecompressWithStats(const std::vector<Bytes>& shards,
+                                             const InSituOptions& options = {});
+
+/// Partial restore: decodes elements [first_element, first_element + count)
+/// of the sharded array, touching only the shards — and within each shard,
+/// via PrimacyDecompressor::DecompressRange, only the chunks — that cover
+/// the range. Shards must be v2 (or stored) streams of doubles.
+InSituDecodeResult InSituDecompressRange(const std::vector<Bytes>& shards,
+                                         std::uint64_t first_element,
+                                         std::uint64_t count,
+                                         const InSituOptions& options = {});
 
 }  // namespace primacy

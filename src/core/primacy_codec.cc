@@ -1,6 +1,7 @@
 #include "core/primacy_codec.h"
 
 #include <algorithm>
+#include <cstring>
 #include <optional>
 #include <vector>
 
@@ -13,6 +14,171 @@
 #include "util/thread_pool.h"
 
 namespace primacy {
+namespace {
+
+/// Effective slot count for a threads knob (0 = hardware concurrency:
+/// every pool worker plus the calling thread).
+std::size_t EffectiveSlots(std::size_t threads_option) {
+  return threads_option == 0 ? SharedThreadPool().num_threads() + 1
+                             : threads_option;
+}
+
+/// Per-chunk element offsets within the decoded output; validates the
+/// directory's element total against the header.
+std::vector<std::uint64_t> ElementStarts(
+    const internal::ChunkDirectory& directory, std::uint64_t total_elements) {
+  std::vector<std::uint64_t> starts(directory.chunks.size());
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < directory.chunks.size(); ++i) {
+    starts[i] = sum;
+    sum += directory.chunks[i].elements;
+  }
+  if (sum != total_elements) {
+    throw CorruptStreamError("primacy: directory element total mismatch");
+  }
+  return starts;
+}
+
+/// View of chunk `c`'s record bytes, bounded by the next record (or the
+/// tail block).
+ByteSpan RecordSpan(ByteSpan stream, const internal::ChunkDirectory& directory,
+                    std::size_t c) {
+  const std::uint64_t begin = directory.chunks[c].offset;
+  const std::uint64_t end = c + 1 < directory.chunks.size()
+                                ? directory.chunks[c + 1].offset
+                                : directory.tail_offset;
+  return stream.subspan(static_cast<std::size_t>(begin),
+                        static_cast<std::size_t>(end - begin));
+}
+
+/// Decodes chunk `c` through `decoder` into `out` (exactly the chunk's
+/// extent), cross-checking the record's element count against the directory.
+void DecodeDirectoryChunk(ByteSpan stream,
+                          const internal::ChunkDirectory& directory,
+                          std::size_t c, ChunkDecoder& decoder,
+                          MutableByteSpan out) {
+  ByteReader reader(RecordSpan(stream, directory, c));
+  const std::uint64_t count = reader.GetVarint();
+  if (count != directory.chunks[c].elements) {
+    throw CorruptStreamError("primacy: directory element count mismatch");
+  }
+  decoder.DecodeChunkInto(reader, count, out);
+}
+
+/// Reads only the index block of chunk `c`'s record (for range-read index
+/// chain resolution), validating the flag against the directory.
+ByteSpan ReadIndexBlock(ByteSpan stream,
+                        const internal::ChunkDirectory& directory,
+                        std::size_t c) {
+  ByteReader reader(RecordSpan(stream, directory, c));
+  reader.GetVarint();  // element count
+  const std::uint8_t flag = reader.GetU8();
+  if (flag != directory.chunks[c].index_flag) {
+    throw CorruptStreamError("primacy: directory index flag mismatch");
+  }
+  return reader.GetBlock();
+}
+
+/// The tail block of a v2 stream (bytes beyond a whole number of elements),
+/// which sits between the last chunk record and the directory.
+ByteSpan ReadV2Tail(ByteSpan stream, const internal::ChunkDirectory& directory,
+                    std::uint64_t expected_element_bytes,
+                    std::uint64_t total_bytes) {
+  ByteReader reader(stream.subspan(
+      static_cast<std::size_t>(directory.tail_offset),
+      static_cast<std::size_t>(directory.directory_offset -
+                               directory.tail_offset)));
+  const ByteSpan tail = reader.GetBlock();
+  if (!reader.AtEnd()) {
+    throw CorruptStreamError("primacy: bytes between tail and directory");
+  }
+  if (expected_element_bytes + tail.size() != total_bytes) {
+    throw CorruptStreamError("primacy: tail size mismatch");
+  }
+  return tail;
+}
+
+/// Maximal runs of chunks starting at a full index: within a group chunks
+/// depend on the running index state (flags 0/2); across groups they are
+/// independent, which is the unit of parallel decode. Under kPerChunk every
+/// chunk is flag 1 and thus its own group.
+std::vector<std::pair<std::size_t, std::size_t>> IndexGroups(
+    const internal::ChunkDirectory& directory) {
+  std::vector<std::pair<std::size_t, std::size_t>> groups;
+  for (std::size_t c = 0; c < directory.chunks.size(); ++c) {
+    if (directory.chunks[c].index_flag == 1 || groups.empty()) {
+      groups.emplace_back(c, 1);
+    } else {
+      ++groups.back().second;
+    }
+  }
+  return groups;
+}
+
+/// Directory-driven decode of a v2 stream body (everything but the header).
+Bytes DecodeV2(ByteSpan stream, const internal::StreamHeader& header,
+               std::size_t chunks_begin, std::size_t threads_option,
+               PrimacyDecodeStats& accounting) {
+  const internal::ChunkDirectory directory =
+      internal::ReadChunkDirectory(stream, chunks_begin);
+  accounting.used_directory = true;
+  const std::uint64_t total_elements = header.total_bytes / header.width;
+  const std::vector<std::uint64_t> starts =
+      ElementStarts(directory, total_elements);
+  const std::uint64_t element_bytes = total_elements * header.width;
+  const ByteSpan tail =
+      ReadV2Tail(stream, directory, element_bytes, header.total_bytes);
+
+  Bytes out(static_cast<std::size_t>(header.total_bytes));
+  const auto groups = IndexGroups(directory);
+  const auto decode_group = [&](ChunkDecoder& decoder, std::size_t g) {
+    const auto [first, n] = groups[g];
+    for (std::size_t c = first; c < first + n; ++c) {
+      DecodeDirectoryChunk(
+          stream, directory, c, decoder,
+          MutableByteSpan(out).subspan(
+              static_cast<std::size_t>(starts[c] * header.width),
+              static_cast<std::size_t>(directory.chunks[c].elements *
+                                       header.width)));
+    }
+  };
+
+  const std::size_t slots =
+      std::min(EffectiveSlots(threads_option), std::max<std::size_t>(
+                                                   groups.size(), 1));
+  if (slots > 1 && groups.size() > 1) {
+    // One solver + decoder per slot, reused across that slot's groups
+    // instead of constructed per chunk. Slots never run two groups at once,
+    // so the per-slot state needs no locking.
+    struct Slot {
+      std::unique_ptr<const Codec> solver;
+      std::optional<ChunkDecoder> decoder;
+    };
+    std::vector<Slot> slot_state(slots);
+    SharedThreadPool().ParallelForSlots(
+        groups.size(), threads_option, [&](std::size_t slot, std::size_t g) {
+          Slot& s = slot_state[slot];
+          if (!s.decoder) {
+            s.solver = CreateCodec(header.solver_name);
+            s.decoder.emplace(*s.solver, header.linearization, header.width);
+          }
+          decode_group(*s.decoder, g);
+        });
+    accounting.threads_used = slots;
+  } else {
+    const auto solver = CreateCodec(header.solver_name);
+    ChunkDecoder decoder(*solver, header.linearization, header.width);
+    for (std::size_t g = 0; g < groups.size(); ++g) decode_group(decoder, g);
+  }
+  accounting.chunks_decoded += directory.chunks.size();
+
+  if (!tail.empty()) {
+    std::memcpy(out.data() + element_bytes, tail.data(), tail.size());
+  }
+  return out;
+}
+
+}  // namespace
 
 PrimacyCompressor::PrimacyCompressor(PrimacyOptions options)
     : options_(std::move(options)),
@@ -62,38 +228,58 @@ Bytes PrimacyCompressor::CompressBytes(ByteSpan data,
           ? 0
           : (total_elements + chunk_elements - 1) / chunk_elements;
   std::vector<ChunkRecordStats> chunk_stats(chunk_count);
+  internal::ChunkDirectory directory;
+  directory.chunks.resize(chunk_count);
 
   const bool parallel = options_.threads != 1 &&
                         options_.index_mode == IndexMode::kPerChunk &&
                         chunk_count > 1;
   if (parallel) {
     // Chunks are independent under kPerChunk indexing: encode them into
-    // per-chunk buffers across a pool, then concatenate in order. Each task
-    // gets its own encoder and solver instance so no state is shared.
+    // per-chunk buffers across the shared pool, then concatenate in order.
+    // Each *slot* (not each chunk) owns a solver + encoder instance, reused
+    // for every chunk that slot claims.
     std::vector<Bytes> records(chunk_count);
-    ThreadPool pool(options_.threads);
-    pool.ParallelFor(chunk_count, [&](std::size_t i) {
-      const std::size_t first = i * chunk_elements;
-      const std::size_t count =
-          std::min(chunk_elements, total_elements - first);
-      const auto solver = CreateCodec(options_.solver);
-      ChunkEncoder encoder(options_, *solver);
-      chunk_stats[i] = encoder.EncodeChunk(
-          body.subspan(first * width, count * width), records[i]);
-    });
-    for (const Bytes& record : records) AppendBytes(out, record);
+    struct Slot {
+      std::unique_ptr<const Codec> solver;
+      std::optional<ChunkEncoder> encoder;
+    };
+    std::vector<Slot> slots(
+        std::min(EffectiveSlots(options_.threads), chunk_count));
+    SharedThreadPool().ParallelForSlots(
+        chunk_count, options_.threads, [&](std::size_t slot, std::size_t i) {
+          Slot& s = slots[slot];
+          if (!s.encoder) {
+            s.solver = CreateCodec(options_.solver);
+            s.encoder.emplace(options_, *s.solver);
+          }
+          const std::size_t first = i * chunk_elements;
+          const std::size_t count =
+              std::min(chunk_elements, total_elements - first);
+          chunk_stats[i] = s.encoder->EncodeChunk(
+              body.subspan(first * width, count * width), records[i]);
+        });
+    for (std::size_t i = 0; i < chunk_count; ++i) {
+      directory.chunks[i].offset = out.size();
+      AppendBytes(out, records[i]);
+    }
   } else {
     ChunkEncoder encoder(options_, *solver_);
     for (std::size_t i = 0; i < chunk_count; ++i) {
       const std::size_t first = i * chunk_elements;
       const std::size_t count =
           std::min(chunk_elements, total_elements - first);
+      directory.chunks[i].offset = out.size();
       chunk_stats[i] =
           encoder.EncodeChunk(body.subspan(first * width, count * width), out);
     }
   }
 
-  for (const ChunkRecordStats& cs : chunk_stats) {
+  for (std::size_t i = 0; i < chunk_count; ++i) {
+    const ChunkRecordStats& cs = chunk_stats[i];
+    directory.chunks[i].elements = cs.elements;
+    directory.chunks[i].index_flag =
+        cs.emitted_full_index ? 1 : (cs.emitted_delta_index ? 2 : 0);
     ++accounting.chunks;
     accounting.indexes_emitted += cs.emitted_full_index;
     accounting.delta_indexes += cs.emitted_delta_index;
@@ -106,11 +292,14 @@ Bytes PrimacyCompressor::CompressBytes(ByteSpan data,
     compressible_fraction_sum += cs.compressible_fraction;
   }
 
+  directory.tail_offset = out.size();
   PutBlock(out, data.subspan(data.size() - tail_bytes, tail_bytes));
+  internal::AppendChunkDirectory(out, directory);
 
   // Whole-stream stored fallback: adversarial inputs (near-unique high-order
   // pairs) would otherwise pay index metadata with no compression to show
-  // for it. A stored stream is header + one raw block.
+  // for it. A stored stream is header + one raw block (no directory: the
+  // payload is already randomly accessible).
   if (out.size() > data.size() + 64) {
     Bytes stored;
     internal::WriteStreamHeader(stored, options_, data.size(),
@@ -140,45 +329,56 @@ PrimacyDecompressor::PrimacyDecompressor(PrimacyOptions options)
   RegisterBuiltinCodecs();
 }
 
-Bytes PrimacyDecompressor::DecompressBytes(ByteSpan stream) const {
+Bytes PrimacyDecompressor::DecompressBytes(ByteSpan stream,
+                                           PrimacyDecodeStats* stats) const {
+  PrimacyDecodeStats accounting;
   ByteReader reader(stream);
   const internal::StreamHeader header = internal::ReadStreamHeader(reader);
   if (header.total_bytes == ~std::uint64_t{0}) {
     throw CorruptStreamError(
         "primacy: streamed stream; use PrimacyStreamReader");
   }
+  Bytes out;
   if (header.stored) {
     const ByteSpan raw = reader.GetBlock();
     if (raw.size() != header.total_bytes) {
       throw CorruptStreamError("primacy: stored payload size mismatch");
     }
-    return ToBytes(raw);
-  }
-  const auto solver = CreateCodec(header.solver_name);
-  const std::uint64_t total_elements = header.total_bytes / header.width;
-
-  Bytes out;
-  out.reserve(std::min<std::uint64_t>(header.total_bytes, 1u << 26));
-  ChunkDecoder decoder(*solver, header.linearization, header.width);
-  std::uint64_t decoded_elements = 0;
-  while (decoded_elements < total_elements) {
-    const std::uint64_t count = reader.GetVarint();
-    if (count == 0 || decoded_elements + count > total_elements) {
-      throw CorruptStreamError("primacy: bad chunk element count");
+    out = ToBytes(raw);
+  } else if (header.version >= internal::kFormatVersion2) {
+    out = DecodeV2(stream, header, reader.Offset(), options_.threads,
+                   accounting);
+  } else {
+    const auto solver = CreateCodec(header.solver_name);
+    const std::uint64_t total_elements = header.total_bytes / header.width;
+    out.reserve(std::min<std::uint64_t>(header.total_bytes, 1u << 26));
+    ChunkDecoder decoder(*solver, header.linearization, header.width);
+    std::uint64_t decoded_elements = 0;
+    while (decoded_elements < total_elements) {
+      const std::uint64_t count = reader.GetVarint();
+      if (count == 0 || decoded_elements + count > total_elements) {
+        throw CorruptStreamError("primacy: bad chunk element count");
+      }
+      decoder.DecodeChunk(reader, count, out);
+      decoded_elements += count;
+      ++accounting.chunks_decoded;
     }
-    decoder.DecodeChunk(reader, count, out);
-    decoded_elements += count;
+    const ByteSpan tail = reader.GetBlock();
+    if (out.size() + tail.size() != header.total_bytes) {
+      throw CorruptStreamError("primacy: tail size mismatch");
+    }
+    AppendBytes(out, tail);
   }
-  const ByteSpan tail = reader.GetBlock();
-  if (out.size() + tail.size() != header.total_bytes) {
-    throw CorruptStreamError("primacy: tail size mismatch");
+  if (stats != nullptr) {
+    accounting.output_bytes = out.size();
+    *stats = accounting;
   }
-  AppendBytes(out, tail);
   return out;
 }
 
-std::vector<double> PrimacyDecompressor::Decompress(ByteSpan stream) const {
-  const Bytes raw = DecompressBytes(stream);
+std::vector<double> PrimacyDecompressor::Decompress(
+    ByteSpan stream, PrimacyDecodeStats* stats) const {
+  const Bytes raw = DecompressBytes(stream, stats);
   if (raw.size() % 8 != 0) {
     throw CorruptStreamError("primacy: stream is not a whole double array");
   }
@@ -186,12 +386,144 @@ std::vector<double> PrimacyDecompressor::Decompress(ByteSpan stream) const {
 }
 
 std::vector<float> PrimacyDecompressor::DecompressSingle(
-    ByteSpan stream) const {
-  const Bytes raw = DecompressBytes(stream);
+    ByteSpan stream, PrimacyDecodeStats* stats) const {
+  const Bytes raw = DecompressBytes(stream, stats);
   if (raw.size() % 4 != 0) {
     throw CorruptStreamError("primacy: stream is not a whole float array");
   }
   return FromBytes<float>(raw);
+}
+
+Bytes PrimacyDecompressor::DecompressRangeImpl(ByteSpan stream,
+                                               std::uint64_t first_element,
+                                               std::uint64_t count,
+                                               std::size_t expected_width,
+                                               PrimacyDecodeStats* stats) const {
+  PrimacyDecodeStats accounting;
+  ByteReader reader(stream);
+  const internal::StreamHeader header = internal::ReadStreamHeader(reader);
+  if (header.total_bytes == ~std::uint64_t{0}) {
+    throw CorruptStreamError(
+        "primacy: streamed stream; use PrimacyStreamReader");
+  }
+  if (expected_width != 0 && header.width != expected_width) {
+    throw InvalidArgumentError(
+        "primacy: stream element width does not match the requested type");
+  }
+  const std::uint64_t width = header.width;
+  const std::uint64_t total_elements = header.total_bytes / width;
+  if (first_element > total_elements ||
+      count > total_elements - first_element) {
+    throw InvalidArgumentError("primacy: element range out of bounds");
+  }
+  const auto finish = [&](Bytes result) {
+    if (stats != nullptr) {
+      accounting.output_bytes = result.size();
+      *stats = accounting;
+    }
+    return result;
+  };
+  if (count == 0) return finish(Bytes{});
+
+  if (header.stored) {
+    const ByteSpan raw = reader.GetBlock();
+    if (raw.size() != header.total_bytes) {
+      throw CorruptStreamError("primacy: stored payload size mismatch");
+    }
+    return finish(ToBytes(
+        raw.subspan(static_cast<std::size_t>(first_element * width),
+                    static_cast<std::size_t>(count * width))));
+  }
+  if (header.version < internal::kFormatVersion2) {
+    throw InvalidArgumentError(
+        "primacy: DecompressRange requires a v2 stream with a chunk "
+        "directory (v1 streams decode sequentially only)");
+  }
+
+  const internal::ChunkDirectory directory =
+      internal::ReadChunkDirectory(stream, reader.Offset());
+  accounting.used_directory = true;
+  const std::vector<std::uint64_t> starts =
+      ElementStarts(directory, total_elements);
+  // total_elements >= count > 0, so there is at least one chunk.
+  const auto chunk_of = [&](std::uint64_t element) {
+    return static_cast<std::size_t>(
+        std::upper_bound(starts.begin(), starts.end(), element) -
+        starts.begin() - 1);
+  };
+  const std::size_t cfirst = chunk_of(first_element);
+  const std::size_t clast = chunk_of(first_element + count - 1);
+
+  const auto solver = CreateCodec(header.solver_name);
+  ChunkDecoder decoder(*solver, header.linearization, header.width);
+  if (directory.chunks[cfirst].index_flag != 1) {
+    // kReuseWhenCorrelated chain: walk back to the nearest full index, then
+    // replay the delta extensions up to (but not including) cfirst. Only
+    // index blocks are read — no chunk payload is decoded.
+    std::size_t base = cfirst;
+    while (directory.chunks[base].index_flag != 1) --base;  // chunk 0 is full
+    IdIndex index = DeserializeIndex(ReadIndexBlock(stream, directory, base));
+    ++accounting.index_loads;
+    for (std::size_t c = base + 1; c < cfirst; ++c) {
+      if (directory.chunks[c].index_flag == 2) {
+        index = index.Extended(
+            DeserializeSequenceList(ReadIndexBlock(stream, directory, c)));
+        ++accounting.index_loads;
+      }
+    }
+    decoder.SetIndex(std::move(index));
+  }
+
+  Bytes result(static_cast<std::size_t>(count * width));
+  Bytes scratch;
+  for (std::size_t c = cfirst; c <= clast; ++c) {
+    const std::uint64_t chunk_first = starts[c];
+    const std::uint64_t chunk_count = directory.chunks[c].elements;
+    const bool fully_inside = chunk_first >= first_element &&
+                              chunk_first + chunk_count <=
+                                  first_element + count;
+    if (fully_inside) {
+      DecodeDirectoryChunk(
+          stream, directory, c, decoder,
+          MutableByteSpan(result).subspan(
+              static_cast<std::size_t>((chunk_first - first_element) * width),
+              static_cast<std::size_t>(chunk_count * width)));
+    } else {
+      scratch.resize(static_cast<std::size_t>(chunk_count * width));
+      DecodeDirectoryChunk(stream, directory, c, decoder, scratch);
+      const std::uint64_t overlap_first =
+          std::max(chunk_first, first_element);
+      const std::uint64_t overlap_end =
+          std::min(chunk_first + chunk_count, first_element + count);
+      std::memcpy(
+          result.data() + (overlap_first - first_element) * width,
+          scratch.data() + (overlap_first - chunk_first) * width,
+          static_cast<std::size_t>((overlap_end - overlap_first) * width));
+    }
+    ++accounting.chunks_decoded;
+  }
+  return finish(std::move(result));
+}
+
+Bytes PrimacyDecompressor::DecompressBytesRange(
+    ByteSpan stream, std::uint64_t first_element, std::uint64_t count,
+    PrimacyDecodeStats* stats) const {
+  return DecompressRangeImpl(stream, first_element, count, /*expected_width=*/0,
+                             stats);
+}
+
+std::vector<double> PrimacyDecompressor::DecompressRange(
+    ByteSpan stream, std::uint64_t first_element, std::uint64_t count,
+    PrimacyDecodeStats* stats) const {
+  return FromBytes<double>(
+      DecompressRangeImpl(stream, first_element, count, 8, stats));
+}
+
+std::vector<float> PrimacyDecompressor::DecompressRangeSingle(
+    ByteSpan stream, std::uint64_t first_element, std::uint64_t count,
+    PrimacyDecodeStats* stats) const {
+  return FromBytes<float>(
+      DecompressRangeImpl(stream, first_element, count, 4, stats));
 }
 
 PrimacyCodec::PrimacyCodec(PrimacyOptions options)

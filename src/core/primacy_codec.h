@@ -9,8 +9,9 @@
 //      compress the compressible byte columns, store the rest raw;
 //   6. emit [header | index | compressed IDs | ISOBAR stream] per chunk.
 //
-// Stream format:
-//   u32 magic "PRY1", u8 linearization, u8 element_width,
+// Stream format (v2; readers also accept v1, which stops after the tail):
+//   u32 magic "PRY1", u8 version (1 or 2), u8 flags (bit 0 = column
+//   linearization, bit 1 = stored fallback), u8 element_width,
 //   block(solver name), varint byte_count
 //   per chunk:
 //     varint chunk_elements
@@ -20,6 +21,23 @@
 //     [block(index or delta sequence list)]
 //     block(solver-compressed ID bytes)
 //     block(ISOBAR mantissa stream)
+//   block(tail bytes beyond a whole number of elements)
+//   v2 only — chunk directory, so readers can jump to any chunk without
+//   scanning (parallel decode, random-access range reads):
+//     varint chunk_count
+//     per chunk: varint record_offset_delta, varint chunk_elements,
+//                u8 index_flag (copied from the record; lets a reader plan
+//                parallel decode groups and index chains without touching
+//                record bytes)
+//     varint tail_offset_delta
+//   v2 footer (fixed 12 bytes, read from the end):
+//     u32 directory_bytes, u32 chunk_count, u32 magic "PRD2"
+//
+// Versioning rules: the header magic/version are always the first 5 bytes;
+// unknown versions are rejected. v2 readers decode v1 streams (serially —
+// no directory to parallelize over); v1 readers reject v2 by version byte.
+// Streamed (unknown-length) streams are always v1: the writer cannot seek
+// back, and PrimacyStreamReader is sequential by construction.
 #pragma once
 
 #include <memory>
@@ -62,11 +80,15 @@ struct PrimacyOptions {
   /// previous chunk's index.
   double index_reuse_correlation = 0.95;
   Precision precision = Precision::kDouble;
-  /// Worker threads for chunk-parallel compression (0 = hardware
-  /// concurrency, 1 = serial). Only kPerChunk indexing parallelizes: chunks
-  /// are then independent, and the output is byte-identical to a serial
-  /// run. kReuseWhenCorrelated has a serial cross-chunk dependency and
-  /// ignores this knob.
+  /// Worker threads for chunk-parallel compression and decompression
+  /// (0 = hardware concurrency, 1 = serial). Work runs on the process-wide
+  /// SharedThreadPool; this knob only bounds per-call concurrency.
+  /// Compression: only kPerChunk indexing parallelizes (chunks are then
+  /// independent, and the output is byte-identical to a serial run);
+  /// kReuseWhenCorrelated has a serial cross-chunk dependency and ignores
+  /// this knob. Decompression: v2 streams decode index-chain groups in
+  /// parallel (every chunk is its own group under kPerChunk), byte-identical
+  /// to serial; v1 streams always decode serially.
   std::size_t threads = 1;
   IsobarOptions isobar;
 };
@@ -121,19 +143,57 @@ class PrimacyCompressor {
   std::shared_ptr<const Codec> solver_;
 };
 
+/// Per-call decode accounting: how much work a Decompress/DecompressRange
+/// call actually did. The counters let tests and benches verify that range
+/// reads touch only the covering chunks and that parallel decode engaged.
+struct PrimacyDecodeStats {
+  std::size_t chunks_decoded = 0;  // chunk records fully decoded
+  /// Records whose index block was read (but not decoded) while resolving a
+  /// range read's index chain under IndexMode::kReuseWhenCorrelated.
+  std::size_t index_loads = 0;
+  std::size_t threads_used = 1;  // decode slots actually provisioned
+  std::size_t output_bytes = 0;
+  bool used_directory = false;  // v2 directory-driven decode
+};
+
 class PrimacyDecompressor {
  public:
-  /// The solver is recovered from the options; streams do not embed it, as
-  /// in the paper's deployment where the solver is fixed per run.
+  /// The solver is recovered from the stream header; `options` supplies the
+  /// decode-side knobs (threads).
   explicit PrimacyDecompressor(PrimacyOptions options = {});
 
-  std::vector<double> Decompress(ByteSpan stream) const;
-  std::vector<float> DecompressSingle(ByteSpan stream) const;
-  Bytes DecompressBytes(ByteSpan stream) const;
+  std::vector<double> Decompress(ByteSpan stream,
+                                 PrimacyDecodeStats* stats = nullptr) const;
+  std::vector<float> DecompressSingle(ByteSpan stream,
+                                      PrimacyDecodeStats* stats = nullptr) const;
+  Bytes DecompressBytes(ByteSpan stream,
+                        PrimacyDecodeStats* stats = nullptr) const;
+
+  /// Random-access range read: decodes elements [first_element,
+  /// first_element + count) touching only the chunks that cover the range
+  /// (plus, under IndexMode::kReuseWhenCorrelated, the index blocks of the
+  /// chain back to the nearest full index — counted in stats->index_loads,
+  /// never decoded). Requires a v2 stream (or a stored stream, which is
+  /// sliced directly); v1 streams throw InvalidArgumentError. An empty range
+  /// is valid anywhere within [0, element_count]. Bytes beyond the last
+  /// whole element (the stored tail) are not element-addressable.
+  std::vector<double> DecompressRange(ByteSpan stream,
+                                      std::uint64_t first_element,
+                                      std::uint64_t count,
+                                      PrimacyDecodeStats* stats = nullptr) const;
+  std::vector<float> DecompressRangeSingle(
+      ByteSpan stream, std::uint64_t first_element, std::uint64_t count,
+      PrimacyDecodeStats* stats = nullptr) const;
+  Bytes DecompressBytesRange(ByteSpan stream, std::uint64_t first_element,
+                             std::uint64_t count,
+                             PrimacyDecodeStats* stats = nullptr) const;
 
  private:
+  Bytes DecompressRangeImpl(ByteSpan stream, std::uint64_t first_element,
+                            std::uint64_t count, std::size_t expected_width,
+                            PrimacyDecodeStats* stats) const;
+
   PrimacyOptions options_;
-  std::shared_ptr<const Codec> solver_;
 };
 
 /// Implements Codec so PRIMACY(solver) can drop into any harness slot that

@@ -6,14 +6,16 @@
 
 namespace primacy::internal {
 namespace {
-constexpr std::uint32_t kMagic = 0x31595250;  // "PRY1"
-constexpr std::uint8_t kVersion = 1;
+constexpr std::uint32_t kMagic = 0x31595250;          // "PRY1"
+constexpr std::uint32_t kDirectoryMagic = 0x32445250;  // "PRD2"
+constexpr std::size_t kFooterBytes = 12;
 }  // namespace
 
 void WriteStreamHeader(Bytes& out, const PrimacyOptions& options,
-                       std::uint64_t total_bytes, bool stored) {
+                       std::uint64_t total_bytes, bool stored,
+                       std::uint8_t version) {
   PutU32(out, kMagic);
-  PutU8(out, kVersion);
+  PutU8(out, version);
   std::uint8_t flags =
       options.linearization == Linearization::kColumn ? 1 : 0;
   if (stored) flags |= 2;
@@ -27,7 +29,8 @@ StreamHeader ReadStreamHeader(ByteReader& reader) {
   if (reader.GetU32() != kMagic) {
     throw CorruptStreamError("primacy: bad magic");
   }
-  if (reader.GetU8() != kVersion) {
+  const std::uint8_t version = reader.GetU8();
+  if (version != kFormatVersion1 && version != kFormatVersion2) {
     throw CorruptStreamError("primacy: unsupported version");
   }
   const std::uint8_t flags = reader.GetU8();
@@ -35,6 +38,7 @@ StreamHeader ReadStreamHeader(ByteReader& reader) {
     throw CorruptStreamError("primacy: bad header flags");
   }
   StreamHeader header;
+  header.version = version;
   header.linearization =
       (flags & 1) != 0 ? Linearization::kColumn : Linearization::kRow;
   header.stored = (flags & 2) != 0;
@@ -50,6 +54,86 @@ StreamHeader ReadStreamHeader(ByteReader& reader) {
   }
   header.total_bytes = reader.GetVarint();
   return header;
+}
+
+void AppendChunkDirectory(Bytes& out, const ChunkDirectory& directory) {
+  Bytes payload;
+  PutVarint(payload, directory.chunks.size());
+  std::uint64_t prev_offset = 0;
+  for (const ChunkDirectoryEntry& entry : directory.chunks) {
+    PutVarint(payload, entry.offset - prev_offset);
+    PutVarint(payload, entry.elements);
+    PutU8(payload, entry.index_flag);
+    prev_offset = entry.offset;
+  }
+  PutVarint(payload, directory.tail_offset - prev_offset);
+  AppendBytes(out, payload);
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  PutU32(out, static_cast<std::uint32_t>(directory.chunks.size()));
+  PutU32(out, kDirectoryMagic);
+}
+
+ChunkDirectory ReadChunkDirectory(ByteSpan stream, std::size_t chunks_begin) {
+  if (stream.size() < chunks_begin + kFooterBytes) {
+    throw CorruptStreamError("primacy: stream too small for a directory");
+  }
+  ByteReader footer(stream.subspan(stream.size() - kFooterBytes));
+  const std::uint32_t payload_bytes = footer.GetU32();
+  const std::uint32_t footer_count = footer.GetU32();
+  if (footer.GetU32() != kDirectoryMagic) {
+    throw CorruptStreamError("primacy: bad directory magic");
+  }
+  if (payload_bytes > stream.size() - chunks_begin - kFooterBytes) {
+    throw CorruptStreamError("primacy: directory size out of range");
+  }
+  const std::size_t directory_begin =
+      stream.size() - kFooterBytes - payload_bytes;
+  ByteReader reader(stream.subspan(directory_begin, payload_bytes));
+  const std::uint64_t count = reader.GetVarint();
+  if (count != footer_count) {
+    throw CorruptStreamError("primacy: directory chunk count mismatch");
+  }
+  ChunkDirectory directory;
+  directory.chunks.reserve(count);
+  std::uint64_t prev_offset = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ChunkDirectoryEntry entry;
+    const std::uint64_t delta = reader.GetVarint();
+    entry.offset = prev_offset + delta;
+    entry.elements = reader.GetVarint();
+    entry.index_flag = reader.GetU8();
+    if (i == 0) {
+      if (entry.offset != chunks_begin) {
+        throw CorruptStreamError("primacy: directory first offset mismatch");
+      }
+    } else if (delta == 0) {
+      throw CorruptStreamError("primacy: directory offsets not increasing");
+    }
+    if (entry.elements == 0) {
+      throw CorruptStreamError("primacy: directory chunk with zero elements");
+    }
+    if (entry.index_flag > 2) {
+      throw CorruptStreamError("primacy: bad directory index flag");
+    }
+    prev_offset = entry.offset;
+    directory.chunks.push_back(entry);
+  }
+  directory.tail_offset = prev_offset + reader.GetVarint();
+  directory.directory_offset = directory_begin;
+  if (!directory.chunks.empty() && directory.chunks.front().index_flag != 1) {
+    throw CorruptStreamError("primacy: first chunk lacks a full index");
+  }
+  if (!directory.chunks.empty() && directory.tail_offset <= prev_offset) {
+    throw CorruptStreamError("primacy: directory tail offset out of range");
+  }
+  if (directory.tail_offset > directory_begin ||
+      directory.tail_offset < chunks_begin) {
+    throw CorruptStreamError("primacy: directory tail offset out of range");
+  }
+  if (!reader.AtEnd()) {
+    throw CorruptStreamError("primacy: trailing directory bytes");
+  }
+  return directory;
 }
 
 std::shared_ptr<const Codec> ResolveSolver(const std::string& name) {

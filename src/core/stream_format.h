@@ -1,9 +1,20 @@
 // PRIMACY stream header framing shared by the one-shot codec and the
-// streaming writer/reader. Internal API (namespace primacy::internal).
+// streaming writer/reader, plus the v2 seekable chunk directory. Internal
+// API (namespace primacy::internal).
+//
+// Version history:
+//   v1 — header, chunk records, tail block. Decoding is a sequential scan.
+//   v2 — identical payload, then a chunk directory (per-chunk record byte
+//        offset, element count, index flag) and a fixed-size footer locating
+//        it, so a reader can jump to any chunk without scanning. One-shot
+//        streams are written as v2; the streaming writer still emits v1
+//        (it never holds the whole stream, and its reader is sequential by
+//        construction). Readers accept both versions.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bitstream/byte_io.h"
 #include "compress/codec.h"
@@ -11,7 +22,11 @@
 
 namespace primacy::internal {
 
+inline constexpr std::uint8_t kFormatVersion1 = 1;
+inline constexpr std::uint8_t kFormatVersion2 = 2;
+
 struct StreamHeader {
+  std::uint8_t version = kFormatVersion2;
   Linearization linearization = Linearization::kColumn;
   bool stored = false;  // whole-stream raw fallback (adversarial input)
   std::size_t width = 8;
@@ -19,14 +34,52 @@ struct StreamHeader {
   std::uint64_t total_bytes = 0;
 };
 
+/// One chunk's directory entry: where its record starts, how many elements
+/// it decodes to, and its index flag (0 = reuse, 1 = full index, 2 = delta),
+/// so a reader can plan parallel decode groups and range reads from the
+/// directory alone.
+struct ChunkDirectoryEntry {
+  std::uint64_t offset = 0;    // record start, absolute from stream start
+  std::uint64_t elements = 0;  // element count the record decodes to
+  std::uint8_t index_flag = 0;
+};
+
+struct ChunkDirectory {
+  std::vector<ChunkDirectoryEntry> chunks;
+  /// Absolute offset of the tail block (= end of the last chunk record).
+  std::uint64_t tail_offset = 0;
+  /// Absolute offset of the directory payload (= end of the tail block).
+  /// Filled by ReadChunkDirectory; ignored by AppendChunkDirectory.
+  std::uint64_t directory_offset = 0;
+};
+
 /// Appends the stream header: magic, version, flags (bit 0 = column
 /// linearization, bit 1 = stored fallback), element width, solver name,
 /// total byte count.
 void WriteStreamHeader(Bytes& out, const PrimacyOptions& options,
-                       std::uint64_t total_bytes, bool stored = false);
+                       std::uint64_t total_bytes, bool stored = false,
+                       std::uint8_t version = kFormatVersion2);
 
 /// Parses and validates a stream header (including solver availability).
+/// Accepts versions 1 and 2.
 StreamHeader ReadStreamHeader(ByteReader& reader);
+
+/// Appends the v2 chunk directory and its footer. Layout:
+///   varint chunk_count
+///   per chunk: varint offset_delta (first entry: from stream start;
+///              later entries: from the previous record start),
+///              varint elements, u8 index_flag
+///   varint tail_offset_delta (tail block offset relative to the last
+///                             record start, or to stream start if empty)
+///   footer (12 bytes, fixed): u32 directory_bytes, u32 chunk_count,
+///                             u32 magic "PRD2"
+void AppendChunkDirectory(Bytes& out, const ChunkDirectory& directory);
+
+/// Reads and validates the chunk directory of a v2 stream from its trailing
+/// footer. `chunks_begin` is the offset of the first chunk record (= header
+/// size); offsets must be strictly increasing and in bounds. Throws
+/// CorruptStreamError on any inconsistency.
+ChunkDirectory ReadChunkDirectory(ByteSpan stream, std::size_t chunks_begin);
 
 /// Registers builtin codecs and instantiates the named solver.
 std::shared_ptr<const Codec> ResolveSolver(const std::string& name);

@@ -19,8 +19,10 @@ PrimacyStreamWriter::PrimacyStreamWriter(Sink sink, PrimacyOptions options)
   Bytes header;
   // Streaming mode: the total byte count is unknown up front; the header
   // stores the sentinel and the real count follows the end-of-chunks
-  // sentinel in the trailer.
-  internal::WriteStreamHeader(header, options_, kStreamingTotal);
+  // sentinel in the trailer. Streamed streams stay v1: the writer cannot
+  // seek back to plant a directory, and the reader is sequential anyway.
+  internal::WriteStreamHeader(header, options_, kStreamingTotal,
+                              /*stored=*/false, internal::kFormatVersion1);
   Emit(header);
 }
 

@@ -4,6 +4,7 @@
 
 #include "bitstream/byte_io.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace primacy {
 namespace {
@@ -79,7 +80,8 @@ Bytes CheckpointWriter::Finish() {
   return std::move(body_);
 }
 
-CheckpointReader::CheckpointReader(ByteSpan file) : file_(file) {
+CheckpointReader::CheckpointReader(ByteSpan file, PrimacyOptions decode_options)
+    : file_(file), decode_options_(std::move(decode_options)) {
   if (file.size() < 13) {
     throw CorruptStreamError("checkpoint: file too small");
   }
@@ -127,34 +129,93 @@ const VariableInfo& CheckpointReader::Find(const std::string& name) const {
   throw InvalidArgumentError("checkpoint: no variable named " + name);
 }
 
+ByteSpan CheckpointReader::StreamOf(const VariableInfo& info) const {
+  return file_.subspan(info.stream_offset, info.stream_bytes);
+}
+
 std::vector<double> CheckpointReader::ReadDoubles(
-    const std::string& name) const {
+    const std::string& name, PrimacyDecodeStats* stats) const {
   const VariableInfo& info = Find(name);
   if (info.element_width != 8) {
     throw InvalidArgumentError("checkpoint: " + name + " is single precision");
   }
-  const PrimacyDecompressor decompressor;
-  std::vector<double> values = decompressor.Decompress(
-      file_.subspan(info.stream_offset, info.stream_bytes));
+  const PrimacyDecompressor decompressor(decode_options_);
+  std::vector<double> values = decompressor.Decompress(StreamOf(info), stats);
   if (values.size() != info.elements) {
     throw CorruptStreamError("checkpoint: element count mismatch for " + name);
   }
   return values;
 }
 
-std::vector<float> CheckpointReader::ReadFloats(
-    const std::string& name) const {
+std::vector<float> CheckpointReader::ReadFloats(const std::string& name,
+                                                PrimacyDecodeStats* stats) const {
   const VariableInfo& info = Find(name);
   if (info.element_width != 4) {
     throw InvalidArgumentError("checkpoint: " + name + " is double precision");
   }
-  const PrimacyDecompressor decompressor;
-  std::vector<float> values = decompressor.DecompressSingle(
-      file_.subspan(info.stream_offset, info.stream_bytes));
+  const PrimacyDecompressor decompressor(decode_options_);
+  std::vector<float> values =
+      decompressor.DecompressSingle(StreamOf(info), stats);
   if (values.size() != info.elements) {
     throw CorruptStreamError("checkpoint: element count mismatch for " + name);
   }
   return values;
+}
+
+std::vector<double> CheckpointReader::ReadDoublesRange(
+    const std::string& name, std::uint64_t first_element, std::uint64_t count,
+    PrimacyDecodeStats* stats) const {
+  const VariableInfo& info = Find(name);
+  if (info.element_width != 8) {
+    throw InvalidArgumentError("checkpoint: " + name + " is single precision");
+  }
+  const PrimacyDecompressor decompressor(decode_options_);
+  return decompressor.DecompressRange(StreamOf(info), first_element, count,
+                                      stats);
+}
+
+std::vector<float> CheckpointReader::ReadFloatsRange(
+    const std::string& name, std::uint64_t first_element, std::uint64_t count,
+    PrimacyDecodeStats* stats) const {
+  const VariableInfo& info = Find(name);
+  if (info.element_width != 4) {
+    throw InvalidArgumentError("checkpoint: " + name + " is double precision");
+  }
+  const PrimacyDecompressor decompressor(decode_options_);
+  return decompressor.DecompressRangeSingle(StreamOf(info), first_element,
+                                            count, stats);
+}
+
+std::vector<Bytes> CheckpointReader::ReadAllRaw(
+    PrimacyDecodeStats* stats) const {
+  // Variable-parallel restore; each stream decodes serially inside (the
+  // outer fan-out already uses the requested concurrency).
+  PrimacyOptions serial = decode_options_;
+  serial.threads = 1;
+  const PrimacyDecompressor decompressor(std::move(serial));
+  std::vector<Bytes> raw(variables_.size());
+  std::vector<PrimacyDecodeStats> per_variable(variables_.size());
+  SharedThreadPool().ParallelForSlots(
+      variables_.size(), decode_options_.threads,
+      [&](std::size_t, std::size_t v) {
+        const VariableInfo& info = variables_[v];
+        raw[v] = decompressor.DecompressBytes(StreamOf(info), &per_variable[v]);
+        if (raw[v].size() != info.elements * info.element_width) {
+          throw CorruptStreamError("checkpoint: element count mismatch for " +
+                                   info.name);
+        }
+      });
+  if (stats != nullptr) {
+    PrimacyDecodeStats totals;
+    for (const PrimacyDecodeStats& s : per_variable) {
+      totals.chunks_decoded += s.chunks_decoded;
+      totals.index_loads += s.index_loads;
+      totals.output_bytes += s.output_bytes;
+      totals.used_directory = totals.used_directory || s.used_directory;
+    }
+    *stats = totals;
+  }
+  return raw;
 }
 
 }  // namespace primacy

@@ -69,8 +69,10 @@ class CheckpointWriter {
 /// decompressed until a variable is requested.
 class CheckpointReader {
  public:
-  /// `file` must outlive the reader.
-  explicit CheckpointReader(ByteSpan file);
+  /// `file` must outlive the reader. `decode_options` carries the decode-side
+  /// knobs (threads: within-variable parallel decode for the single-variable
+  /// reads, variable-parallel fan-out for ReadAllRaw).
+  explicit CheckpointReader(ByteSpan file, PrimacyOptions decode_options = {});
 
   const std::vector<VariableInfo>& variables() const { return variables_; }
 
@@ -78,11 +80,35 @@ class CheckpointReader {
   const VariableInfo& Find(const std::string& name) const;
 
   /// Decompress one variable.
-  std::vector<double> ReadDoubles(const std::string& name) const;
-  std::vector<float> ReadFloats(const std::string& name) const;
+  std::vector<double> ReadDoubles(const std::string& name,
+                                  PrimacyDecodeStats* stats = nullptr) const;
+  std::vector<float> ReadFloats(const std::string& name,
+                                PrimacyDecodeStats* stats = nullptr) const;
+
+  /// Partial restore: elements [first_element, first_element + count) of one
+  /// variable, decoding only the chunks that cover the range (the variable
+  /// must have been written as a v2 stream — any stream this writer
+  /// produces — or stored).
+  std::vector<double> ReadDoublesRange(const std::string& name,
+                                       std::uint64_t first_element,
+                                       std::uint64_t count,
+                                       PrimacyDecodeStats* stats = nullptr) const;
+  std::vector<float> ReadFloatsRange(const std::string& name,
+                                     std::uint64_t first_element,
+                                     std::uint64_t count,
+                                     PrimacyDecodeStats* stats = nullptr) const;
+
+  /// Decompresses every variable, variable-parallel on the shared pool
+  /// (decode_options.threads; 0 = hardware concurrency). Returns the raw
+  /// element bytes per variable in footer order; `stats` (optional) receives
+  /// the decode accounting summed across variables.
+  std::vector<Bytes> ReadAllRaw(PrimacyDecodeStats* stats = nullptr) const;
 
  private:
+  ByteSpan StreamOf(const VariableInfo& info) const;
+
   ByteSpan file_;
+  PrimacyOptions decode_options_;
   std::vector<VariableInfo> variables_;
 };
 

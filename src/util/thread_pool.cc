@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <exception>
 
 namespace primacy {
@@ -57,6 +59,73 @@ void ThreadPool::ParallelFor(std::size_t count,
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::ParallelForSlots(
+    std::size_t count, std::size_t max_slots,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  // Slot 0 is the calling thread; each pool worker can host one more.
+  std::size_t slots = max_slots == 0 ? num_threads() + 1 : max_slots;
+  slots = std::min(slots, count);
+
+  std::atomic<std::size_t> next{0};
+  const auto run_slot = [&](std::size_t slot) {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(slot, i);
+    }
+  };
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(slots > 0 ? slots - 1 : 0);
+  for (std::size_t s = 1; s < slots; ++s) {
+    futures.push_back(Submit([&run_slot, s] { run_slot(s); }));
+  }
+
+  std::exception_ptr first_error;
+  try {
+    run_slot(0);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  // Wait for the remaining slots, helping with queued work meanwhile: a
+  // slot task may sit behind unrelated tasks (nested sections submit to the
+  // same shared pool), and every worker may itself be blocked right here —
+  // draining the queue from the waiting thread guarantees global progress.
+  for (auto& future : futures) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!RunOneTask()) {
+        future.wait_for(std::chrono::milliseconds(1));
+      }
+    }
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& SharedThreadPool() {
+  // Deliberately leaked: joining workers from a static destructor can race
+  // the teardown of other globals the queued tasks still reference.
+  static ThreadPool* pool = new ThreadPool(0);
+  return *pool;
 }
 
 }  // namespace primacy

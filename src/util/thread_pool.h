@@ -53,8 +53,25 @@ class ThreadPool {
   void ParallelFor(std::size_t count,
                    const std::function<void(std::size_t)>& fn);
 
+  /// Runs fn(slot, i) for i in [0, count) across at most `max_slots`
+  /// concurrent slots (0 = one per pool worker, plus the caller). Slot ids
+  /// are dense in [0, effective_slots), so callers can keep per-slot state
+  /// (a solver/encoder instance per worker) without locking: a slot never
+  /// runs two iterations concurrently. Slot 0 executes on the calling
+  /// thread, and while waiting for the remaining slots the caller helps
+  /// drain the pool's queue — so nested ParallelForSlots calls through a
+  /// shared pool cannot deadlock even when every worker is blocked in an
+  /// outer wait. Iterations are claimed from an atomic counter (dynamic
+  /// load balancing). Rethrows the first exception encountered.
+  void ParallelForSlots(std::size_t count, std::size_t max_slots,
+                        const std::function<void(std::size_t, std::size_t)>& fn);
+
  private:
   void WorkerLoop();
+
+  /// Pops and runs one queued task on the calling thread; false if the
+  /// queue was empty.
+  bool RunOneTask();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
@@ -62,5 +79,12 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stopping_ = false;
 };
+
+/// Process-wide pool, lazily built with hardware-concurrency workers on
+/// first use and intentionally never destroyed (worker shutdown during
+/// static destruction would race other teardown). Compress/Decompress
+/// calls share it instead of constructing a pool per call; per-call
+/// concurrency is bounded by ParallelForSlots's max_slots.
+ThreadPool& SharedThreadPool();
 
 }  // namespace primacy

@@ -58,6 +58,54 @@ TEST(InSituTest, ZeroShardElementsRejected) {
   EXPECT_THROW(InSituCompress(values, options), InvalidArgumentError);
 }
 
+TEST(InSituTest, DecompressWithStatsAggregatesAcrossShards) {
+  const auto values = GenerateDatasetByName("obs_error", 100000);
+  InSituOptions options;
+  options.shard_elements = 25000;
+  options.threads = 4;
+  options.primacy.chunk_bytes = 64 * 1024;
+  const InSituResult result = InSituCompress(values, options);
+  const InSituDecodeResult decoded =
+      InSituDecompressWithStats(result.shards, options);
+  EXPECT_EQ(decoded.values, values);
+  EXPECT_EQ(decoded.totals.chunks_decoded, result.totals.chunks);
+  EXPECT_EQ(decoded.totals.output_bytes, values.size() * 8);
+  EXPECT_TRUE(decoded.totals.used_directory);
+}
+
+TEST(InSituTest, RangeRestoreTouchesOnlyCoveringShards) {
+  const auto values = GenerateDatasetByName("num_comet", 150000);
+  InSituOptions options;
+  options.shard_elements = 20000;
+  options.threads = 4;
+  options.primacy.chunk_bytes = 64 * 1024;  // 8192 elements per chunk
+  const InSituResult result = InSituCompress(values, options);
+
+  // [30000, 45000) overlaps shards 1 and 2 only; within them, only the
+  // covering chunks decode.
+  const InSituDecodeResult partial =
+      InSituDecompressRange(result.shards, 30000, 15000, options);
+  EXPECT_EQ(partial.values,
+            std::vector<double>(values.begin() + 30000,
+                                values.begin() + 45000));
+  // Shard 1 local [10000, 20000) -> chunks 1..2 of 8192 elements; shard 2
+  // local [0, 5000) -> chunk 0. Three covering chunks in total.
+  EXPECT_EQ(partial.totals.chunks_decoded, 3u);
+
+  // Whole-array range restore matches the full restore.
+  const InSituDecodeResult all =
+      InSituDecompressRange(result.shards, 0, values.size(), options);
+  EXPECT_EQ(all.values, values);
+
+  // Empty range, boundary positions, bounds checks.
+  EXPECT_TRUE(
+      InSituDecompressRange(result.shards, values.size(), 0, options)
+          .values.empty());
+  EXPECT_THROW(
+      InSituDecompressRange(result.shards, values.size(), 1, options),
+      InvalidArgumentError);
+}
+
 TEST(InSituTest, CompressionActuallyReduces) {
   const auto values = GenerateDatasetByName("num_plasma", 200000);
   const InSituResult result = InSituCompress(values);

@@ -1,0 +1,189 @@
+// Stream format v2: chunk directory layout, cross-version round-trips, and
+// corruption detection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <span>
+
+#include "bitstream/byte_io.h"
+#include "core/chunk_pipeline.h"
+#include "core/primacy_codec.h"
+#include "core/stream_format.h"
+#include "core/streaming.h"
+#include "datasets/datasets.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace primacy {
+namespace {
+
+PrimacyOptions SmallChunks() {
+  PrimacyOptions options;
+  options.chunk_bytes = 64 * 1024;
+  return options;
+}
+
+// Hand-assembles a one-shot v1 stream (header + chunk records + tail, no
+// directory), the way a pre-v2 writer laid it out.
+Bytes MakeV1Stream(std::span<const double> values,
+                   const PrimacyOptions& options) {
+  Bytes out;
+  internal::WriteStreamHeader(out, options, values.size() * 8,
+                              /*stored=*/false, internal::kFormatVersion1);
+  const auto solver = internal::ResolveSolver(options.solver);
+  ChunkEncoder encoder(options, *solver);
+  const ByteSpan body = AsBytes(values);
+  const std::size_t chunk_elements = options.chunk_bytes / 8;
+  for (std::size_t first = 0; first < values.size();
+       first += chunk_elements) {
+    const std::size_t count = std::min(chunk_elements, values.size() - first);
+    encoder.EncodeChunk(body.subspan(first * 8, count * 8), out);
+  }
+  PutBlock(out, ByteSpan{});  // empty tail
+  return out;
+}
+
+TEST(StreamV2Test, OneShotStreamsAreVersion2WithDirectoryFooter) {
+  const auto values = GenerateDatasetByName("obs_temp", 40000);
+  const Bytes stream = PrimacyCompressor(SmallChunks()).Compress(values);
+  ASSERT_GT(stream.size(), 17u);
+  EXPECT_EQ(static_cast<std::uint8_t>(stream[4]), internal::kFormatVersion2);
+  // Footer ends with the directory magic "PRD2".
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, stream.data() + stream.size() - 4, 4);
+  EXPECT_EQ(magic, 0x32445250u);
+}
+
+TEST(StreamV2Test, V2RoundTripUsesDirectory) {
+  const auto values = GenerateDatasetByName("gts_phi_l", 50000);
+  const Bytes stream = PrimacyCompressor(SmallChunks()).Compress(values);
+  PrimacyDecodeStats stats;
+  const auto restored =
+      PrimacyDecompressor(SmallChunks()).Decompress(stream, &stats);
+  EXPECT_EQ(restored, values);
+  EXPECT_TRUE(stats.used_directory);
+  // 50000 doubles at 8192 elements per chunk.
+  EXPECT_EQ(stats.chunks_decoded, (50000 + 8191) / 8192);
+  EXPECT_EQ(stats.output_bytes, values.size() * 8);
+}
+
+TEST(StreamV2Test, V1StreamsStillDecode) {
+  const auto values = GenerateDatasetByName("obs_temp", 30000);
+  const Bytes v1 = MakeV1Stream(values, SmallChunks());
+  EXPECT_EQ(static_cast<std::uint8_t>(v1[4]), internal::kFormatVersion1);
+  PrimacyDecodeStats stats;
+  const auto restored = PrimacyDecompressor().Decompress(v1, &stats);
+  EXPECT_EQ(restored, values);
+  EXPECT_FALSE(stats.used_directory);
+  EXPECT_EQ(stats.chunks_decoded, (30000 + 8191) / 8192);
+}
+
+TEST(StreamV2Test, V1AndV2PayloadsMatchByteForByte) {
+  // v2 = v1 payload + directory: stripping the directory must leave exactly
+  // the v1 record bytes (only the version byte differs).
+  const auto values = GenerateDatasetByName("num_plasma", 25000);
+  const Bytes v1 = MakeV1Stream(values, SmallChunks());
+  const Bytes v2 = PrimacyCompressor(SmallChunks()).Compress(values);
+  ASSERT_GT(v2.size(), v1.size());
+  EXPECT_TRUE(std::equal(v1.begin() + 5, v1.end(), v2.begin() + 5));
+}
+
+TEST(StreamV2Test, TruncatedDirectoryThrows) {
+  const auto values = GenerateDatasetByName("obs_temp", 20000);
+  const Bytes stream = PrimacyCompressor(SmallChunks()).Compress(values);
+  const PrimacyDecompressor decompressor;
+  for (const std::size_t drop : {std::size_t{1}, std::size_t{4},
+                                 std::size_t{12}, std::size_t{20}}) {
+    Bytes truncated(stream.begin(),
+                    stream.end() - static_cast<std::ptrdiff_t>(drop));
+    EXPECT_THROW(decompressor.Decompress(truncated), CorruptStreamError)
+        << "dropped " << drop << " bytes";
+  }
+}
+
+TEST(StreamV2Test, CorruptFooterChunkCountThrows) {
+  const auto values = GenerateDatasetByName("obs_temp", 20000);
+  Bytes stream = PrimacyCompressor(SmallChunks()).Compress(values);
+  // The footer's u32 chunk count sits 8 bytes from the end.
+  stream[stream.size() - 8] ^= 0xff_b;
+  EXPECT_THROW(PrimacyDecompressor().Decompress(stream), CorruptStreamError);
+}
+
+TEST(StreamV2Test, CorruptDirectoryPayloadThrows) {
+  const auto values = GenerateDatasetByName("obs_temp", 20000);
+  Bytes stream = PrimacyCompressor(SmallChunks()).Compress(values);
+  // Locate the directory payload via its footer and zero its leading varint
+  // (the chunk count), which must then disagree with the footer.
+  std::uint32_t payload_bytes = 0;
+  std::memcpy(&payload_bytes, stream.data() + stream.size() - 12, 4);
+  ASSERT_LT(payload_bytes, stream.size());
+  stream[stream.size() - 12 - payload_bytes] = 0_b;
+  EXPECT_THROW(PrimacyDecompressor().Decompress(stream), CorruptStreamError);
+}
+
+TEST(StreamV2Test, CorruptFooterMagicThrows) {
+  const auto values = GenerateDatasetByName("obs_temp", 20000);
+  Bytes stream = PrimacyCompressor(SmallChunks()).Compress(values);
+  stream[stream.size() - 1] ^= 0x01_b;
+  EXPECT_THROW(PrimacyDecompressor().Decompress(stream), CorruptStreamError);
+}
+
+TEST(StreamV2Test, StoredFallbackHasNoDirectoryAndStillRangeReads) {
+  // Incompressible input triggers the whole-stream stored fallback, which
+  // carries no directory (the raw payload is already seekable).
+  Rng rng(7);
+  std::vector<double> values(4096);
+  for (auto& v : values) {
+    // Mask to finite positives so equality compares are NaN-free.
+    v = std::bit_cast<double>(rng.NextU64() & 0x7fefffffffffffffull);
+  }
+  PrimacyStats stats;
+  const Bytes stream = PrimacyCompressor().Compress(values, &stats);
+  ASSERT_EQ(stats.chunks, 0u) << "input unexpectedly compressed";
+  PrimacyDecodeStats decode_stats;
+  const auto restored = PrimacyDecompressor().Decompress(stream, &decode_stats);
+  EXPECT_EQ(restored, values);
+  EXPECT_FALSE(decode_stats.used_directory);
+  const auto slice =
+      PrimacyDecompressor().DecompressRange(stream, 100, 50, &decode_stats);
+  EXPECT_EQ(slice, std::vector<double>(values.begin() + 100,
+                                       values.begin() + 150));
+  EXPECT_EQ(decode_stats.chunks_decoded, 0u);
+}
+
+TEST(StreamV2Test, StreamingWriterStaysVersion1) {
+  std::vector<double> values = GenerateDatasetByName("obs_temp", 20000);
+  Bytes collected;
+  PrimacyStreamWriter writer(
+      [&](ByteSpan data) { AppendBytes(collected, data); }, SmallChunks());
+  writer.Append(std::span(values));
+  writer.Finish();
+  ASSERT_GT(collected.size(), 5u);
+  EXPECT_EQ(static_cast<std::uint8_t>(collected[4]),
+            internal::kFormatVersion1);
+  PrimacyStreamReader reader(collected);
+  EXPECT_EQ(reader.ReadAllDoubles(), values);
+}
+
+TEST(StreamV2Test, DirectoryEntriesDescribeEveryChunk) {
+  const auto values = GenerateDatasetByName("gts_phi_l", 50000);
+  const Bytes stream = PrimacyCompressor(SmallChunks()).Compress(values);
+  ByteReader reader(stream);
+  const internal::StreamHeader header = internal::ReadStreamHeader(reader);
+  ASSERT_EQ(header.version, internal::kFormatVersion2);
+  const internal::ChunkDirectory directory =
+      internal::ReadChunkDirectory(stream, reader.Offset());
+  ASSERT_EQ(directory.chunks.size(), (50000u + 8191) / 8192);
+  std::uint64_t elements = 0;
+  for (const auto& entry : directory.chunks) {
+    EXPECT_EQ(entry.index_flag, 1) << "kPerChunk emits a full index per chunk";
+    elements += entry.elements;
+  }
+  EXPECT_EQ(elements, values.size());
+  EXPECT_LT(directory.tail_offset, directory.directory_offset);
+}
+
+}  // namespace
+}  // namespace primacy

@@ -129,6 +129,70 @@ TEST(CheckpointStoreTest, TruncationDetected) {
   EXPECT_THROW(CheckpointReader reader(file), CorruptStreamError);
 }
 
+TEST(CheckpointStoreTest, RangeReadsRestorePartialVariables) {
+  const auto phi = GenerateDatasetByName("gts_phi_l", 40000);
+  const auto vel = Floats(30000, 2);
+  PrimacyOptions small;
+  small.chunk_bytes = 64 * 1024;  // 8192 doubles / 16384 floats per chunk
+  CheckpointWriter writer(small);
+  writer.Add("phi", std::span(phi));
+  writer.Add("velocity_x", std::span(vel));
+  const Bytes file = writer.Finish();
+  const CheckpointReader reader(file);
+
+  PrimacyDecodeStats stats;
+  const auto phi_slice = reader.ReadDoublesRange("phi", 10000, 5000, &stats);
+  EXPECT_EQ(phi_slice,
+            std::vector<double>(phi.begin() + 10000, phi.begin() + 15000));
+  EXPECT_EQ(stats.chunks_decoded, 1u);  // [10000, 15000) sits in chunk 1
+  EXPECT_TRUE(stats.used_directory);
+
+  const auto vel_slice = reader.ReadFloatsRange("velocity_x", 100, 200);
+  EXPECT_EQ(vel_slice,
+            std::vector<float>(vel.begin() + 100, vel.begin() + 300));
+
+  EXPECT_THROW(reader.ReadDoublesRange("phi", 40000, 1),
+               InvalidArgumentError);
+  EXPECT_THROW(reader.ReadFloatsRange("phi", 0, 1), InvalidArgumentError);
+}
+
+TEST(CheckpointStoreTest, ReadAllRawRestoresEveryVariableInParallel) {
+  const auto phi = GenerateDatasetByName("gts_phi_l", 30000);
+  const auto temp = GenerateDatasetByName("obs_temp", 20000);
+  const auto vel = Floats(15000, 1);
+  CheckpointWriter writer;
+  writer.Add("phi", std::span(phi));
+  writer.Add("temp", std::span(temp));
+  writer.Add("velocity_x", std::span(vel));
+  const Bytes file = writer.Finish();
+
+  PrimacyOptions decode;
+  decode.threads = 4;
+  const CheckpointReader reader(file, decode);
+  PrimacyDecodeStats stats;
+  const std::vector<Bytes> raw = reader.ReadAllRaw(&stats);
+  ASSERT_EQ(raw.size(), 3u);
+  EXPECT_EQ(FromBytes<double>(raw[0]), phi);
+  EXPECT_EQ(FromBytes<double>(raw[1]), temp);
+  EXPECT_EQ(FromBytes<float>(raw[2]), vel);
+  EXPECT_EQ(stats.output_bytes,
+            phi.size() * 8 + temp.size() * 8 + vel.size() * 4);
+}
+
+TEST(CheckpointStoreTest, ThreadedReaderMatchesSerialReader) {
+  const auto phi = GenerateDatasetByName("num_plasma", 60000);
+  PrimacyOptions small;
+  small.chunk_bytes = 32 * 1024;
+  CheckpointWriter writer(small);
+  writer.Add("phi", std::span(phi));
+  const Bytes file = writer.Finish();
+
+  PrimacyOptions threaded;
+  threaded.threads = 4;
+  EXPECT_EQ(CheckpointReader(file, threaded).ReadDoubles("phi"),
+            CheckpointReader(file).ReadDoubles("phi"));
+}
+
 TEST(CheckpointStoreTest, LazyDecompression) {
   // Reading one variable must not require decompressing the others; this is
   // observable through timing only indirectly, so assert the structural
