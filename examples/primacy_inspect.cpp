@@ -5,6 +5,9 @@
 //
 //   ./primacy_inspect <file>          inspect a stream written by pfile/
 //                                     checkpoint tools
+//   ./primacy_inspect --verify <file> validate stream integrity (v3:
+//                                     checksums; v1/v2: structural decode);
+//                                     exit 0 = valid, 1 = corrupt
 //   ./primacy_inspect --demo [name]   generate a dataset, compress it, and
 //                                     inspect the in-memory stream
 #include <cstdio>
@@ -93,12 +96,28 @@ void Inspect(primacy::ByteSpan stream) {
   }
   if (header.version >= internal::kFormatVersion2 && !streamed) {
     const internal::ChunkDirectory directory =
-        internal::ReadChunkDirectory(stream, chunks_begin);
-    std::printf("directory: %zu entries, %zu bytes incl. footer (seekable)\n",
+        internal::ReadChunkDirectory(stream, chunks_begin, header.version);
+    std::printf("directory: %zu entries, %zu bytes incl. footer (seekable%s)\n",
                 directory.chunks.size(),
                 stream.size() -
-                    static_cast<std::size_t>(directory.directory_offset));
+                    static_cast<std::size_t>(directory.directory_offset),
+                directory.has_checksums ? ", checksummed" : "");
   }
+}
+
+int Verify(primacy::ByteSpan stream) {
+  const primacy::StreamVerifyResult result = primacy::VerifyStream(stream);
+  std::printf("version        : v%u\n", result.version);
+  std::printf("verification   : %s\n", result.has_checksums
+                                           ? "checksums (hash-only)"
+                                           : "structural decode");
+  std::printf("chunks checked : %zu\n", result.chunks_checked);
+  if (result.ok) {
+    std::printf("result         : OK\n");
+    return 0;
+  }
+  std::printf("result         : CORRUPT (%s)\n", result.error.c_str());
+  return 1;
 }
 
 }  // namespace
@@ -118,12 +137,17 @@ int main(int argc, char** argv) {
       Inspect(stream);
       return 0;
     }
+    if (argc == 3 && std::string(argv[1]) == "--verify") {
+      return Verify(ReadFile(argv[2]));
+    }
     if (argc == 2) {
       const primacy::Bytes stream = ReadFile(argv[1]);
       Inspect(stream);
       return 0;
     }
-    std::fprintf(stderr, "usage: primacy_inspect <file> | --demo [dataset]\n");
+    std::fprintf(stderr,
+                 "usage: primacy_inspect <file> | --verify <file> | "
+                 "--demo [dataset]\n");
     return 2;
   } catch (const primacy::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

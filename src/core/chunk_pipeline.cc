@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "bitstream/byte_io.h"
@@ -139,6 +140,11 @@ void ChunkDecoder::DecodeChunk(ByteReader& reader, std::uint64_t count,
     throw CorruptStreamError("primacy: bad chunk element count");
   }
   const std::size_t old_size = out.size();
+  // Overflow-safe: a tampered count must not wrap the byte extent and
+  // shrink the buffer the decode loop then writes past.
+  if (count > (std::numeric_limits<std::size_t>::max() - old_size) / width_) {
+    throw CorruptStreamError("primacy: chunk element count overflows");
+  }
   out.resize(old_size + static_cast<std::size_t>(count) * width_);
   DecodeChunkInto(reader, count, MutableByteSpan(out).subspan(old_size));
 }
@@ -148,7 +154,12 @@ void ChunkDecoder::DecodeChunkInto(ByteReader& reader, std::uint64_t count,
   if (count == 0) {
     throw CorruptStreamError("primacy: bad chunk element count");
   }
-  PRIMACY_CHECK(out.size() == count * width_);
+  // Division, not multiplication: `count` comes off the wire, and a wrapped
+  // count * width_ could alias a small buffer while the merge loop below
+  // iterates the unwrapped count.
+  if (out.size() % width_ != 0 || out.size() / width_ != count) {
+    throw CorruptStreamError("primacy: chunk element count mismatch");
+  }
   const std::uint8_t index_flag = reader.GetU8();
   if (index_flag == 1) {
     index_ = DeserializeIndex(reader.GetBlock());

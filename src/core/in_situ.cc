@@ -30,6 +30,7 @@ void Accumulate(PrimacyDecodeStats& totals, const PrimacyDecodeStats& s) {
   totals.index_loads += s.index_loads;
   totals.output_bytes += s.output_bytes;
   totals.used_directory = totals.used_directory || s.used_directory;
+  totals.chunks_verified += s.chunks_verified;
 }
 
 }  // namespace

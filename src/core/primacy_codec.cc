@@ -10,6 +10,8 @@
 #include "core/builtin_codecs.h"
 #include "core/chunk_pipeline.h"
 #include "core/stream_format.h"
+#include "core/streaming.h"
+#include "util/checksum.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -31,12 +33,41 @@ std::vector<std::uint64_t> ElementStarts(
   std::uint64_t sum = 0;
   for (std::size_t i = 0; i < directory.chunks.size(); ++i) {
     starts[i] = sum;
+    // Overflow-safe running total: a tampered entry may not push the sum
+    // past the header's element count (the wrapped sum could otherwise land
+    // back on the expected total and drive out-of-bounds output slices).
+    if (directory.chunks[i].elements > total_elements - sum) {
+      throw CorruptStreamError("primacy: directory element total mismatch");
+    }
     sum += directory.chunks[i].elements;
   }
   if (sum != total_elements) {
     throw CorruptStreamError("primacy: directory element total mismatch");
   }
   return starts;
+}
+
+/// Re-throws a chunk-local decode failure as CorruptStreamError carrying
+/// the chunk index and record byte offset — the context a restart tool
+/// needs to localize damage in a checkpoint.
+[[noreturn]] void ThrowChunkError(std::size_t chunk, std::uint64_t offset,
+                                  const std::string& what) {
+  throw CorruptStreamError("primacy: chunk " + std::to_string(chunk) +
+                           " (record at byte " + std::to_string(offset) +
+                           "): " + what);
+}
+
+/// Verifies chunk `c`'s record bytes against its directory checksum (v3
+/// streams with verification enabled). Returns true when a checksum was
+/// actually checked.
+bool VerifyChunkChecksum(ByteSpan record,
+                         const internal::ChunkDirectory& directory,
+                         std::size_t c, bool verify) {
+  if (!verify || !directory.has_checksums) return false;
+  if (Xxh64(record) != directory.chunks[c].checksum) {
+    ThrowChunkError(c, directory.chunks[c].offset, "checksum mismatch");
+  }
+  return true;
 }
 
 /// View of chunk `c`'s record bytes, bounded by the next record (or the
@@ -52,31 +83,52 @@ ByteSpan RecordSpan(ByteSpan stream, const internal::ChunkDirectory& directory,
 }
 
 /// Decodes chunk `c` through `decoder` into `out` (exactly the chunk's
-/// extent), cross-checking the record's element count against the directory.
-void DecodeDirectoryChunk(ByteSpan stream,
+/// extent), cross-checking the record's element count against the directory
+/// and (v3 + verify) the record bytes against their checksum first. Any
+/// decode failure is rethrown with the chunk index and byte offset.
+/// Returns true when the record checksum was verified.
+bool DecodeDirectoryChunk(ByteSpan stream,
                           const internal::ChunkDirectory& directory,
                           std::size_t c, ChunkDecoder& decoder,
-                          MutableByteSpan out) {
-  ByteReader reader(RecordSpan(stream, directory, c));
-  const std::uint64_t count = reader.GetVarint();
-  if (count != directory.chunks[c].elements) {
-    throw CorruptStreamError("primacy: directory element count mismatch");
+                          MutableByteSpan out, bool verify) {
+  const ByteSpan record = RecordSpan(stream, directory, c);
+  const bool verified = VerifyChunkChecksum(record, directory, c, verify);
+  try {
+    ByteReader reader(record);
+    const std::uint64_t count = reader.GetVarint();
+    if (count != directory.chunks[c].elements) {
+      throw CorruptStreamError("primacy: directory element count mismatch");
+    }
+    decoder.DecodeChunkInto(reader, count, out);
+  } catch (const InternalError&) {
+    throw;  // library invariant failure, not stream damage — keep the type
+  } catch (const Error& e) {
+    ThrowChunkError(c, directory.chunks[c].offset, e.what());
   }
-  decoder.DecodeChunkInto(reader, count, out);
+  return verified;
 }
 
 /// Reads only the index block of chunk `c`'s record (for range-read index
-/// chain resolution), validating the flag against the directory.
+/// chain resolution), validating the flag against the directory and (v3 +
+/// verify) the record checksum.
 ByteSpan ReadIndexBlock(ByteSpan stream,
                         const internal::ChunkDirectory& directory,
-                        std::size_t c) {
-  ByteReader reader(RecordSpan(stream, directory, c));
-  reader.GetVarint();  // element count
-  const std::uint8_t flag = reader.GetU8();
-  if (flag != directory.chunks[c].index_flag) {
-    throw CorruptStreamError("primacy: directory index flag mismatch");
+                        std::size_t c, bool verify) {
+  const ByteSpan record = RecordSpan(stream, directory, c);
+  VerifyChunkChecksum(record, directory, c, verify);
+  try {
+    ByteReader reader(record);
+    reader.GetVarint();  // element count
+    const std::uint8_t flag = reader.GetU8();
+    if (flag != directory.chunks[c].index_flag) {
+      throw CorruptStreamError("primacy: directory index flag mismatch");
+    }
+    return reader.GetBlock();
+  } catch (const InternalError&) {
+    throw;
+  } catch (const Error& e) {
+    ThrowChunkError(c, directory.chunks[c].offset, e.what());
   }
-  return reader.GetBlock();
 }
 
 /// The tail block of a v2 stream (bytes beyond a whole number of elements),
@@ -115,13 +167,23 @@ std::vector<std::pair<std::size_t, std::size_t>> IndexGroups(
   return groups;
 }
 
-/// Directory-driven decode of a v2 stream body (everything but the header).
-Bytes DecodeV2(ByteSpan stream, const internal::StreamHeader& header,
-               std::size_t chunks_begin, std::size_t threads_option,
-               PrimacyDecodeStats& accounting) {
+/// Directory-driven decode of a v2/v3 stream body (everything but the
+/// header). For v3 with verification on, the header/tail checksum is
+/// checked up front and every chunk record against its directory checksum
+/// before decoding.
+Bytes DecodeSeekable(ByteSpan stream, const internal::StreamHeader& header,
+                     std::size_t chunks_begin, const PrimacyOptions& options,
+                     PrimacyDecodeStats& accounting) {
+  const std::size_t threads_option = options.threads;
   const internal::ChunkDirectory directory =
-      internal::ReadChunkDirectory(stream, chunks_begin);
+      internal::ReadChunkDirectory(stream, chunks_begin, header.version);
   accounting.used_directory = true;
+  const bool verify = options.verify_checksums && directory.has_checksums;
+  if (verify &&
+      internal::ComputeHeaderTailChecksum(stream, directory, chunks_begin) !=
+          directory.header_tail_checksum) {
+    throw CorruptStreamError("primacy: header/tail checksum mismatch");
+  }
   const std::uint64_t total_elements = header.total_bytes / header.width;
   const std::vector<std::uint64_t> starts =
       ElementStarts(directory, total_elements);
@@ -131,15 +193,19 @@ Bytes DecodeV2(ByteSpan stream, const internal::StreamHeader& header,
 
   Bytes out(static_cast<std::size_t>(header.total_bytes));
   const auto groups = IndexGroups(directory);
+  // Verified chunks per group, folded into the accounting after the
+  // (possibly parallel) decode — workers never touch shared counters.
+  std::vector<std::size_t> verified_per_group(groups.size(), 0);
   const auto decode_group = [&](ChunkDecoder& decoder, std::size_t g) {
     const auto [first, n] = groups[g];
     for (std::size_t c = first; c < first + n; ++c) {
-      DecodeDirectoryChunk(
+      verified_per_group[g] += DecodeDirectoryChunk(
           stream, directory, c, decoder,
           MutableByteSpan(out).subspan(
               static_cast<std::size_t>(starts[c] * header.width),
               static_cast<std::size_t>(directory.chunks[c].elements *
-                                       header.width)));
+                                       header.width)),
+          verify);
     }
   };
 
@@ -171,6 +237,9 @@ Bytes DecodeV2(ByteSpan stream, const internal::StreamHeader& header,
     for (std::size_t g = 0; g < groups.size(); ++g) decode_group(decoder, g);
   }
   accounting.chunks_decoded += directory.chunks.size();
+  for (const std::size_t v : verified_per_group) {
+    accounting.chunks_verified += v;
+  }
 
   if (!tail.empty()) {
     std::memcpy(out.data() + element_bytes, tail.data(), tail.size());
@@ -298,13 +367,14 @@ Bytes PrimacyCompressor::CompressBytes(ByteSpan data,
 
   // Whole-stream stored fallback: adversarial inputs (near-unique high-order
   // pairs) would otherwise pay index metadata with no compression to show
-  // for it. A stored stream is header + one raw block (no directory: the
-  // payload is already randomly accessible).
+  // for it. A stored stream is header + one raw block + a trailing checksum
+  // of both (no directory: the payload is already randomly accessible).
   if (out.size() > data.size() + 64) {
     Bytes stored;
     internal::WriteStreamHeader(stored, options_, data.size(),
                                 /*stored=*/true);
     PutBlock(stored, data);
+    PutU64(stored, Xxh64(stored));
     accounting = PrimacyStats{};
     accounting.input_bytes = data.size();
     out = std::move(stored);
@@ -344,10 +414,18 @@ Bytes PrimacyDecompressor::DecompressBytes(ByteSpan stream,
     if (raw.size() != header.total_bytes) {
       throw CorruptStreamError("primacy: stored payload size mismatch");
     }
+    if (header.version >= internal::kFormatVersion3) {
+      const std::size_t covered = reader.Offset();
+      const std::uint64_t checksum = reader.GetU64();
+      if (options_.verify_checksums &&
+          Xxh64(stream.first(covered)) != checksum) {
+        throw CorruptStreamError("primacy: stored stream checksum mismatch");
+      }
+    }
     out = ToBytes(raw);
   } else if (header.version >= internal::kFormatVersion2) {
-    out = DecodeV2(stream, header, reader.Offset(), options_.threads,
-                   accounting);
+    out = DecodeSeekable(stream, header, reader.Offset(), options_,
+                         accounting);
   } else {
     const auto solver = CreateCodec(header.solver_name);
     const std::uint64_t total_elements = header.total_bytes / header.width;
@@ -355,12 +433,19 @@ Bytes PrimacyDecompressor::DecompressBytes(ByteSpan stream,
     ChunkDecoder decoder(*solver, header.linearization, header.width);
     std::uint64_t decoded_elements = 0;
     while (decoded_elements < total_elements) {
-      const std::uint64_t count = reader.GetVarint();
-      if (count == 0 || decoded_elements + count > total_elements) {
-        throw CorruptStreamError("primacy: bad chunk element count");
+      const std::size_t record_offset = reader.Offset();
+      try {
+        const std::uint64_t count = reader.GetVarint();
+        if (count == 0 || decoded_elements + count > total_elements) {
+          throw CorruptStreamError("primacy: bad chunk element count");
+        }
+        decoder.DecodeChunk(reader, count, out);
+        decoded_elements += count;
+      } catch (const InternalError&) {
+        throw;
+      } catch (const Error& e) {
+        ThrowChunkError(accounting.chunks_decoded, record_offset, e.what());
       }
-      decoder.DecodeChunk(reader, count, out);
-      decoded_elements += count;
       ++accounting.chunks_decoded;
     }
     const ByteSpan tail = reader.GetBlock();
@@ -436,13 +521,21 @@ Bytes PrimacyDecompressor::DecompressRangeImpl(ByteSpan stream,
   }
   if (header.version < internal::kFormatVersion2) {
     throw InvalidArgumentError(
-        "primacy: DecompressRange requires a v2 stream with a chunk "
+        "primacy: DecompressRange requires a v2+ stream with a chunk "
         "directory (v1 streams decode sequentially only)");
   }
 
   const internal::ChunkDirectory directory =
-      internal::ReadChunkDirectory(stream, reader.Offset());
+      internal::ReadChunkDirectory(stream, reader.Offset(), header.version);
   accounting.used_directory = true;
+  const bool verify = options_.verify_checksums && directory.has_checksums;
+  // The header and tail block are small; verifying them keeps every byte a
+  // range read depends on covered without hashing untouched chunk records.
+  if (verify && internal::ComputeHeaderTailChecksum(stream, directory,
+                                                    reader.Offset()) !=
+                    directory.header_tail_checksum) {
+    throw CorruptStreamError("primacy: header/tail checksum mismatch");
+  }
   const std::vector<std::uint64_t> starts =
       ElementStarts(directory, total_elements);
   // total_elements >= count > 0, so there is at least one chunk.
@@ -462,12 +555,13 @@ Bytes PrimacyDecompressor::DecompressRangeImpl(ByteSpan stream,
     // index blocks are read — no chunk payload is decoded.
     std::size_t base = cfirst;
     while (directory.chunks[base].index_flag != 1) --base;  // chunk 0 is full
-    IdIndex index = DeserializeIndex(ReadIndexBlock(stream, directory, base));
+    IdIndex index =
+        DeserializeIndex(ReadIndexBlock(stream, directory, base, verify));
     ++accounting.index_loads;
     for (std::size_t c = base + 1; c < cfirst; ++c) {
       if (directory.chunks[c].index_flag == 2) {
-        index = index.Extended(
-            DeserializeSequenceList(ReadIndexBlock(stream, directory, c)));
+        index = index.Extended(DeserializeSequenceList(
+            ReadIndexBlock(stream, directory, c, verify)));
         ++accounting.index_loads;
       }
     }
@@ -483,14 +577,16 @@ Bytes PrimacyDecompressor::DecompressRangeImpl(ByteSpan stream,
                               chunk_first + chunk_count <=
                                   first_element + count;
     if (fully_inside) {
-      DecodeDirectoryChunk(
+      accounting.chunks_verified += DecodeDirectoryChunk(
           stream, directory, c, decoder,
           MutableByteSpan(result).subspan(
               static_cast<std::size_t>((chunk_first - first_element) * width),
-              static_cast<std::size_t>(chunk_count * width)));
+              static_cast<std::size_t>(chunk_count * width)),
+          verify);
     } else {
       scratch.resize(static_cast<std::size_t>(chunk_count * width));
-      DecodeDirectoryChunk(stream, directory, c, decoder, scratch);
+      accounting.chunks_verified +=
+          DecodeDirectoryChunk(stream, directory, c, decoder, scratch, verify);
       const std::uint64_t overlap_first =
           std::max(chunk_first, first_element);
       const std::uint64_t overlap_end =
@@ -524,6 +620,73 @@ std::vector<float> PrimacyDecompressor::DecompressRangeSingle(
     PrimacyDecodeStats* stats) const {
   return FromBytes<float>(
       DecompressRangeImpl(stream, first_element, count, 4, stats));
+}
+
+StreamVerifyResult VerifyStream(ByteSpan stream) {
+  StreamVerifyResult result;
+  try {
+    ByteReader reader(stream);
+    const internal::StreamHeader header = internal::ReadStreamHeader(reader);
+    result.version = header.version;
+    if (header.stored) {
+      const ByteSpan raw = reader.GetBlock();
+      if (raw.size() != header.total_bytes) {
+        throw CorruptStreamError("primacy: stored payload size mismatch");
+      }
+      if (header.version >= internal::kFormatVersion3) {
+        result.has_checksums = true;
+        const std::size_t covered = reader.Offset();
+        if (Xxh64(stream.first(covered)) != reader.GetU64()) {
+          throw CorruptStreamError("primacy: stored stream checksum mismatch");
+        }
+      }
+      result.ok = true;
+      return result;
+    }
+    if (header.version >= internal::kFormatVersion3 &&
+        header.total_bytes != kStreamingTotal) {
+      // Hash-only pass: every byte before the footer is covered by a
+      // checksum, so no decompression is needed.
+      result.has_checksums = true;
+      const std::size_t chunks_begin = reader.Offset();
+      const internal::ChunkDirectory directory =
+          internal::ReadChunkDirectory(stream, chunks_begin, header.version);
+      (void)ElementStarts(directory, header.total_bytes / header.width);
+      if (internal::ComputeHeaderTailChecksum(stream, directory,
+                                              chunks_begin) !=
+          directory.header_tail_checksum) {
+        throw CorruptStreamError("primacy: header/tail checksum mismatch");
+      }
+      for (std::size_t c = 0; c < directory.chunks.size(); ++c) {
+        VerifyChunkChecksum(RecordSpan(stream, directory, c), directory, c,
+                            /*verify=*/true);
+        ++result.chunks_checked;
+      }
+      result.ok = true;
+      return result;
+    }
+    if (header.total_bytes == kStreamingTotal) {
+      // Streamed v1: sequential structural decode, one chunk resident.
+      PrimacyStreamReader stream_reader(stream);
+      Bytes sink;
+      while (stream_reader.NextChunk(sink)) {
+        sink.clear();
+        ++result.chunks_checked;
+      }
+    } else {
+      // v1/v2 one-shot: no checksums to hash, so the only integrity signal
+      // is a clean full decode.
+      PrimacyDecodeStats stats;
+      PrimacyDecompressor().DecompressBytes(stream, &stats);
+      result.chunks_checked = stats.chunks_decoded;
+    }
+    result.ok = true;
+  } catch (const Error& e) {
+    result.error = e.what();
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  return result;
 }
 
 PrimacyCodec::PrimacyCodec(PrimacyOptions options)

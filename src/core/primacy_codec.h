@@ -9,8 +9,9 @@
 //      compress the compressible byte columns, store the rest raw;
 //   6. emit [header | index | compressed IDs | ISOBAR stream] per chunk.
 //
-// Stream format (v2; readers also accept v1, which stops after the tail):
-//   u32 magic "PRY1", u8 version (1 or 2), u8 flags (bit 0 = column
+// Stream format (v3; readers also accept v1, which stops after the tail,
+// and v2, which lacks the checksum fields):
+//   u32 magic "PRY1", u8 version (1, 2 or 3), u8 flags (bit 0 = column
 //   linearization, bit 1 = stored fallback), u8 element_width,
 //   block(solver name), varint byte_count
 //   per chunk:
@@ -22,22 +23,37 @@
 //     block(solver-compressed ID bytes)
 //     block(ISOBAR mantissa stream)
 //   block(tail bytes beyond a whole number of elements)
-//   v2 only — chunk directory, so readers can jump to any chunk without
+//   v2/v3 only — chunk directory, so readers can jump to any chunk without
 //   scanning (parallel decode, random-access range reads):
 //     varint chunk_count
 //     per chunk: varint record_offset_delta, varint chunk_elements,
 //                u8 index_flag (copied from the record; lets a reader plan
 //                parallel decode groups and index chains without touching
-//                record bytes)
+//                record bytes),
+//                v3: u64 XXH64 of the chunk's record bytes
 //     varint tail_offset_delta
-//   v2 footer (fixed 12 bytes, read from the end):
-//     u32 directory_bytes, u32 chunk_count, u32 magic "PRD2"
+//     v3: u64 XXH64 of the header bytes ++ tail-block bytes
+//   footer (fixed size, read from the end):
+//     v2 (12 bytes): u32 directory_bytes, u32 chunk_count, u32 magic "PRD2"
+//     v3 (20 bytes): u64 XXH64 of the directory payload, u32 directory_bytes,
+//                    u32 chunk_count, u32 magic "PRD3"
+//   v3 stored fallback: the raw block is followed by a trailing u64 XXH64
+//   of every preceding stream byte (stored streams have no directory).
+//
+// Checksum coverage (v3): every byte before the footer is covered by
+// exactly one checksum — chunk records by their directory entry, header and
+// tail block by the header/tail checksum, the directory payload (which
+// contains the other checksums) by the footer checksum — so a single
+// flipped bit anywhere is detected, and a range read can verify just the
+// chunks it touches plus the (small) header/tail and directory.
 //
 // Versioning rules: the header magic/version are always the first 5 bytes;
-// unknown versions are rejected. v2 readers decode v1 streams (serially —
-// no directory to parallelize over); v1 readers reject v2 by version byte.
-// Streamed (unknown-length) streams are always v1: the writer cannot seek
-// back, and PrimacyStreamReader is sequential by construction.
+// unknown versions are rejected. v3 readers decode v1/v2 streams (v1
+// serially — no directory to parallelize over; both without checksum
+// verification — there is nothing to verify); older readers reject newer
+// versions by the version byte. Streamed (unknown-length) streams are
+// always v1: the writer cannot seek back, and PrimacyStreamReader is
+// sequential by construction.
 #pragma once
 
 #include <memory>
@@ -90,6 +106,13 @@ struct PrimacyOptions {
   /// parallel (every chunk is its own group under kPerChunk), byte-identical
   /// to serial; v1 streams always decode serially.
   std::size_t threads = 1;
+  /// Decode-side integrity knob: verify the per-chunk and header/tail
+  /// checksums of v3 streams before trusting their bytes (full decodes
+  /// check every chunk; range reads check only the chunks they touch).
+  /// Ignored for v1/v2 streams, which carry no checksums. The directory
+  /// payload's own checksum is always verified — it drives every bounds
+  /// computation — regardless of this setting.
+  bool verify_checksums = true;
   IsobarOptions isobar;
 };
 
@@ -153,7 +176,10 @@ struct PrimacyDecodeStats {
   std::size_t index_loads = 0;
   std::size_t threads_used = 1;  // decode slots actually provisioned
   std::size_t output_bytes = 0;
-  bool used_directory = false;  // v2 directory-driven decode
+  bool used_directory = false;  // v2+ directory-driven decode
+  /// Chunk records whose checksum was verified before decoding (v3 streams
+  /// with verify_checksums on).
+  std::size_t chunks_verified = 0;
 };
 
 class PrimacyDecompressor {
@@ -195,6 +221,26 @@ class PrimacyDecompressor {
 
   PrimacyOptions options_;
 };
+
+/// Outcome of a VerifyStream integrity pass.
+struct StreamVerifyResult {
+  bool ok = false;
+  std::uint8_t version = 0;
+  /// True when the stream carried checksums (v3) and verification was
+  /// hash-only; false for v1/v2, where the fallback is a full decode.
+  bool has_checksums = false;
+  std::size_t chunks_checked = 0;
+  /// Empty when ok; otherwise the failure message.
+  std::string error;
+};
+
+/// Validates a stream's integrity without materializing its contents. For
+/// v3 streams this hashes the chunk records, header/tail, and directory
+/// against the stored checksums (no decompression). For v1/v2 streams —
+/// which carry no checksums — it falls back to a full structural decode and
+/// reports whether that succeeded. Never throws on corrupt input; the
+/// failure is returned in the result.
+StreamVerifyResult VerifyStream(ByteSpan stream);
 
 /// Implements Codec so PRIMACY(solver) can drop into any harness slot that
 /// expects a plain byte codec (sizes must be multiples of 8; other sizes

@@ -2,13 +2,20 @@
 
 #include "compress/registry.h"
 #include "core/builtin_codecs.h"
+#include "util/checksum.h"
 #include "util/error.h"
 
 namespace primacy::internal {
 namespace {
-constexpr std::uint32_t kMagic = 0x31595250;          // "PRY1"
-constexpr std::uint32_t kDirectoryMagic = 0x32445250;  // "PRD2"
-constexpr std::size_t kFooterBytes = 12;
+constexpr std::uint32_t kMagic = 0x31595250;            // "PRY1"
+constexpr std::uint32_t kDirectoryMagicV2 = 0x32445250;  // "PRD2"
+constexpr std::uint32_t kDirectoryMagicV3 = 0x33445250;  // "PRD3"
+constexpr std::size_t kFooterBytesV2 = 12;
+constexpr std::size_t kFooterBytesV3 = 20;
+
+std::size_t FooterBytes(std::uint8_t version) {
+  return version >= kFormatVersion3 ? kFooterBytesV3 : kFooterBytesV2;
+}
 }  // namespace
 
 void WriteStreamHeader(Bytes& out, const PrimacyOptions& options,
@@ -30,7 +37,7 @@ StreamHeader ReadStreamHeader(ByteReader& reader) {
     throw CorruptStreamError("primacy: bad magic");
   }
   const std::uint8_t version = reader.GetU8();
-  if (version != kFormatVersion1 && version != kFormatVersion2) {
+  if (version < kFormatVersion1 || version > kFormatVersion3) {
     throw CorruptStreamError("primacy: unsupported version");
   }
   const std::uint8_t flags = reader.GetU8();
@@ -56,52 +63,99 @@ StreamHeader ReadStreamHeader(ByteReader& reader) {
   return header;
 }
 
-void AppendChunkDirectory(Bytes& out, const ChunkDirectory& directory) {
+void AppendChunkDirectory(Bytes& out, const ChunkDirectory& directory,
+                          std::uint8_t version) {
+  const bool checksums = version >= kFormatVersion3;
+  const std::size_t directory_begin = out.size();
   Bytes payload;
   PutVarint(payload, directory.chunks.size());
   std::uint64_t prev_offset = 0;
-  for (const ChunkDirectoryEntry& entry : directory.chunks) {
+  for (std::size_t i = 0; i < directory.chunks.size(); ++i) {
+    const ChunkDirectoryEntry& entry = directory.chunks[i];
     PutVarint(payload, entry.offset - prev_offset);
     PutVarint(payload, entry.elements);
     PutU8(payload, entry.index_flag);
+    if (checksums) {
+      // Record extent = [this offset, next offset or the tail block).
+      const std::uint64_t end = i + 1 < directory.chunks.size()
+                                    ? directory.chunks[i + 1].offset
+                                    : directory.tail_offset;
+      PutU64(payload, Xxh64(ByteSpan(out).subspan(
+                          static_cast<std::size_t>(entry.offset),
+                          static_cast<std::size_t>(end - entry.offset))));
+    }
     prev_offset = entry.offset;
   }
   PutVarint(payload, directory.tail_offset - prev_offset);
+  if (checksums) {
+    // Everything the per-chunk checksums do not cover: the header bytes
+    // [0, first record) and the tail block [tail_offset, directory).
+    const std::size_t chunks_begin =
+        directory.chunks.empty()
+            ? static_cast<std::size_t>(directory.tail_offset)
+            : static_cast<std::size_t>(directory.chunks.front().offset);
+    Xxh64State state;
+    state.Update(ByteSpan(out).first(chunks_begin));
+    state.Update(ByteSpan(out).subspan(
+        static_cast<std::size_t>(directory.tail_offset),
+        directory_begin - static_cast<std::size_t>(directory.tail_offset)));
+    PutU64(payload, state.Digest());
+  }
   AppendBytes(out, payload);
+  if (checksums) {
+    PutU64(out, Xxh64(payload));
+  }
   PutU32(out, static_cast<std::uint32_t>(payload.size()));
   PutU32(out, static_cast<std::uint32_t>(directory.chunks.size()));
-  PutU32(out, kDirectoryMagic);
+  PutU32(out, checksums ? kDirectoryMagicV3 : kDirectoryMagicV2);
 }
 
-ChunkDirectory ReadChunkDirectory(ByteSpan stream, std::size_t chunks_begin) {
-  if (stream.size() < chunks_begin + kFooterBytes) {
+ChunkDirectory ReadChunkDirectory(ByteSpan stream, std::size_t chunks_begin,
+                                  std::uint8_t version) {
+  const bool checksums = version >= kFormatVersion3;
+  const std::size_t footer_bytes = FooterBytes(version);
+  if (stream.size() < chunks_begin + footer_bytes) {
     throw CorruptStreamError("primacy: stream too small for a directory");
   }
-  ByteReader footer(stream.subspan(stream.size() - kFooterBytes));
+  ByteReader footer(stream.subspan(stream.size() - footer_bytes));
+  const std::uint64_t directory_checksum = checksums ? footer.GetU64() : 0;
   const std::uint32_t payload_bytes = footer.GetU32();
   const std::uint32_t footer_count = footer.GetU32();
-  if (footer.GetU32() != kDirectoryMagic) {
+  if (footer.GetU32() !=
+      (checksums ? kDirectoryMagicV3 : kDirectoryMagicV2)) {
     throw CorruptStreamError("primacy: bad directory magic");
   }
-  if (payload_bytes > stream.size() - chunks_begin - kFooterBytes) {
+  if (payload_bytes > stream.size() - chunks_begin - footer_bytes) {
     throw CorruptStreamError("primacy: directory size out of range");
   }
   const std::size_t directory_begin =
-      stream.size() - kFooterBytes - payload_bytes;
-  ByteReader reader(stream.subspan(directory_begin, payload_bytes));
+      stream.size() - footer_bytes - payload_bytes;
+  const ByteSpan payload = stream.subspan(directory_begin, payload_bytes);
+  if (checksums && Xxh64(payload) != directory_checksum) {
+    throw CorruptStreamError("primacy: directory checksum mismatch");
+  }
+  ByteReader reader(payload);
   const std::uint64_t count = reader.GetVarint();
   if (count != footer_count) {
     throw CorruptStreamError("primacy: directory chunk count mismatch");
   }
   ChunkDirectory directory;
+  directory.has_checksums = checksums;
   directory.chunks.reserve(count);
   std::uint64_t prev_offset = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     ChunkDirectoryEntry entry;
     const std::uint64_t delta = reader.GetVarint();
+    // Overflow-safe: every record offset must land inside
+    // [chunks_begin, directory_begin), so the delta may never exceed the
+    // room left before the directory.
+    if (delta > directory_begin - prev_offset) {
+      throw CorruptStreamError("primacy: directory offset out of range");
+    }
     entry.offset = prev_offset + delta;
     entry.elements = reader.GetVarint();
     entry.index_flag = reader.GetU8();
+    if (checksums) entry.checksum = reader.GetU64();
     if (i == 0) {
       if (entry.offset != chunks_begin) {
         throw CorruptStreamError("primacy: directory first offset mismatch");
@@ -118,8 +172,13 @@ ChunkDirectory ReadChunkDirectory(ByteSpan stream, std::size_t chunks_begin) {
     prev_offset = entry.offset;
     directory.chunks.push_back(entry);
   }
-  directory.tail_offset = prev_offset + reader.GetVarint();
+  const std::uint64_t tail_delta = reader.GetVarint();
+  if (tail_delta > directory_begin - prev_offset) {
+    throw CorruptStreamError("primacy: directory tail offset out of range");
+  }
+  directory.tail_offset = prev_offset + tail_delta;
   directory.directory_offset = directory_begin;
+  if (checksums) directory.header_tail_checksum = reader.GetU64();
   if (!directory.chunks.empty() && directory.chunks.front().index_flag != 1) {
     throw CorruptStreamError("primacy: first chunk lacks a full index");
   }
@@ -134,6 +193,18 @@ ChunkDirectory ReadChunkDirectory(ByteSpan stream, std::size_t chunks_begin) {
     throw CorruptStreamError("primacy: trailing directory bytes");
   }
   return directory;
+}
+
+std::uint64_t ComputeHeaderTailChecksum(ByteSpan stream,
+                                        const ChunkDirectory& directory,
+                                        std::size_t chunks_begin) {
+  Xxh64State state;
+  state.Update(stream.first(chunks_begin));
+  state.Update(stream.subspan(
+      static_cast<std::size_t>(directory.tail_offset),
+      static_cast<std::size_t>(directory.directory_offset -
+                               directory.tail_offset)));
+  return state.Digest();
 }
 
 std::shared_ptr<const Codec> ResolveSolver(const std::string& name) {

@@ -1,15 +1,21 @@
 // PRIMACY stream header framing shared by the one-shot codec and the
-// streaming writer/reader, plus the v2 seekable chunk directory. Internal
+// streaming writer/reader, plus the v2/v3 seekable chunk directory. Internal
 // API (namespace primacy::internal).
 //
 // Version history:
 //   v1 — header, chunk records, tail block. Decoding is a sequential scan.
 //   v2 — identical payload, then a chunk directory (per-chunk record byte
 //        offset, element count, index flag) and a fixed-size footer locating
-//        it, so a reader can jump to any chunk without scanning. One-shot
-//        streams are written as v2; the streaming writer still emits v1
-//        (it never holds the whole stream, and its reader is sequential by
-//        construction). Readers accept both versions.
+//        it, so a reader can jump to any chunk without scanning.
+//   v3 — v2 plus integrity data: a 64-bit XXH64 checksum per chunk record
+//        (carried in the directory entry), a checksum of the header + tail
+//        block, and a checksum of the directory payload itself in the
+//        footer. Every byte before the footer is covered by exactly one
+//        checksum, so any single flipped bit is detected, and a range read
+//        can verify just the chunks it touches. One-shot streams are
+//        written as v3; the streaming writer still emits v1 (it never holds
+//        the whole stream, and its reader is sequential by construction).
+//        Readers accept all three versions.
 #pragma once
 
 #include <memory>
@@ -24,9 +30,14 @@ namespace primacy::internal {
 
 inline constexpr std::uint8_t kFormatVersion1 = 1;
 inline constexpr std::uint8_t kFormatVersion2 = 2;
+inline constexpr std::uint8_t kFormatVersion3 = 3;
+
+/// Trailing checksum of a v3 stored-fallback stream (XXH64 of every
+/// preceding byte); stored streams have no directory to carry one.
+inline constexpr std::size_t kStoredChecksumBytes = 8;
 
 struct StreamHeader {
-  std::uint8_t version = kFormatVersion2;
+  std::uint8_t version = kFormatVersion3;
   Linearization linearization = Linearization::kColumn;
   bool stored = false;  // whole-stream raw fallback (adversarial input)
   std::size_t width = 8;
@@ -35,13 +46,15 @@ struct StreamHeader {
 };
 
 /// One chunk's directory entry: where its record starts, how many elements
-/// it decodes to, and its index flag (0 = reuse, 1 = full index, 2 = delta),
-/// so a reader can plan parallel decode groups and range reads from the
-/// directory alone.
+/// it decodes to, its index flag (0 = reuse, 1 = full index, 2 = delta),
+/// and — v3 — the XXH64 of its record bytes, so a reader can plan parallel
+/// decode groups, range reads, and integrity checks from the directory
+/// alone.
 struct ChunkDirectoryEntry {
   std::uint64_t offset = 0;    // record start, absolute from stream start
   std::uint64_t elements = 0;  // element count the record decodes to
   std::uint8_t index_flag = 0;
+  std::uint64_t checksum = 0;  // XXH64 of the record bytes (v3 only)
 };
 
 struct ChunkDirectory {
@@ -51,6 +64,13 @@ struct ChunkDirectory {
   /// Absolute offset of the directory payload (= end of the tail block).
   /// Filled by ReadChunkDirectory; ignored by AppendChunkDirectory.
   std::uint64_t directory_offset = 0;
+  /// True for v3 directories: entry checksums and header_tail_checksum are
+  /// populated.
+  bool has_checksums = false;
+  /// XXH64 of the stream header bytes followed by the tail-block bytes —
+  /// everything before the footer that the per-chunk checksums do not cover
+  /// (v3 only). Computed by AppendChunkDirectory.
+  std::uint64_t header_tail_checksum = 0;
 };
 
 /// Appends the stream header: magic, version, flags (bit 0 = column
@@ -58,28 +78,46 @@ struct ChunkDirectory {
 /// total byte count.
 void WriteStreamHeader(Bytes& out, const PrimacyOptions& options,
                        std::uint64_t total_bytes, bool stored = false,
-                       std::uint8_t version = kFormatVersion2);
+                       std::uint8_t version = kFormatVersion3);
 
 /// Parses and validates a stream header (including solver availability).
-/// Accepts versions 1 and 2.
+/// Accepts versions 1, 2 and 3.
 StreamHeader ReadStreamHeader(ByteReader& reader);
 
-/// Appends the v2 chunk directory and its footer. Layout:
+/// Appends the chunk directory and its footer for a v2 or v3 stream. `out`
+/// must hold the complete stream prefix (header, chunk records, tail
+/// block): for v3 the per-chunk, header/tail, and directory checksums are
+/// computed from it. Layout:
 ///   varint chunk_count
 ///   per chunk: varint offset_delta (first entry: from stream start;
 ///              later entries: from the previous record start),
-///              varint elements, u8 index_flag
+///              varint elements, u8 index_flag,
+///              [v3] u64 record checksum
 ///   varint tail_offset_delta (tail block offset relative to the last
 ///                             record start, or to stream start if empty)
-///   footer (12 bytes, fixed): u32 directory_bytes, u32 chunk_count,
-///                             u32 magic "PRD2"
-void AppendChunkDirectory(Bytes& out, const ChunkDirectory& directory);
+///   [v3] u64 header+tail checksum
+///   footer, fixed size, read from the end:
+///     v2 (12 bytes): u32 directory_bytes, u32 chunk_count, u32 magic "PRD2"
+///     v3 (20 bytes): u64 directory_checksum, u32 directory_bytes,
+///                    u32 chunk_count, u32 magic "PRD3"
+void AppendChunkDirectory(Bytes& out, const ChunkDirectory& directory,
+                          std::uint8_t version = kFormatVersion3);
 
-/// Reads and validates the chunk directory of a v2 stream from its trailing
-/// footer. `chunks_begin` is the offset of the first chunk record (= header
-/// size); offsets must be strictly increasing and in bounds. Throws
-/// CorruptStreamError on any inconsistency.
-ChunkDirectory ReadChunkDirectory(ByteSpan stream, std::size_t chunks_begin);
+/// Reads and validates the chunk directory of a v2/v3 stream from its
+/// trailing footer; the footer magic must match `version`. `chunks_begin`
+/// is the offset of the first chunk record (= header size); offsets must be
+/// strictly increasing and in bounds. For v3 the directory payload is
+/// verified against the footer checksum unconditionally (the directory
+/// drives every later bounds computation). Throws CorruptStreamError on any
+/// inconsistency.
+ChunkDirectory ReadChunkDirectory(ByteSpan stream, std::size_t chunks_begin,
+                                  std::uint8_t version);
+
+/// XXH64 over the byte ranges header_tail_checksum covers: [0, chunks_begin)
+/// followed by [tail_offset, directory_offset).
+std::uint64_t ComputeHeaderTailChecksum(ByteSpan stream,
+                                        const ChunkDirectory& directory,
+                                        std::size_t chunks_begin);
 
 /// Registers builtin codecs and instantiates the named solver.
 std::shared_ptr<const Codec> ResolveSolver(const std::string& name);

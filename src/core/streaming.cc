@@ -1,6 +1,7 @@
 #include "core/streaming.h"
 
 #include "compress/registry.h"
+#include "util/checksum.h"
 #include "util/error.h"
 
 namespace primacy {
@@ -124,11 +125,32 @@ PrimacyStats PrimacyStreamWriter::Finish() {
   return stats_;
 }
 
-PrimacyStreamReader::PrimacyStreamReader(ByteSpan stream)
-    : reader_(stream), header_(internal::ReadStreamHeader(reader_)) {
+PrimacyStreamReader::PrimacyStreamReader(ByteSpan stream,
+                                         bool verify_checksums)
+    : stream_(stream),
+      reader_(stream),
+      header_(internal::ReadStreamHeader(reader_)) {
   solver_ = CreateCodec(header_.solver_name);
   decoder_ = std::make_unique<ChunkDecoder>(*solver_, header_.linearization,
                                             header_.width);
+  if (header_.version >= internal::kFormatVersion3 && !header_.stored &&
+      header_.total_bytes != kStreamingTotal) {
+    // One-shot v3: the directory at the end holds the record checksums. It
+    // is always loaded (its own checksum is verified inside
+    // ReadChunkDirectory — corrupt bounds must never be trusted); the
+    // per-record and header/tail checks respect `verify_checksums`.
+    directory_ = internal::ReadChunkDirectory(stream_, reader_.Offset(),
+                                              header_.version);
+    verify_ = verify_checksums;
+    if (verify_ &&
+        internal::ComputeHeaderTailChecksum(stream_, *directory_,
+                                            reader_.Offset()) !=
+            directory_->header_tail_checksum) {
+      throw CorruptStreamError("primacy: header/tail checksum mismatch");
+    }
+  } else if (header_.version >= internal::kFormatVersion3) {
+    verify_ = verify_checksums;
+  }
 }
 
 bool PrimacyStreamReader::NextChunk(Bytes& out) {
@@ -137,6 +159,14 @@ bool PrimacyStreamReader::NextChunk(Bytes& out) {
     const ByteSpan raw = reader_.GetBlock();
     if (raw.size() != header_.total_bytes) {
       throw CorruptStreamError("primacy: stored payload size mismatch");
+    }
+    if (header_.version >= internal::kFormatVersion3) {
+      // v3 stored streams end with an XXH64 of every preceding byte.
+      const std::size_t covered = reader_.Offset();
+      const std::uint64_t stored_checksum = reader_.GetU64();
+      if (verify_ && Xxh64(stream_.first(covered)) != stored_checksum) {
+        throw CorruptStreamError("primacy: stored stream checksum mismatch");
+      }
     }
     AppendBytes(out, raw);
     decoded_bytes_ += raw.size();
@@ -156,6 +186,29 @@ bool PrimacyStreamReader::NextChunk(Bytes& out) {
       saw_trailer_ = true;
       return false;
     }
+    if (verify_ && directory_.has_value()) {
+      if (chunk_index_ >= directory_->chunks.size()) {
+        throw CorruptStreamError(
+            "primacy: more chunk records than directory entries");
+      }
+      const internal::ChunkDirectoryEntry& entry =
+          directory_->chunks[chunk_index_];
+      const std::uint64_t end = chunk_index_ + 1 < directory_->chunks.size()
+                                    ? directory_->chunks[chunk_index_ + 1].offset
+                                    : directory_->tail_offset;
+      if (reader_.Offset() != entry.offset) {
+        throw CorruptStreamError("primacy: chunk record offset mismatch");
+      }
+      const ByteSpan record = stream_.subspan(
+          static_cast<std::size_t>(entry.offset),
+          static_cast<std::size_t>(end - entry.offset));
+      if (Xxh64(record) != entry.checksum) {
+        throw CorruptStreamError(
+            "primacy: chunk " + std::to_string(chunk_index_) +
+            " (record at byte " + std::to_string(entry.offset) +
+            "): checksum mismatch");
+      }
+    }
     const std::uint64_t count = reader_.GetVarint();
     if (count == 0 ||
         decoded_bytes_ / header_.width + count > total_elements) {
@@ -163,6 +216,7 @@ bool PrimacyStreamReader::NextChunk(Bytes& out) {
     }
     decoder_->DecodeChunk(reader_, count, out);
     decoded_bytes_ += count * header_.width;
+    ++chunk_index_;
     return true;
   }
   // Streaming stream: records until the 0 sentinel, then tail + total.

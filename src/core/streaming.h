@@ -18,6 +18,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/chunk_pipeline.h"
@@ -70,8 +71,11 @@ class PrimacyStreamWriter {
 class PrimacyStreamReader {
  public:
   /// Reads from an in-memory stream view (the common in-situ case: the
-  /// staged buffer); the view must outlive the reader.
-  explicit PrimacyStreamReader(ByteSpan stream);
+  /// staged buffer); the view must outlive the reader. For v3 streams the
+  /// chunk directory is loaded up front and each record is verified against
+  /// its checksum before decoding (disable with `verify_checksums` for raw
+  /// speed); v1/v2 streams carry no checksums and decode as before.
+  explicit PrimacyStreamReader(ByteSpan stream, bool verify_checksums = true);
 
   /// Element width of the stream (4 or 8).
   std::size_t element_width() const { return header_.width; }
@@ -85,11 +89,17 @@ class PrimacyStreamReader {
   std::vector<double> ReadAllDoubles();
 
  private:
+  ByteSpan stream_;
   ByteReader reader_;
   internal::StreamHeader header_;
   std::unique_ptr<const Codec> solver_;
   std::unique_ptr<ChunkDecoder> decoder_;
+  /// Loaded for one-shot v3 streams when verifying: supplies the per-chunk
+  /// record checksums the sequential decode checks against.
+  std::optional<internal::ChunkDirectory> directory_;
+  std::size_t chunk_index_ = 0;
   std::uint64_t decoded_bytes_ = 0;
+  bool verify_ = false;
   bool saw_trailer_ = false;
 };
 

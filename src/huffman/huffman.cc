@@ -140,12 +140,12 @@ void HuffmanEncoder::Encode(BitWriter& writer, std::size_t symbol) const {
 HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
   for (const std::uint8_t len : lengths) {
     if (len > kMaxHuffmanCodeLength) {
-      throw InvalidArgumentError("HuffmanDecoder: length > max");
+      throw CorruptStreamError("HuffmanDecoder: length > max");
     }
     max_length_ = std::max<unsigned>(max_length_, len);
   }
   if (max_length_ == 0) {
-    throw InvalidArgumentError("HuffmanDecoder: empty code");
+    throw CorruptStreamError("HuffmanDecoder: empty code");
   }
   table_.assign(1ULL << max_length_, Entry{});
 
@@ -165,7 +165,7 @@ HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
     if (len == 0) continue;
     const std::uint32_t canonical = next_code[len]++;
     if (canonical >= (1ULL << len)) {
-      throw InvalidArgumentError("HuffmanDecoder: oversubscribed lengths");
+      throw CorruptStreamError("HuffmanDecoder: oversubscribed lengths");
     }
     const std::uint16_t reversed =
         ReverseBits(static_cast<std::uint16_t>(canonical), len);

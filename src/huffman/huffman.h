@@ -53,7 +53,8 @@ class HuffmanDecoder {
  public:
   /// Builds the decoding table from the same length vector the encoder used.
   /// The code must be *complete* (Kraft sum exactly 1) unless it is the
-  /// degenerate single-symbol code.
+  /// degenerate single-symbol code. The lengths come off the wire, so
+  /// malformed ones throw CorruptStreamError.
   explicit HuffmanDecoder(std::span<const std::uint8_t> lengths);
 
   /// Decodes one symbol. Throws CorruptStreamError on an invalid code word.

@@ -96,7 +96,9 @@ CheckpointReader::CheckpointReader(ByteSpan file, PrimacyOptions decode_options)
   if (locator.GetU32() != kMagic) {
     throw CorruptStreamError("checkpoint: bad footer magic");
   }
-  if (footer_size + 13u > file.size()) {
+  // Subtraction, not addition: footer_size + 13 can wrap in 32 bits and a
+  // wrapped sum would pass the check with an out-of-range subspan below.
+  if (footer_size > file.size() - 13) {
     throw CorruptStreamError("checkpoint: footer size out of range");
   }
   ByteReader footer(file.subspan(file.size() - 8 - footer_size, footer_size));
@@ -111,8 +113,9 @@ CheckpointReader::CheckpointReader(ByteSpan file, PrimacyOptions decode_options)
     info.elements = footer.GetVarint();
     info.stream_offset = footer.GetVarint();
     info.stream_bytes = footer.GetVarint();
-    if (info.stream_offset < 5 ||
-        info.stream_offset + info.stream_bytes > file.size() - 8 - footer_size) {
+    const std::size_t body_end = file.size() - 8 - footer_size;
+    if (info.stream_offset < 5 || info.stream_offset > body_end ||
+        info.stream_bytes > body_end - info.stream_offset) {
       throw CorruptStreamError("checkpoint: variable extent out of range");
     }
     variables_.push_back(std::move(info));
@@ -212,10 +215,22 @@ std::vector<Bytes> CheckpointReader::ReadAllRaw(
       totals.index_loads += s.index_loads;
       totals.output_bytes += s.output_bytes;
       totals.used_directory = totals.used_directory || s.used_directory;
+      totals.chunks_verified += s.chunks_verified;
     }
     *stats = totals;
   }
   return raw;
+}
+
+std::vector<VariableVerifyResult> CheckpointReader::VerifyAll() const {
+  std::vector<VariableVerifyResult> results(variables_.size());
+  SharedThreadPool().ParallelForSlots(
+      variables_.size(), decode_options_.threads,
+      [&](std::size_t, std::size_t v) {
+        results[v].name = variables_[v].name;
+        results[v].stream = VerifyStream(StreamOf(variables_[v]));
+      });
+  return results;
 }
 
 }  // namespace primacy

@@ -36,6 +36,12 @@ struct VariableInfo {
   }
 };
 
+/// One variable's outcome from CheckpointReader::VerifyAll.
+struct VariableVerifyResult {
+  std::string name;
+  StreamVerifyResult stream;
+};
+
 /// Builds a checkpoint in memory; variables are compressed on Add.
 class CheckpointWriter {
  public:
@@ -103,6 +109,13 @@ class CheckpointReader {
   /// element bytes per variable in footer order; `stats` (optional) receives
   /// the decode accounting summed across variables.
   std::vector<Bytes> ReadAllRaw(PrimacyDecodeStats* stats = nullptr) const;
+
+  /// Integrity check without materializing any variable: runs VerifyStream
+  /// over every variable's stream (hash-only for v3 streams, structural
+  /// decode for v1/v2), variable-parallel on the shared pool. Never throws
+  /// on corrupt variables — each failure is reported in its result entry,
+  /// in footer order.
+  std::vector<VariableVerifyResult> VerifyAll() const;
 
  private:
   ByteSpan StreamOf(const VariableInfo& info) const;

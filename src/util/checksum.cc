@@ -1,0 +1,142 @@
+#include "util/checksum.h"
+
+#include <bit>
+#include <cstring>
+
+namespace primacy {
+namespace {
+
+constexpr std::uint64_t kP1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kP2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kP3 = 0x165667B19E3779F9ULL;
+constexpr std::uint64_t kP4 = 0x85EBCA77C2B2AE63ULL;
+constexpr std::uint64_t kP5 = 0x27D4EB2F165667C5ULL;
+
+std::uint64_t ReadU64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;  // little-endian hosts only, like the rest of the wire formats
+}
+
+std::uint32_t ReadU32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t Round(std::uint64_t acc, std::uint64_t lane) {
+  return std::rotl(acc + lane * kP2, 31) * kP1;
+}
+
+std::uint64_t MergeRound(std::uint64_t acc, std::uint64_t lane) {
+  return (acc ^ Round(0, lane)) * kP1 + kP4;
+}
+
+/// Folds the post-stripe state plus any remaining (< 32) bytes into the
+/// final hash. `acc` is the converged accumulator, `total` the full input
+/// length.
+std::uint64_t Finalize(std::uint64_t acc, const std::byte* p,
+                       std::size_t remaining, std::uint64_t total) {
+  acc += total;
+  while (remaining >= 8) {
+    acc ^= Round(0, ReadU64(p));
+    acc = std::rotl(acc, 27) * kP1 + kP4;
+    p += 8;
+    remaining -= 8;
+  }
+  if (remaining >= 4) {
+    acc ^= static_cast<std::uint64_t>(ReadU32(p)) * kP1;
+    acc = std::rotl(acc, 23) * kP2 + kP3;
+    p += 4;
+    remaining -= 4;
+  }
+  while (remaining > 0) {
+    acc ^= static_cast<std::uint64_t>(*p) * kP5;
+    acc = std::rotl(acc, 11) * kP1;
+    ++p;
+    --remaining;
+  }
+  acc ^= acc >> 33;
+  acc *= kP2;
+  acc ^= acc >> 29;
+  acc *= kP3;
+  acc ^= acc >> 32;
+  return acc;
+}
+
+std::uint64_t Converge(const std::uint64_t acc[4]) {
+  std::uint64_t h = std::rotl(acc[0], 1) + std::rotl(acc[1], 7) +
+                    std::rotl(acc[2], 12) + std::rotl(acc[3], 18);
+  h = MergeRound(h, acc[0]);
+  h = MergeRound(h, acc[1]);
+  h = MergeRound(h, acc[2]);
+  h = MergeRound(h, acc[3]);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t Xxh64(ByteSpan data, std::uint64_t seed) {
+  const std::byte* p = data.data();
+  std::size_t remaining = data.size();
+  std::uint64_t h;
+  if (remaining >= 32) {
+    std::uint64_t acc[4] = {seed + kP1 + kP2, seed + kP2, seed, seed - kP1};
+    do {
+      acc[0] = Round(acc[0], ReadU64(p));
+      acc[1] = Round(acc[1], ReadU64(p + 8));
+      acc[2] = Round(acc[2], ReadU64(p + 16));
+      acc[3] = Round(acc[3], ReadU64(p + 24));
+      p += 32;
+      remaining -= 32;
+    } while (remaining >= 32);
+    h = Converge(acc);
+  } else {
+    h = seed + kP5;
+  }
+  return Finalize(h, p, remaining, data.size());
+}
+
+Xxh64State::Xxh64State(std::uint64_t seed)
+    : acc_{seed + kP1 + kP2, seed + kP2, seed, seed - kP1} {}
+
+void Xxh64State::Update(ByteSpan data) {
+  const std::byte* p = data.data();
+  std::size_t remaining = data.size();
+  total_ += remaining;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(remaining, 32 - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    remaining -= take;
+    if (buffered_ < 32) return;
+    acc_[0] = Round(acc_[0], ReadU64(buffer_));
+    acc_[1] = Round(acc_[1], ReadU64(buffer_ + 8));
+    acc_[2] = Round(acc_[2], ReadU64(buffer_ + 16));
+    acc_[3] = Round(acc_[3], ReadU64(buffer_ + 24));
+    buffered_ = 0;
+  }
+  while (remaining >= 32) {
+    acc_[0] = Round(acc_[0], ReadU64(p));
+    acc_[1] = Round(acc_[1], ReadU64(p + 8));
+    acc_[2] = Round(acc_[2], ReadU64(p + 16));
+    acc_[3] = Round(acc_[3], ReadU64(p + 24));
+    p += 32;
+    remaining -= 32;
+  }
+  if (remaining > 0) {
+    std::memcpy(buffer_, p, remaining);
+    buffered_ = remaining;
+  }
+}
+
+std::uint64_t Xxh64State::Digest() const {
+  // The seed is recoverable from acc_[2] (it stays `seed` until the first
+  // full stripe), so short inputs hash identically to the one-shot path.
+  std::uint64_t h =
+      total_ >= 32 ? Converge(acc_) : acc_[2] + kP5;
+  return Finalize(h, buffer_, buffered_, total_);
+}
+
+}  // namespace primacy

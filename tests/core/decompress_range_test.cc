@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bitstream/byte_io.h"
+#include "core/chunk_pipeline.h"
 #include "core/primacy_codec.h"
 #include "core/stream_format.h"
 #include "core/streaming.h"
@@ -129,6 +130,62 @@ TEST_F(DecompressRangeTest, BytesRangeMatchesTypedRange) {
   EXPECT_EQ(FromBytes<double>(raw), Slice(values_, 9000, 1000));
 }
 
+TEST_F(DecompressRangeTest, ExtremeBoundsDoNotWrap) {
+  // first/count near the uint64 edge must fail the bounds check, not wrap
+  // into an in-bounds-looking product.
+  const std::uint64_t huge = ~std::uint64_t{0};
+  EXPECT_THROW(decompressor_.DecompressRange(stream_, huge, 1),
+               InvalidArgumentError);
+  EXPECT_THROW(decompressor_.DecompressRange(stream_, 1, huge),
+               InvalidArgumentError);
+  EXPECT_THROW(decompressor_.DecompressRange(stream_, huge, huge),
+               InvalidArgumentError);
+}
+
+TEST_F(DecompressRangeTest, CorruptedChunkInsideRangeThrows) {
+  // Damage chunk 2's record. Ranges confined to other chunks still decode;
+  // any range whose covering set includes chunk 2 throws CorruptStreamError.
+  ByteReader reader(stream_);
+  const internal::StreamHeader header = internal::ReadStreamHeader(reader);
+  const internal::ChunkDirectory directory =
+      internal::ReadChunkDirectory(stream_, reader.Offset(), header.version);
+  Bytes mutated = stream_;
+  mutated[static_cast<std::size_t>(directory.chunks[2].offset) + 11] ^= 0x01_b;
+
+  EXPECT_EQ(decompressor_.DecompressRange(mutated, 0, 100),
+            Slice(values_, 0, 100));
+  EXPECT_THROW(
+      decompressor_.DecompressRange(mutated, 2 * kChunkElements + 5, 10),
+      CorruptStreamError);
+  // A range straddling chunks 1-2 dies on the corrupt member too.
+  EXPECT_THROW(
+      decompressor_.DecompressRange(mutated, 2 * kChunkElements - 5, 10),
+      CorruptStreamError);
+}
+
+TEST(DecompressRangeV1Test, OneShotV1WithoutDirectoryRejected) {
+  // A one-shot v1 stream parses fine but has no directory to seek with: the
+  // contract is a typed InvalidArgumentError, not a parse failure.
+  const auto values = GenerateDatasetByName("obs_temp", 10000);
+  Bytes v1;
+  internal::WriteStreamHeader(v1, SmallChunks(), values.size() * 8,
+                              /*stored=*/false, internal::kFormatVersion1);
+  const auto solver = internal::ResolveSolver(SmallChunks().solver);
+  ChunkEncoder encoder(SmallChunks(), *solver);
+  const ByteSpan body = AsBytes(std::span(values));
+  for (std::size_t first = 0; first < values.size();
+       first += kChunkElements) {
+    const std::size_t count =
+        std::min(kChunkElements, values.size() - first);
+    encoder.EncodeChunk(body.subspan(first * 8, count * 8), v1);
+  }
+  PutBlock(v1, ByteSpan{});
+  EXPECT_THROW(PrimacyDecompressor().DecompressRange(v1, 0, 1),
+               InvalidArgumentError);
+  // Sanity: the same stream decodes sequentially.
+  EXPECT_EQ(PrimacyDecompressor().Decompress(v1), values);
+}
+
 TEST(DecompressRangeV1Test, V1StreamRejected) {
   // Streamed output is v1 by construction; finish it and retarget the
   // one-shot reader at an equivalent v1 buffer via the streaming round trip.
@@ -155,7 +212,7 @@ TEST(DecompressRangeChainTest, ReuseWhenCorrelatedResolvesIndexChain) {
   ByteReader reader(stream);
   const internal::StreamHeader header = internal::ReadStreamHeader(reader);
   const internal::ChunkDirectory directory =
-      internal::ReadChunkDirectory(stream, reader.Offset());
+      internal::ReadChunkDirectory(stream, reader.Offset(), header.version);
   ASSERT_EQ(directory.chunks.size(), 8u);
   bool any_reused = false;
   for (const auto& entry : directory.chunks) {

@@ -1,5 +1,6 @@
-// Stream format v2: chunk directory layout, cross-version round-trips, and
-// corruption detection.
+// Legacy stream formats: v1/v2 compatibility round-trips, directory layout,
+// and corruption detection shared across versions. (v3-specific checksum
+// behavior lives in stream_v3_test.cc.)
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -45,15 +46,43 @@ Bytes MakeV1Stream(std::span<const double> values,
   return out;
 }
 
-TEST(StreamV2Test, OneShotStreamsAreVersion2WithDirectoryFooter) {
+// Hand-assembles a one-shot v2 stream (v1 payload + checksum-free directory
+// and 12-byte footer), the way a pre-v3 writer laid it out.
+Bytes MakeV2Stream(std::span<const double> values,
+                   const PrimacyOptions& options) {
+  Bytes out;
+  internal::WriteStreamHeader(out, options, values.size() * 8,
+                              /*stored=*/false, internal::kFormatVersion2);
+  const auto solver = internal::ResolveSolver(options.solver);
+  ChunkEncoder encoder(options, *solver);
+  const ByteSpan body = AsBytes(values);
+  const std::size_t chunk_elements = options.chunk_bytes / 8;
+  internal::ChunkDirectory directory;
+  for (std::size_t first = 0; first < values.size();
+       first += chunk_elements) {
+    const std::size_t count = std::min(chunk_elements, values.size() - first);
+    internal::ChunkDirectoryEntry entry;
+    entry.offset = out.size();
+    entry.elements = count;
+    entry.index_flag = 1;  // kPerChunk: every record carries a full index
+    encoder.EncodeChunk(body.subspan(first * 8, count * 8), out);
+    directory.chunks.push_back(entry);
+  }
+  directory.tail_offset = out.size();
+  PutBlock(out, ByteSpan{});  // empty tail
+  internal::AppendChunkDirectory(out, directory, internal::kFormatVersion2);
+  return out;
+}
+
+TEST(StreamV2Test, OneShotStreamsAreVersion3WithDirectoryFooter) {
   const auto values = GenerateDatasetByName("obs_temp", 40000);
   const Bytes stream = PrimacyCompressor(SmallChunks()).Compress(values);
-  ASSERT_GT(stream.size(), 17u);
-  EXPECT_EQ(static_cast<std::uint8_t>(stream[4]), internal::kFormatVersion2);
-  // Footer ends with the directory magic "PRD2".
+  ASSERT_GT(stream.size(), 25u);
+  EXPECT_EQ(static_cast<std::uint8_t>(stream[4]), internal::kFormatVersion3);
+  // Footer ends with the directory magic "PRD3".
   std::uint32_t magic = 0;
   std::memcpy(&magic, stream.data() + stream.size() - 4, 4);
-  EXPECT_EQ(magic, 0x32445250u);
+  EXPECT_EQ(magic, 0x33445250u);
 }
 
 TEST(StreamV2Test, V2RoundTripUsesDirectory) {
@@ -80,14 +109,33 @@ TEST(StreamV2Test, V1StreamsStillDecode) {
   EXPECT_EQ(stats.chunks_decoded, (30000 + 8191) / 8192);
 }
 
-TEST(StreamV2Test, V1AndV2PayloadsMatchByteForByte) {
-  // v2 = v1 payload + directory: stripping the directory must leave exactly
-  // the v1 record bytes (only the version byte differs).
+TEST(StreamV2Test, V2StreamsStillDecode) {
+  const auto values = GenerateDatasetByName("gts_phi_l", 30000);
+  const Bytes v2 = MakeV2Stream(values, SmallChunks());
+  EXPECT_EQ(static_cast<std::uint8_t>(v2[4]), internal::kFormatVersion2);
+  PrimacyDecodeStats stats;
+  const auto restored = PrimacyDecompressor().Decompress(v2, &stats);
+  EXPECT_EQ(restored, values);
+  EXPECT_TRUE(stats.used_directory);
+  EXPECT_EQ(stats.chunks_decoded, (30000 + 8191) / 8192);
+  EXPECT_EQ(stats.chunks_verified, 0u) << "v2 carries no checksums";
+  // Range reads work off the checksum-free directory too.
+  const auto slice = PrimacyDecompressor().DecompressRange(v2, 9000, 100);
+  EXPECT_EQ(slice, std::vector<double>(values.begin() + 9000,
+                                       values.begin() + 9100));
+}
+
+TEST(StreamV2Test, V1V2AndV3PayloadsMatchByteForByte) {
+  // v2/v3 = v1 payload + directory: stripping the directory must leave
+  // exactly the v1 record bytes (only the version byte differs).
   const auto values = GenerateDatasetByName("num_plasma", 25000);
   const Bytes v1 = MakeV1Stream(values, SmallChunks());
-  const Bytes v2 = PrimacyCompressor(SmallChunks()).Compress(values);
+  const Bytes v2 = MakeV2Stream(values, SmallChunks());
+  const Bytes v3 = PrimacyCompressor(SmallChunks()).Compress(values);
   ASSERT_GT(v2.size(), v1.size());
+  ASSERT_GT(v3.size(), v2.size()) << "v3 adds checksums to the directory";
   EXPECT_TRUE(std::equal(v1.begin() + 5, v1.end(), v2.begin() + 5));
+  EXPECT_TRUE(std::equal(v1.begin() + 5, v1.end(), v3.begin() + 5));
 }
 
 TEST(StreamV2Test, TruncatedDirectoryThrows) {
@@ -115,11 +163,11 @@ TEST(StreamV2Test, CorruptDirectoryPayloadThrows) {
   const auto values = GenerateDatasetByName("obs_temp", 20000);
   Bytes stream = PrimacyCompressor(SmallChunks()).Compress(values);
   // Locate the directory payload via its footer and zero its leading varint
-  // (the chunk count), which must then disagree with the footer.
+  // (the chunk count): detected by the v3 directory checksum.
   std::uint32_t payload_bytes = 0;
   std::memcpy(&payload_bytes, stream.data() + stream.size() - 12, 4);
   ASSERT_LT(payload_bytes, stream.size());
-  stream[stream.size() - 12 - payload_bytes] = 0_b;
+  stream[stream.size() - 20 - payload_bytes] = 0_b;
   EXPECT_THROW(PrimacyDecompressor().Decompress(stream), CorruptStreamError);
 }
 
@@ -172,9 +220,9 @@ TEST(StreamV2Test, DirectoryEntriesDescribeEveryChunk) {
   const Bytes stream = PrimacyCompressor(SmallChunks()).Compress(values);
   ByteReader reader(stream);
   const internal::StreamHeader header = internal::ReadStreamHeader(reader);
-  ASSERT_EQ(header.version, internal::kFormatVersion2);
+  ASSERT_EQ(header.version, internal::kFormatVersion3);
   const internal::ChunkDirectory directory =
-      internal::ReadChunkDirectory(stream, reader.Offset());
+      internal::ReadChunkDirectory(stream, reader.Offset(), header.version);
   ASSERT_EQ(directory.chunks.size(), (50000u + 8191) / 8192);
   std::uint64_t elements = 0;
   for (const auto& entry : directory.chunks) {

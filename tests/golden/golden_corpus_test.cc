@@ -1,0 +1,103 @@
+// Golden compatibility corpus: committed streams of every supported format
+// version must keep decoding bit-identically to their committed inputs.
+// A failure here means a format change broke old checkpoints — that needs a
+// new format version and a reader for the old one, not a corpus update.
+// (Regenerate with make_golden only when intentionally adding entries.)
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "core/primacy_codec.h"
+#include "core/stream_format.h"
+#include "store/checkpoint_store.h"
+#include "util/error.h"
+
+namespace primacy {
+namespace {
+
+Bytes ReadGolden(const std::string& name) {
+  const std::string path = std::string(PRIMACY_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ADD_FAILURE() << "missing golden file " << path
+                  << " (regenerate with make_golden)";
+    return {};
+  }
+  const std::string raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  return BytesFromString(raw);
+}
+
+struct GoldenStream {
+  const char* file;
+  const char* input;
+  std::uint8_t version;
+  bool stored;
+};
+
+class GoldenCorpusTest : public ::testing::TestWithParam<GoldenStream> {};
+
+TEST_P(GoldenCorpusTest, DecodesBitIdenticallyToCommittedInput) {
+  const GoldenStream& golden = GetParam();
+  const Bytes stream = ReadGolden(golden.file);
+  const Bytes input = ReadGolden(golden.input);
+  ASSERT_FALSE(stream.empty());
+  ASSERT_FALSE(input.empty());
+  EXPECT_EQ(static_cast<std::uint8_t>(stream[4]), golden.version);
+
+  const Bytes decoded = PrimacyDecompressor().DecompressBytes(stream);
+  EXPECT_EQ(decoded, input) << golden.file;
+
+  // The verifier agrees the committed stream is healthy.
+  const StreamVerifyResult verdict = VerifyStream(stream);
+  EXPECT_TRUE(verdict.ok) << golden.file << ": " << verdict.error;
+  EXPECT_EQ(verdict.version, golden.version);
+  EXPECT_EQ(verdict.has_checksums,
+            golden.version >= internal::kFormatVersion3);
+
+  if (!golden.stored && golden.version >= internal::kFormatVersion2) {
+    // Range reads work against committed directories (8 whole elements in
+    // from the front, spanning a chunk boundary at 256).
+    const Bytes slice =
+        PrimacyDecompressor().DecompressBytesRange(stream, 250, 12);
+    EXPECT_EQ(slice, Bytes(input.begin() + 250 * 8,
+                           input.begin() + 262 * 8));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVersions, GoldenCorpusTest,
+    ::testing::Values(
+        GoldenStream{"stream_v1.bin", "input.bin", 1, false},
+        GoldenStream{"stream_v2.bin", "input.bin", 2, false},
+        GoldenStream{"stream_v3.bin", "input.bin", 3, false},
+        GoldenStream{"stored_v3.bin", "noise.bin", 3, true}),
+    [](const ::testing::TestParamInfo<GoldenStream>& info) {
+      std::string name = info.param.file;
+      name.resize(name.size() - 4);  // drop ".bin"
+      return name;
+    });
+
+TEST(GoldenCheckpointTest, CommittedCheckpointRestores) {
+  const Bytes checkpoint = ReadGolden("checkpoint.bin");
+  const Bytes input = ReadGolden("input.bin");
+  const Bytes noise = ReadGolden("noise.bin");
+  ASSERT_FALSE(checkpoint.empty());
+  const CheckpointReader reader(checkpoint);
+  ASSERT_EQ(reader.variables().size(), 2u);
+
+  const auto phi = reader.ReadDoubles("phi");
+  EXPECT_EQ(ToBytes(AsBytes(std::span(phi))),
+            Bytes(input.begin(), input.end() - 1));
+  const auto restored_noise = reader.ReadDoubles("noise");
+  EXPECT_EQ(ToBytes(AsBytes(std::span(restored_noise))), noise);
+
+  for (const auto& result : reader.VerifyAll()) {
+    EXPECT_TRUE(result.stream.ok) << result.name << ": "
+                                  << result.stream.error;
+  }
+}
+
+}  // namespace
+}  // namespace primacy

@@ -159,14 +159,16 @@ TEST(HuffmanRoundTripTest, FullByteAlphabet) {
 }
 
 TEST(HuffmanDecoderTest, EmptyCodeRejected) {
+  // Decoder lengths arrive off the wire, so malformed ones are stream
+  // corruption, not caller error.
   const std::vector<std::uint8_t> lengths(8, 0);
-  EXPECT_THROW(HuffmanDecoder decoder(lengths), InvalidArgumentError);
+  EXPECT_THROW(HuffmanDecoder decoder(lengths), CorruptStreamError);
 }
 
 TEST(HuffmanDecoderTest, OversubscribedLengthsRejected) {
   // Three symbols of length 1 oversubscribe.
   const std::vector<std::uint8_t> lengths{1, 1, 1};
-  EXPECT_THROW(HuffmanDecoder decoder(lengths), InvalidArgumentError);
+  EXPECT_THROW(HuffmanDecoder decoder(lengths), CorruptStreamError);
   EXPECT_THROW(HuffmanEncoder encoder(lengths), InvalidArgumentError);
 }
 

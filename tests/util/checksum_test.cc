@@ -1,0 +1,94 @@
+// XXH64 known-answer vectors (from the reference xxHash implementation) and
+// streaming/one-shot equivalence.
+#include "util/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace primacy {
+namespace {
+
+std::uint64_t HashString(const std::string& s, std::uint64_t seed = 0) {
+  return Xxh64(BytesFromString(s), seed);
+}
+
+TEST(Xxh64Test, ReferenceVectors) {
+  // Vectors produced by the canonical xxHash library (XXH64).
+  EXPECT_EQ(HashString(""), 0xEF46DB3751D8E999ull);
+  EXPECT_EQ(HashString("", 1), 0xD5AFBA1336A3BE4Bull);
+  EXPECT_EQ(HashString("a"), 0xD24EC4F1A98C6E5Bull);
+  EXPECT_EQ(HashString("abc"), 0x44BC2CF5AD770999ull);
+  EXPECT_EQ(HashString("Nobody inspects the spammish repetition"),
+            0xFBCEA83C8A378BF1ull);
+  EXPECT_EQ(HashString("Nobody inspects the spammish repetition", 123),
+            0xA8BA45551F24B7AEull);
+  // > 32 bytes engages the 4-accumulator stripe loop.
+  EXPECT_EQ(HashString("The quick brown fox jumps over the lazy dog"),
+            0x0B242D361FDA71BCull);
+}
+
+TEST(Xxh64Test, StreamingMatchesOneShotAtEverySplit) {
+  Rng rng(42);
+  Bytes data(257);
+  for (auto& b : data) b = static_cast<std::byte>(rng.NextU64() & 0xff);
+  const std::uint64_t expected = Xxh64(data);
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Xxh64State state;
+    state.Update(ByteSpan(data).first(split));
+    state.Update(ByteSpan(data).subspan(split));
+    EXPECT_EQ(state.Digest(), expected) << "split at " << split;
+    EXPECT_EQ(state.total_bytes(), data.size());
+  }
+}
+
+TEST(Xxh64Test, StreamingManySmallUpdates) {
+  Rng rng(7);
+  Bytes data(1031);
+  for (auto& b : data) b = static_cast<std::byte>(rng.NextU64() & 0xff);
+  Xxh64State state;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(1 + rng.NextU64() % 7, data.size() - offset);
+    state.Update(ByteSpan(data).subspan(offset, n));
+    offset += n;
+  }
+  EXPECT_EQ(state.Digest(), Xxh64(data));
+}
+
+TEST(Xxh64Test, DigestIsIdempotent) {
+  Xxh64State state;
+  state.Update(BytesFromString("hello"));
+  const std::uint64_t first = state.Digest();
+  EXPECT_EQ(state.Digest(), first);
+  state.Update(BytesFromString(" world"));
+  EXPECT_EQ(state.Digest(), HashString("hello world"));
+}
+
+TEST(Xxh64Test, SingleBitChangesDigest) {
+  Rng rng(99);
+  Bytes data(64);
+  for (auto& b : data) b = static_cast<std::byte>(rng.NextU64() & 0xff);
+  const std::uint64_t base = Xxh64(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes flipped = data;
+      flipped[byte] ^= static_cast<std::byte>(1u << bit);
+      EXPECT_NE(Xxh64(flipped), base)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Xxh64Test, SeedChangesDigest) {
+  const Bytes data = BytesFromString("seeded");
+  EXPECT_NE(Xxh64(data, 0), Xxh64(data, 1));
+}
+
+}  // namespace
+}  // namespace primacy
