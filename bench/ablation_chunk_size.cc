@@ -5,14 +5,16 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace primacy;
+  bench::Init(argc, argv);
   bench::PrintHeader("Ablation: chunk size sweep",
                      "Shah et al., CLUSTER 2012, Section II-B");
   const std::array<std::size_t, 6> chunk_sizes = {
       64 * 1024,   256 * 1024,      1024 * 1024,
       3 * 1024 * 1024, 6 * 1024 * 1024, 12 * 1024 * 1024};
 
+  bench::BenchReport report("ablation_chunk_size");
   for (const char* name : {"gts_chkp_zeon", "num_plasma", "obs_temp"}) {
     const auto& values = bench::DatasetValues(name);
     std::printf("[%s]\n", name);
@@ -25,6 +27,12 @@ int main() {
       std::printf("%9zuKB %10.3f %12.1f %12.1f %12.2f\n", chunk / 1024,
                   m.CompressionRatio(), m.CompressMBps(), m.DecompressMBps(),
                   m.stats.index_bytes / 1e3);
+      report.AddEntry(name)
+          .Set("chunk_bytes", chunk)
+          .Set("ratio", m.CompressionRatio())
+          .Set("compress_mbps", m.CompressMBps())
+          .Set("decompress_mbps", m.DecompressMBps())
+          .Set("index_bytes", m.stats.index_bytes);
     }
     std::printf("\n");
   }

@@ -8,10 +8,11 @@
 #include "core/builtin_codecs.h"
 #include "hpcsim/staging.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace primacy;
   using hpcsim::ClusterConfig;
   using hpcsim::CompressionProfile;
+  bench::Init(argc, argv);
   RegisterBuiltinCodecs();
 
   bench::PrintHeader(
@@ -28,6 +29,7 @@ int main() {
               "io-side", "winner");
   bench::PrintRule();
   const auto codec = CreateCodec("primacy");
+  bench::BenchReport report("ablation_compress_location");
   for (const char* name : {"num_comet", "flash_velx", "obs_temp"}) {
     const ByteSpan raw = bench::DatasetBytes(name);
     const CodecMeasurement m = MeasureCodec(*codec, raw);
@@ -48,6 +50,11 @@ int main() {
     std::printf("%-14s %12.1f %14.1f %14.1f %10s\n", name, null_mbps,
                 compute_mbps, io_mbps,
                 compute_mbps >= io_mbps ? "compute" : "io");
+    report.AddEntry(name)
+        .Set("null_mbps", null_mbps)
+        .Set("compute_side_mbps", compute_mbps)
+        .Set("io_side_mbps", io_mbps)
+        .Set("winner", compute_mbps >= io_mbps ? "compute" : "io");
   }
   bench::PrintRule();
   std::printf(

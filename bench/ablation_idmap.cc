@@ -11,8 +11,9 @@
 #include "util/byte_matrix.h"
 #include "util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace primacy;
+  bench::Init(argc, argv);
   bench::PrintHeader(
       "Ablation: frequency-ranked vs identity ID assignment",
       "Shah et al., CLUSTER 2012, Section II-C");
@@ -21,6 +22,7 @@ int main() {
   bench::PrintRule();
 
   const DeflateCodec solver;
+  bench::BenchReport report("ablation_idmap");
   double repeatability_gain_sum = 0.0;
   for (const DatasetSpec& spec : AllDatasets()) {
     const auto& values = bench::DatasetValues(spec.name);
@@ -46,11 +48,19 @@ int main() {
     const double freq_top = TopByteFrequency(freq_ids);
     repeatability_gain_sum += freq_top - raw_top;
 
+    const std::size_t raw_size = solver.Compress(raw_cols).size();
+    const std::size_t ident_size = solver.Compress(ident_ids).size();
+    const std::size_t freq_size = solver.Compress(freq_ids).size();
     std::printf("%-15s %10.3f %10.3f %10.3f | %10zu %10zu %10zu\n",
-                spec.name.c_str(), raw_top, ident_top, freq_top,
-                solver.Compress(raw_cols).size(),
-                solver.Compress(ident_ids).size(),
-                solver.Compress(freq_ids).size());
+                spec.name.c_str(), raw_top, ident_top, freq_top, raw_size,
+                ident_size, freq_size);
+    report.AddEntry(spec.name)
+        .Set("raw_top_frequency", raw_top)
+        .Set("identity_top_frequency", ident_top)
+        .Set("ranked_top_frequency", freq_top)
+        .Set("raw_compressed_bytes", raw_size)
+        .Set("identity_compressed_bytes", ident_size)
+        .Set("ranked_compressed_bytes", freq_size);
   }
 
   bench::PrintRule();

@@ -4,8 +4,9 @@
 // of the compression ratio.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace primacy;
+  bench::Init(argc, argv);
   bench::PrintHeader(
       "Ablation: per-chunk index vs correlation-gated delta reuse",
       "Shah et al., CLUSTER 2012, Section II-F (future-work design)");
@@ -20,6 +21,7 @@ int main() {
   PrimacyOptions reuse = per_chunk;
   reuse.index_mode = IndexMode::kReuseWhenCorrelated;
 
+  bench::BenchReport report("ablation_index_reuse");
   double metadata_saving_sum = 0.0;
   double cr_loss_sum = 0.0;
   for (const DatasetSpec& spec : AllDatasets()) {
@@ -39,6 +41,15 @@ int main() {
                 a.stats.index_bytes / 1e3, a.CompressMBps(),
                 b.CompressionRatio(), b.stats.index_bytes / 1e3,
                 b.CompressMBps(), b.stats.delta_indexes, cr_loss);
+    report.AddEntry(spec.name)
+        .Set("per_chunk_ratio", a.CompressionRatio())
+        .Set("per_chunk_index_bytes", a.stats.index_bytes)
+        .Set("per_chunk_compress_mbps", a.CompressMBps())
+        .Set("reuse_ratio", b.CompressionRatio())
+        .Set("reuse_index_bytes", b.stats.index_bytes)
+        .Set("reuse_compress_mbps", b.CompressMBps())
+        .Set("delta_indexes", b.stats.delta_indexes)
+        .Set("cr_loss_pct", cr_loss);
   }
 
   bench::PrintRule();

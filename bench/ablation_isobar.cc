@@ -7,13 +7,15 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace primacy;
+  bench::Init(argc, argv);
   bench::PrintHeader(
       "Ablation: ISOBAR entropy threshold sweep",
       "Shah et al., CLUSTER 2012, Section II-G / ISOBAR (ICDE 2012)");
   const std::array<double, 6> thresholds = {0.0, 4.0, 6.0, 7.8, 7.98, 8.1};
 
+  bench::BenchReport report("ablation_isobar");
   for (const char* name : {"num_plasma", "obs_error", "gts_chkp_zeon"}) {
     const auto& values = bench::DatasetValues(name);
     std::printf("[%s]\n", name);
@@ -27,6 +29,12 @@ int main() {
       std::printf("%12.2f %10.2f %10.3f %12.1f %12.1f\n", threshold,
                   m.stats.mean_compressible_fraction, m.CompressionRatio(),
                   m.CompressMBps(), m.DecompressMBps());
+      report.AddEntry(name)
+          .Set("entropy_threshold_bits", threshold)
+          .Set("compressible_fraction", m.stats.mean_compressible_fraction)
+          .Set("ratio", m.CompressionRatio())
+          .Set("compress_mbps", m.CompressMBps())
+          .Set("decompress_mbps", m.DecompressMBps());
     }
     std::printf("\n");
   }

@@ -3,8 +3,9 @@
 // compression throughput on the identification values.
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace primacy;
+  bench::Init(argc, argv);
   bench::PrintHeader(
       "Ablation: byte-level linearization of ID bytes (row vs column)",
       "Shah et al., CLUSTER 2012, Section IV-H");
@@ -17,6 +18,7 @@ int main() {
   PrimacyOptions column;
   column.linearization = Linearization::kColumn;
 
+  bench::BenchReport report("ablation_linearization");
   double id_gain_sum = 0.0;
   int col_wins = 0;
   for (const DatasetSpec& spec : AllDatasets()) {
@@ -35,6 +37,12 @@ int main() {
                 spec.name.c_str(), rm.CompressionRatio(),
                 cm.CompressionRatio(), rm.CompressMBps(), cm.CompressMBps(),
                 id_gain);
+    report.AddEntry(spec.name)
+        .Set("row_ratio", rm.CompressionRatio())
+        .Set("column_ratio", cm.CompressionRatio())
+        .Set("row_compress_mbps", rm.CompressMBps())
+        .Set("column_compress_mbps", cm.CompressMBps())
+        .Set("id_size_gain_pct", id_gain);
   }
 
   bench::PrintRule();

@@ -11,11 +11,12 @@
 #include "core/builtin_codecs.h"
 #include "hpcsim/checkpoint_planner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace primacy;
   using hpcsim::CheckpointPlan;
   using hpcsim::ClusterConfig;
   using hpcsim::CompressionProfile;
+  bench::Init(argc, argv);
   RegisterBuiltinCodecs();
 
   bench::PrintHeader(
@@ -52,6 +53,7 @@ int main() {
   std::printf("%10s | %38s | %38s\n", "", "no compression", "PRIMACY");
   bench::PrintRule();
 
+  bench::BenchReport report("checkpoint_utility");
   const std::array<double, 5> mtbf_hours = {1, 3, 6, 24, 168};
   for (const double hours : mtbf_hours) {
     const double mtbf = hours * 3600.0;
@@ -63,6 +65,16 @@ int main() {
                 hours, raw_plan.checkpoint_seconds, raw_plan.daly_interval,
                 raw_plan.efficiency_at_daly, primacy_plan.checkpoint_seconds,
                 primacy_plan.daly_interval, primacy_plan.efficiency_at_daly);
+    char label[32];
+    std::snprintf(label, sizeof label, "mtbf_%.0fh", hours);
+    report.AddEntry(label)
+        .Set("mtbf_hours", hours)
+        .Set("null_checkpoint_seconds", raw_plan.checkpoint_seconds)
+        .Set("null_daly_interval_seconds", raw_plan.daly_interval)
+        .Set("null_efficiency", raw_plan.efficiency_at_daly)
+        .Set("primacy_checkpoint_seconds", primacy_plan.checkpoint_seconds)
+        .Set("primacy_daly_interval_seconds", primacy_plan.daly_interval)
+        .Set("primacy_efficiency", primacy_plan.efficiency_at_daly);
   }
 
   bench::PrintRule();

@@ -8,8 +8,9 @@
 #include "util/byte_matrix.h"
 #include "util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace primacy;
+  bench::Init(argc, argv);
   const std::array<const char*, 4> datasets = {"gts_phi_l", "num_plasma",
                                                "obs_temp", "msg_sweep3d"};
   bench::PrintHeader(
@@ -31,6 +32,7 @@ int main() {
   }
 
   bench::PrintRule();
+  bench::BenchReport report("fig1_bit_probability");
   std::printf("Shape check (paper: exponent bits biased, mantissa bits ~0.5):\n");
   for (std::size_t s = 0; s < datasets.size(); ++s) {
     double head = 0.0, tail = 0.0;
@@ -38,6 +40,11 @@ int main() {
     for (std::size_t bit = 16; bit < 64; ++bit) tail += series[s][bit];
     std::printf("  %-14s mean p(bits 0-15) = %.3f, mean p(bits 16-63) = %.3f\n",
                 datasets[s], head / 16.0, tail / 48.0);
+    report.AddEntry(datasets[s])
+        .Set("mean_p_bits_0_15", head / 16.0)
+        .Set("mean_p_bits_16_63", tail / 48.0)
+        .Set("p_bit0", series[s][0])
+        .Set("p_bit32", series[s][32]);
   }
   return 0;
 }

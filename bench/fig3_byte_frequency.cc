@@ -40,8 +40,9 @@ HistogramSummary Summarize(const std::vector<std::uint64_t>& histogram) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace primacy;
+  bench::Init(argc, argv);
   // Figure 3's short labels map to these Table III datasets.
   const std::array<std::pair<const char*, const char*>, 4> datasets = {
       std::pair{"phi", "gts_phi_l"}, std::pair{"info", "obs_info"},
@@ -53,6 +54,7 @@ int main() {
 
   std::printf("%-8s %-10s %10s %10s %10s %10s\n", "dataset", "pair", "distinct",
               "top1", "top10", "top100");
+  bench::BenchReport report("fig3_byte_frequency");
   for (const auto& [label, name] : datasets) {
     const auto& values = bench::DatasetValues(name);
     const Bytes rows = DoublesToBigEndianRows(values);
@@ -64,6 +66,15 @@ int main() {
     std::printf("%-8s %-10s %10zu %10.6f %10.6f %10.6f\n", label,
                 "mantissa", mantissa.distinct, mantissa.top1, mantissa.top10,
                 mantissa.top100);
+    report.AddEntry(label)
+        .Set("exponent_distinct", exponent.distinct)
+        .Set("exponent_top1", exponent.top1)
+        .Set("exponent_top10", exponent.top10)
+        .Set("exponent_top100", exponent.top100)
+        .Set("mantissa_distinct", mantissa.distinct)
+        .Set("mantissa_top1", mantissa.top1)
+        .Set("mantissa_top10", mantissa.top10)
+        .Set("mantissa_top100", mantissa.top100);
   }
 
   bench::PrintRule();

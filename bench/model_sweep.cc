@@ -23,7 +23,8 @@ struct SweepPoint {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintHeader(
       "Model sweep: predicted vs simulated write gain across clusters",
       "Shah et al., CLUSTER 2012, Sections III and IV-D");
@@ -49,6 +50,7 @@ int main() {
               "disk", "nullMod", "nullSim", "primMod", "primSim", "gainMod",
               "gainSim");
   bench::PrintRule();
+  bench::BenchReport report("model_sweep");
   for (const SweepPoint& point : sweep) {
     ModelInputs in;
     in.chunk_bytes = chunk_bytes;
@@ -80,6 +82,21 @@ int main() {
         null_sim.ThroughputMBps(), prim_model, prim_sim.ThroughputMBps(),
         100.0 * (prim_model / null_model - 1.0),
         100.0 * (prim_sim.ThroughputMBps() / null_sim.ThroughputMBps() - 1.0));
+    char label[64];
+    std::snprintf(label, sizeof label, "rho%.0f_net%.0f_disk%.0f", point.rho,
+                  point.network_mbps, point.disk_mbps);
+    report.AddEntry(label)
+        .Set("rho", point.rho)
+        .Set("network_mbps", point.network_mbps)
+        .Set("disk_mbps", point.disk_mbps)
+        .Set("null_model_mbps", null_model)
+        .Set("null_sim_mbps", null_sim.ThroughputMBps())
+        .Set("primacy_model_mbps", prim_model)
+        .Set("primacy_sim_mbps", prim_sim.ThroughputMBps())
+        .Set("gain_model_pct", 100.0 * (prim_model / null_model - 1.0))
+        .Set("gain_sim_pct",
+             100.0 * (prim_sim.ThroughputMBps() / null_sim.ThroughputMBps() -
+                      1.0));
   }
 
   bench::PrintRule();

@@ -9,8 +9,9 @@
 #include "compress/registry.h"
 #include "core/builtin_codecs.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace primacy;
+  bench::Init(argc, argv);
   RegisterBuiltinCodecs();
   bench::PrintHeader(
       "Table III: zlib-class solver vs PRIMACY across 20 datasets",
@@ -23,6 +24,7 @@ int main() {
   bench::PrintRule();
 
   const auto solver = CreateCodec("deflate");
+  bench::BenchReport report("table3_compression");
   int cr_wins = 0, lin_wins = 0, ctp_wins = 0, dtp_wins = 0;
   double cr_gain_sum = 0.0, ctp_factor_sum = 0.0, dtp_factor_sum = 0.0;
 
@@ -44,6 +46,16 @@ int main() {
                 pm.CompressionRatio(), sm_lin.CompressionRatio(),
                 pm_lin.CompressionRatio(), sm.CompressMBps(),
                 pm.CompressMBps(), sm.DecompressMBps(), pm.DecompressMBps());
+
+    report.AddEntry(spec.name)
+        .Set("solver_ratio", sm.CompressionRatio())
+        .Set("primacy_ratio", pm.CompressionRatio())
+        .Set("solver_ratio_permuted", sm_lin.CompressionRatio())
+        .Set("primacy_ratio_permuted", pm_lin.CompressionRatio())
+        .Set("solver_compress_mbps", sm.CompressMBps())
+        .Set("primacy_compress_mbps", pm.CompressMBps())
+        .Set("solver_decompress_mbps", sm.DecompressMBps())
+        .Set("primacy_decompress_mbps", pm.DecompressMBps());
 
     cr_wins += pm.CompressionRatio() > sm.CompressionRatio();
     lin_wins += pm_lin.CompressionRatio() > sm_lin.CompressionRatio();

@@ -10,8 +10,9 @@
 #include "compress/registry.h"
 #include "core/builtin_codecs.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace primacy;
+  bench::Init(argc, argv);
   RegisterBuiltinCodecs();
   bench::PrintHeader(
       "Section V: PRIMACY vs predictive coders (fpc, fpz)",
@@ -26,6 +27,7 @@ int main() {
 
   const auto fpc = CreateCodec("fpc");
   const auto fpz = CreateCodec("fpz");
+  bench::BenchReport report("table_predictive_comparison");
   int orig_vs_fpc = 0, orig_vs_fpz = 0, perm_vs_fpc = 0, perm_vs_fpz = 0;
 
   for (const DatasetSpec& spec : AllDatasets()) {
@@ -47,6 +49,17 @@ int main() {
         zm.CompressionRatio(), pm_perm.CompressionRatio(),
         fm_perm.CompressionRatio(), zm_perm.CompressionRatio(),
         pm.CompressMBps(), fm.CompressMBps(), zm.CompressMBps());
+
+    report.AddEntry(spec.name)
+        .Set("primacy_ratio", pm.CompressionRatio())
+        .Set("fpc_ratio", fm.CompressionRatio())
+        .Set("fpz_ratio", zm.CompressionRatio())
+        .Set("primacy_ratio_permuted", pm_perm.CompressionRatio())
+        .Set("fpc_ratio_permuted", fm_perm.CompressionRatio())
+        .Set("fpz_ratio_permuted", zm_perm.CompressionRatio())
+        .Set("primacy_compress_mbps", pm.CompressMBps())
+        .Set("fpc_compress_mbps", fm.CompressMBps())
+        .Set("fpz_compress_mbps", zm.CompressMBps());
 
     orig_vs_fpc += pm.CompressionRatio() > fm.CompressionRatio();
     orig_vs_fpz += pm.CompressionRatio() > zm.CompressionRatio();

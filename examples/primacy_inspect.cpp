@@ -10,6 +10,10 @@
 //                                     exit 0 = valid, 1 = corrupt
 //   ./primacy_inspect --demo [name]   generate a dataset, compress it, and
 //                                     inspect the in-memory stream
+//   ./primacy_inspect --metrics [file] decode the stream (or, with no file,
+//                                     roundtrip a demo dataset) and dump the
+//                                     telemetry registry in Prometheus text
+//                                     format
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -18,6 +22,7 @@
 #include "core/primacy_codec.h"
 #include "core/stream_format.h"
 #include "datasets/datasets.h"
+#include "telemetry/metrics.h"
 #include "util/error.h"
 
 namespace {
@@ -120,6 +125,27 @@ int Verify(primacy::ByteSpan stream) {
   return 1;
 }
 
+/// Exercises the pipeline so the registry has data to show, then dumps it.
+/// With a file: a full decode of that stream. Without: a demo roundtrip.
+int Metrics(const char* path) {
+  using namespace primacy;
+  if (!telemetry::kEnabled) {
+    std::fprintf(stderr,
+                 "note: built with PRIMACY_TELEMETRY=OFF; all metrics "
+                 "read zero\n");
+  }
+  if (path != nullptr) {
+    PrimacyDecompressor().DecompressBytes(ReadFile(path));
+  } else {
+    const auto values = GenerateDatasetByName("num_plasma", 1u << 18);
+    const Bytes stream = PrimacyCompressor().Compress(values);
+    PrimacyDecompressor().Decompress(stream);
+  }
+  std::fputs(telemetry::MetricsRegistry::Global().RenderPrometheus().c_str(),
+             stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -140,6 +166,9 @@ int main(int argc, char** argv) {
     if (argc == 3 && std::string(argv[1]) == "--verify") {
       return Verify(ReadFile(argv[2]));
     }
+    if ((argc == 2 || argc == 3) && std::string(argv[1]) == "--metrics") {
+      return Metrics(argc == 3 ? argv[2] : nullptr);
+    }
     if (argc == 2) {
       const primacy::Bytes stream = ReadFile(argv[1]);
       Inspect(stream);
@@ -147,7 +176,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "usage: primacy_inspect <file> | --verify <file> | "
-                 "--demo [dataset]\n");
+                 "--demo [dataset] | --metrics [file]\n");
     return 2;
   } catch (const primacy::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

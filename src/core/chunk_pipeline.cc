@@ -8,6 +8,8 @@
 #include "bitstream/byte_io.h"
 #include "core/id_mapper.h"
 #include "isobar/partitioned_codec.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/byte_matrix.h"
 #include "util/error.h"
 #include "util/stats.h"
@@ -16,6 +18,58 @@ namespace primacy {
 namespace {
 
 constexpr std::size_t kHighWidth = 2;
+
+/// Registry handles for the encode/decode pipelines, resolved once. The
+/// per-stage counters live in one family keyed by a `stage` label so a
+/// Prometheus scrape can compute stage shares with a single sum().
+struct PipelineMetrics {
+  telemetry::Counter& encode_chunks;
+  telemetry::Counter& encode_input_bytes;
+  telemetry::Counter& encode_output_bytes;
+  telemetry::Counter& decode_chunks;
+  telemetry::Counter& decode_output_bytes;
+  telemetry::Histogram& encode_chunk_bytes;
+  std::array<telemetry::Counter*, telemetry::kStageCount> encode_stage_ns;
+  std::array<telemetry::Counter*, telemetry::kStageCount> decode_stage_ns;
+
+  static PipelineMetrics& Get() {
+    static PipelineMetrics* metrics = [] {
+      // Record-size buckets from 1 KiB to 16 MiB, one per factor of 4.
+      static constexpr std::array<double, 7> kChunkBytesBounds = {
+          1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0, 4194304.0};
+      auto& registry = telemetry::MetricsRegistry::Global();
+      auto* m = new PipelineMetrics{
+          registry.GetCounter("primacy_encode_chunks_total"),
+          registry.GetCounter("primacy_encode_input_bytes_total"),
+          registry.GetCounter("primacy_encode_output_bytes_total"),
+          registry.GetCounter("primacy_decode_chunks_total"),
+          registry.GetCounter("primacy_decode_output_bytes_total"),
+          registry.GetHistogram("primacy_encode_chunk_bytes", kChunkBytesBounds),
+          {},
+          {}};
+      for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
+        const auto stage = static_cast<telemetry::Stage>(s);
+        const std::string label =
+            "stage=\"" + std::string(telemetry::StageName(stage)) + "\"";
+        m->encode_stage_ns[s] =
+            &registry.GetCounter("primacy_encode_stage_ns_total", label);
+        m->decode_stage_ns[s] =
+            &registry.GetCounter("primacy_decode_stage_ns_total", label);
+      }
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+/// Publishes one chunk's stage laps to the registry counter family.
+void PublishStageNs(
+    const std::array<telemetry::Counter*, telemetry::kStageCount>& counters,
+    const telemetry::StageBreakdown& breakdown) {
+  for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
+    if (breakdown.ns[s] != 0) counters[s]->Increment(breakdown.ns[s]);
+  }
+}
 
 Bytes ToBigEndianRows(ByteSpan chunk, std::size_t width) {
   if (width == 8) return DoublesToBigEndianRows(FromBytes<double>(chunk));
@@ -30,6 +84,29 @@ double FrequencyCorrelation(const PairFrequency& a, const PairFrequency& b) {
 }
 
 }  // namespace
+
+void AccumulateChunkStats(PrimacyStats& totals, const ChunkRecordStats& chunk) {
+  totals.chunks += 1;
+  if (chunk.emitted_full_index) totals.indexes_emitted += 1;
+  if (chunk.emitted_delta_index) totals.delta_indexes += 1;
+  totals.index_bytes += chunk.index_bytes;
+  totals.id_compressed_bytes += chunk.id_compressed_bytes;
+  totals.mantissa_stream_bytes += chunk.mantissa_stream_bytes;
+  totals.mantissa_raw_bytes += chunk.mantissa_raw_bytes;
+  // Accumulated as running sums; FinalizeChunkStatMeans divides by chunks.
+  totals.mean_compressible_fraction += chunk.compressible_fraction;
+  totals.top_byte_frequency_before += chunk.top_byte_frequency_before;
+  totals.top_byte_frequency_after += chunk.top_byte_frequency_after;
+  totals.stage.Accumulate(chunk.stage);
+}
+
+void FinalizeChunkStatMeans(PrimacyStats& totals) {
+  if (totals.chunks == 0) return;
+  const double n = static_cast<double>(totals.chunks);
+  totals.mean_compressible_fraction /= n;
+  totals.top_byte_frequency_before /= n;
+  totals.top_byte_frequency_after /= n;
+}
 
 ChunkEncoder::ChunkEncoder(const PrimacyOptions& options, const Codec& solver)
     : options_(options), solver_(solver) {}
@@ -47,10 +124,16 @@ ChunkRecordStats ChunkEncoder::EncodeChunk(ByteSpan chunk, Bytes& out) {
   }
   const std::size_t record_start = out.size();
   const std::size_t count = chunk.size() / width;
+  telemetry::TraceSpan span("primacy.encode_chunk", "elements",
+                            static_cast<std::uint64_t>(count));
+  ChunkRecordStats stats;
+  stats.elements = count;
+  telemetry::StageClock clock;
 
   // 1. Big-endian byte significance, then the high/low split.
   const Bytes rows = ToBigEndianRows(chunk, width);
   const SplitBytes split = SplitHighLow(rows, width, kHighWidth);
+  clock.Lap(stats.stage, telemetry::Stage::kSplit);
 
   // 2. Frequency analysis + index selection. Under kReuseWhenCorrelated, a
   // chunk whose frequency vector correlates with the previous chunk's keeps
@@ -79,18 +162,20 @@ ChunkRecordStats ChunkEncoder::EncodeChunk(ByteSpan chunk, Bytes& out) {
   }
   prev_freq_ = freq;
   const IdIndex& index = *prev_index_;
+  clock.Lap(stats.stage, telemetry::Stage::kFrequency);
 
   // 3-4. ID mapping, linearization, solver compression.
   const Bytes id_bytes = MapToIds(split.high, index, options_.linearization);
+  clock.Lap(stats.stage, telemetry::Stage::kIdMap);
   const Bytes id_compressed = solver_.Compress(id_bytes);
+  clock.Lap(stats.stage, telemetry::Stage::kSolver);
 
   // 5. ISOBAR on the mantissa matrix.
   const IsobarCompressed mantissa =
       IsobarCompress(split.low, width - kHighWidth, solver_, options_.isobar);
+  clock.Lap(stats.stage, telemetry::Stage::kIsobar);
 
   // 6. Chunk record.
-  ChunkRecordStats stats;
-  stats.elements = count;
   PutVarint(out, count);
   switch (action) {
     case IndexAction::kReuse:
@@ -123,6 +208,17 @@ ChunkRecordStats ChunkEncoder::EncodeChunk(ByteSpan chunk, Bytes& out) {
   stats.compressible_fraction = mantissa.plan.CompressibleFraction();
   stats.top_byte_frequency_before = TopByteFrequency(split.high);
   stats.top_byte_frequency_after = TopByteFrequency(id_bytes);
+  clock.Lap(stats.stage, telemetry::Stage::kSerialize);
+
+  if constexpr (telemetry::kEnabled) {
+    PipelineMetrics& metrics = PipelineMetrics::Get();
+    metrics.encode_chunks.Increment();
+    metrics.encode_input_bytes.Increment(chunk.size());
+    metrics.encode_output_bytes.Increment(stats.record_bytes);
+    metrics.encode_chunk_bytes.Observe(
+        static_cast<double>(stats.record_bytes));
+    PublishStageNs(metrics.encode_stage_ns, stats.stage);
+  }
   return stats;
 }
 
@@ -149,6 +245,19 @@ void ChunkDecoder::DecodeChunk(ByteReader& reader, std::uint64_t count,
   DecodeChunkInto(reader, count, MutableByteSpan(out).subspan(old_size));
 }
 
+void ChunkDecoder::AddStageNs(telemetry::Stage stage, std::uint64_t ns) {
+  if constexpr (telemetry::kEnabled) {
+    if (ns == 0) return;
+    stage_[stage] += ns;
+    PipelineMetrics::Get()
+        .decode_stage_ns[static_cast<std::size_t>(stage)]
+        ->Increment(ns);
+  } else {
+    (void)stage;
+    (void)ns;
+  }
+}
+
 void ChunkDecoder::DecodeChunkInto(ByteReader& reader, std::uint64_t count,
                                    MutableByteSpan out) {
   if (count == 0) {
@@ -160,6 +269,9 @@ void ChunkDecoder::DecodeChunkInto(ByteReader& reader, std::uint64_t count,
   if (out.size() % width_ != 0 || out.size() / width_ != count) {
     throw CorruptStreamError("primacy: chunk element count mismatch");
   }
+  telemetry::TraceSpan span("primacy.decode_chunk", "elements", count);
+  telemetry::StageBreakdown laps;
+  telemetry::StageClock clock;
   const std::uint8_t index_flag = reader.GetU8();
   if (index_flag == 1) {
     index_ = DeserializeIndex(reader.GetBlock());
@@ -171,12 +283,18 @@ void ChunkDecoder::DecodeChunkInto(ByteReader& reader, std::uint64_t count,
   } else if (index_flag != 0 || !index_.has_value()) {
     throw CorruptStreamError("primacy: missing index");
   }
+  // Index deserialization restores the frequency-ranked ID table, so it is
+  // charged to the frequency stage (its encode-side dual).
+  clock.Lap(laps, telemetry::Stage::kFrequency);
   const Bytes id_bytes = solver_.Decompress(reader.GetBlock());
+  clock.Lap(laps, telemetry::Stage::kSolver);
   if (id_bytes.size() != count * kHighWidth) {
     throw CorruptStreamError("primacy: ID byte count mismatch");
   }
   const Bytes high = MapFromIds(id_bytes, *index_, linearization_);
+  clock.Lap(laps, telemetry::Stage::kIdMap);
   const Bytes low = IsobarDecompress(reader.GetBlock(), solver_);
+  clock.Lap(laps, telemetry::Stage::kIsobar);
   const std::size_t low_width = width_ - kHighWidth;
   if (low.size() != count * low_width) {
     throw CorruptStreamError("primacy: mantissa byte count mismatch");
@@ -209,6 +327,15 @@ void ChunkDecoder::DecodeChunkInto(ByteReader& reader, std::uint64_t count,
       const float value = std::bit_cast<float>(bits);
       std::memcpy(dst, &value, 4);
     }
+  }
+  clock.Lap(laps, telemetry::Stage::kMerge);
+
+  if constexpr (telemetry::kEnabled) {
+    stage_.Accumulate(laps);
+    PipelineMetrics& metrics = PipelineMetrics::Get();
+    metrics.decode_chunks.Increment();
+    metrics.decode_output_bytes.Increment(out.size());
+    PublishStageNs(metrics.decode_stage_ns, laps);
   }
 }
 

@@ -15,6 +15,7 @@
 #include "compress/codec.h"
 #include "core/frequency.h"
 #include "core/primacy_codec.h"
+#include "telemetry/stage.h"
 
 namespace primacy {
 
@@ -31,7 +32,17 @@ struct ChunkRecordStats {
   double compressible_fraction = 0.0;
   double top_byte_frequency_before = 0.0;
   double top_byte_frequency_after = 0.0;
+  /// Per-stage encode time for this chunk (zero when telemetry is off).
+  telemetry::StageBreakdown stage;
 };
+
+/// Folds one chunk's accounting into per-stream totals. The per-chunk mean
+/// fields (top-byte frequencies, compressible fraction) are accumulated as
+/// running sums; call FinalizeChunkStatMeans once after the last chunk to
+/// divide them through. Shared by the one-shot compressor, the streaming
+/// writer, and the in-situ driver.
+void AccumulateChunkStats(PrimacyStats& totals, const ChunkRecordStats& chunk);
+void FinalizeChunkStatMeans(PrimacyStats& totals);
 
 class ChunkEncoder {
  public:
@@ -76,11 +87,20 @@ class ChunkDecoder {
   /// the result before decoding the covering chunks.
   void SetIndex(IdIndex index) { index_ = std::move(index); }
 
+  /// Per-stage decode time accumulated across every chunk this decoder has
+  /// decoded (zero when telemetry is off).
+  const telemetry::StageBreakdown& stage_breakdown() const { return stage_; }
+
+  /// Charges externally measured work (e.g. the caller's checksum pass over
+  /// the record bytes) to one of this decoder's stages, registry included.
+  void AddStageNs(telemetry::Stage stage, std::uint64_t ns);
+
  private:
   const Codec& solver_;
   Linearization linearization_;
   std::size_t width_;
   std::optional<IdIndex> index_;
+  telemetry::StageBreakdown stage_;
 };
 
 }  // namespace primacy

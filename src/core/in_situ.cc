@@ -5,6 +5,7 @@
 
 #include "bitstream/byte_io.h"
 #include "core/stream_format.h"
+#include "telemetry/trace.h"
 #include "util/error.h"
 
 namespace primacy {
@@ -31,6 +32,7 @@ void Accumulate(PrimacyDecodeStats& totals, const PrimacyDecodeStats& s) {
   totals.output_bytes += s.output_bytes;
   totals.used_directory = totals.used_directory || s.used_directory;
   totals.chunks_verified += s.chunks_verified;
+  totals.stage.Accumulate(s.stage);
 }
 
 }  // namespace
@@ -58,6 +60,8 @@ InSituResult InSituCompress(std::span<const double> values,
   const PrimacyCompressor compressor(options.primacy);
   SharedThreadPool().ParallelForSlots(
       shard_count, options.threads, [&](std::size_t, std::size_t shard) {
+        telemetry::TraceSpan span("primacy.insitu_compress_shard", "shard",
+                                  static_cast<std::uint64_t>(shard));
         const std::size_t first = shard * options.shard_elements;
         const std::size_t count =
             std::min(options.shard_elements, values.size() - first);
@@ -75,6 +79,7 @@ InSituResult InSituCompress(std::span<const double> values,
     result.totals.id_compressed_bytes += s.id_compressed_bytes;
     result.totals.mantissa_stream_bytes += s.mantissa_stream_bytes;
     result.totals.mantissa_raw_bytes += s.mantissa_raw_bytes;
+    result.totals.stage.Accumulate(s.stage);
   }
   if (shard_count > 0) {
     const auto n = static_cast<double>(shard_count);
@@ -102,6 +107,8 @@ InSituDecodeResult InSituDecompressWithStats(const std::vector<Bytes>& shards,
   std::vector<PrimacyDecodeStats> stats(shards.size());
   SharedThreadPool().ParallelForSlots(
       shards.size(), options.threads, [&](std::size_t, std::size_t shard) {
+        telemetry::TraceSpan span("primacy.insitu_decode_shard", "shard",
+                                  static_cast<std::uint64_t>(shard));
         pieces[shard] = decompressor.Decompress(shards[shard], &stats[shard]);
       });
 
@@ -165,6 +172,8 @@ InSituDecodeResult InSituDecompressRange(const std::vector<Bytes>& shards,
   SharedThreadPool().ParallelForSlots(
       ranges.size(), options.threads, [&](std::size_t, std::size_t r) {
         const ShardRange& range = ranges[r];
+        telemetry::TraceSpan span("primacy.insitu_decode_shard", "shard",
+                                  static_cast<std::uint64_t>(range.shard));
         const std::vector<double> piece = decompressor.DecompressRange(
             shards[range.shard], range.local_first, range.local_count,
             &stats[r]);

@@ -11,9 +11,11 @@
 #include "core/chunk_pipeline.h"
 #include "core/stream_format.h"
 #include "core/streaming.h"
+#include "telemetry/trace.h"
 #include "util/checksum.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace primacy {
 namespace {
@@ -92,7 +94,17 @@ bool DecodeDirectoryChunk(ByteSpan stream,
                           std::size_t c, ChunkDecoder& decoder,
                           MutableByteSpan out, bool verify) {
   const ByteSpan record = RecordSpan(stream, directory, c);
-  const bool verified = VerifyChunkChecksum(record, directory, c, verify);
+  bool verified = false;
+  if constexpr (telemetry::kEnabled) {
+    const WallTimer checksum_timer;
+    verified = VerifyChunkChecksum(record, directory, c, verify);
+    if (verified) {
+      decoder.AddStageNs(telemetry::Stage::kChecksum,
+                         checksum_timer.ElapsedNs());
+    }
+  } else {
+    verified = VerifyChunkChecksum(record, directory, c, verify);
+  }
   try {
     ByteReader reader(record);
     const std::uint64_t count = reader.GetVarint();
@@ -231,10 +243,15 @@ Bytes DecodeSeekable(ByteSpan stream, const internal::StreamHeader& header,
           decode_group(*s.decoder, g);
         });
     accounting.threads_used = slots;
+    // Stage times fold after the barrier — workers never share counters.
+    for (const Slot& s : slot_state) {
+      if (s.decoder) accounting.stage.Accumulate(s.decoder->stage_breakdown());
+    }
   } else {
     const auto solver = CreateCodec(header.solver_name);
     ChunkDecoder decoder(*solver, header.linearization, header.width);
     for (std::size_t g = 0; g < groups.size(); ++g) decode_group(decoder, g);
+    accounting.stage.Accumulate(decoder.stage_breakdown());
   }
   accounting.chunks_decoded += directory.chunks.size();
   for (const std::size_t v : verified_per_group) {
@@ -277,6 +294,8 @@ Bytes PrimacyCompressor::Compress(std::span<const float> values,
 
 Bytes PrimacyCompressor::CompressBytes(ByteSpan data,
                                        PrimacyStats* stats) const {
+  telemetry::TraceSpan span("primacy.compress", "bytes",
+                            static_cast<std::uint64_t>(data.size()));
   const std::size_t width = ElementWidth(options_.precision);
   const std::size_t tail_bytes = data.size() % width;
   const ByteSpan body = data.first(data.size() - tail_bytes);
@@ -287,9 +306,6 @@ Bytes PrimacyCompressor::CompressBytes(ByteSpan data,
 
   PrimacyStats accounting;
   accounting.input_bytes = data.size();
-  double freq_before_sum = 0.0;
-  double freq_after_sum = 0.0;
-  double compressible_fraction_sum = 0.0;
 
   const std::size_t total_elements = body.size() / width;
   const std::size_t chunk_count =
@@ -349,17 +365,9 @@ Bytes PrimacyCompressor::CompressBytes(ByteSpan data,
     directory.chunks[i].elements = cs.elements;
     directory.chunks[i].index_flag =
         cs.emitted_full_index ? 1 : (cs.emitted_delta_index ? 2 : 0);
-    ++accounting.chunks;
-    accounting.indexes_emitted += cs.emitted_full_index;
-    accounting.delta_indexes += cs.emitted_delta_index;
-    accounting.index_bytes += cs.index_bytes;
-    accounting.id_compressed_bytes += cs.id_compressed_bytes;
-    accounting.mantissa_stream_bytes += cs.mantissa_stream_bytes;
-    accounting.mantissa_raw_bytes += cs.mantissa_raw_bytes;
-    freq_before_sum += cs.top_byte_frequency_before;
-    freq_after_sum += cs.top_byte_frequency_after;
-    compressible_fraction_sum += cs.compressible_fraction;
+    AccumulateChunkStats(accounting, cs);
   }
+  FinalizeChunkStatMeans(accounting);
 
   directory.tail_offset = out.size();
   PutBlock(out, data.subspan(data.size() - tail_bytes, tail_bytes));
@@ -382,13 +390,6 @@ Bytes PrimacyCompressor::CompressBytes(ByteSpan data,
 
   if (stats != nullptr) {
     accounting.output_bytes = out.size();
-    if (accounting.chunks > 0) {
-      const auto chunks = static_cast<double>(accounting.chunks);
-      accounting.top_byte_frequency_before = freq_before_sum / chunks;
-      accounting.top_byte_frequency_after = freq_after_sum / chunks;
-      accounting.mean_compressible_fraction =
-          compressible_fraction_sum / chunks;
-    }
     *stats = accounting;
   }
   return out;
@@ -401,6 +402,8 @@ PrimacyDecompressor::PrimacyDecompressor(PrimacyOptions options)
 
 Bytes PrimacyDecompressor::DecompressBytes(ByteSpan stream,
                                            PrimacyDecodeStats* stats) const {
+  telemetry::TraceSpan span("primacy.decompress", "bytes",
+                            static_cast<std::uint64_t>(stream.size()));
   PrimacyDecodeStats accounting;
   ByteReader reader(stream);
   const internal::StreamHeader header = internal::ReadStreamHeader(reader);
@@ -448,6 +451,7 @@ Bytes PrimacyDecompressor::DecompressBytes(ByteSpan stream,
       }
       ++accounting.chunks_decoded;
     }
+    accounting.stage.Accumulate(decoder.stage_breakdown());
     const ByteSpan tail = reader.GetBlock();
     if (out.size() + tail.size() != header.total_bytes) {
       throw CorruptStreamError("primacy: tail size mismatch");
@@ -484,6 +488,7 @@ Bytes PrimacyDecompressor::DecompressRangeImpl(ByteSpan stream,
                                                std::uint64_t count,
                                                std::size_t expected_width,
                                                PrimacyDecodeStats* stats) const {
+  telemetry::TraceSpan span("primacy.range_read", "elements", count);
   PrimacyDecodeStats accounting;
   ByteReader reader(stream);
   const internal::StreamHeader header = internal::ReadStreamHeader(reader);
@@ -598,6 +603,7 @@ Bytes PrimacyDecompressor::DecompressRangeImpl(ByteSpan stream,
     }
     ++accounting.chunks_decoded;
   }
+  accounting.stage.Accumulate(decoder.stage_breakdown());
   return finish(std::move(result));
 }
 

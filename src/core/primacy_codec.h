@@ -62,6 +62,7 @@
 #include "compress/codec.h"
 #include "core/id_mapper.h"
 #include "isobar/analyzer.h"
+#include "telemetry/stage.h"
 
 namespace primacy {
 
@@ -133,6 +134,10 @@ struct PrimacyStats {
   /// after ID mapping — the paper's Section II-C "+15%" metric.
   double top_byte_frequency_before = 0.0;
   double top_byte_frequency_after = 0.0;
+  /// Wall time spent in each encode stage, summed across chunks (and across
+  /// workers when chunk-parallel — i.e. CPU time, which can exceed the call's
+  /// wall time). All-zero when built with PRIMACY_TELEMETRY=OFF.
+  telemetry::StageBreakdown stage;
 
   double CompressionRatio() const {
     return output_bytes == 0
@@ -180,6 +185,9 @@ struct PrimacyDecodeStats {
   /// Chunk records whose checksum was verified before decoding (v3 streams
   /// with verify_checksums on).
   std::size_t chunks_verified = 0;
+  /// Wall time per decode stage, summed across chunks and decode slots (CPU
+  /// time under parallel decode). All-zero when PRIMACY_TELEMETRY=OFF.
+  telemetry::StageBreakdown stage;
 };
 
 class PrimacyDecompressor {

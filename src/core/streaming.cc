@@ -1,8 +1,10 @@
 #include "core/streaming.h"
 
 #include "compress/registry.h"
+#include "telemetry/trace.h"
 #include "util/checksum.h"
 #include "util/error.h"
+#include "util/timer.h"
 
 namespace primacy {
 
@@ -64,37 +66,21 @@ void PrimacyStreamWriter::EncodeBufferedChunks(bool flush_partial) {
   std::size_t offset = 0;
   Bytes records;
   while (pending_.size() - offset >= chunk_bytes) {
-    const ChunkRecordStats chunk_stats = encoder_.EncodeChunk(
-        ByteSpan(pending_).subspan(offset, chunk_bytes), records);
+    telemetry::TraceSpan span("primacy.stream_encode_chunk", "chunk",
+                              static_cast<std::uint64_t>(stats_.chunks));
+    AccumulateChunkStats(
+        stats_, encoder_.EncodeChunk(
+                    ByteSpan(pending_).subspan(offset, chunk_bytes), records));
     offset += chunk_bytes;
-    ++stats_.chunks;
-    stats_.indexes_emitted += chunk_stats.emitted_full_index;
-    stats_.delta_indexes += chunk_stats.emitted_delta_index;
-    stats_.index_bytes += chunk_stats.index_bytes;
-    stats_.id_compressed_bytes += chunk_stats.id_compressed_bytes;
-    stats_.mantissa_stream_bytes += chunk_stats.mantissa_stream_bytes;
-    stats_.mantissa_raw_bytes += chunk_stats.mantissa_raw_bytes;
-    freq_before_sum_ += chunk_stats.top_byte_frequency_before;
-    freq_after_sum_ += chunk_stats.top_byte_frequency_after;
-    compressible_fraction_sum_ += chunk_stats.compressible_fraction;
   }
   if (flush_partial) {
     const std::size_t remaining = pending_.size() - offset;
     const std::size_t whole = (remaining / width) * width;
     if (whole > 0) {
-      const ChunkRecordStats chunk_stats = encoder_.EncodeChunk(
-          ByteSpan(pending_).subspan(offset, whole), records);
+      AccumulateChunkStats(
+          stats_, encoder_.EncodeChunk(
+                      ByteSpan(pending_).subspan(offset, whole), records));
       offset += whole;
-      ++stats_.chunks;
-      stats_.indexes_emitted += chunk_stats.emitted_full_index;
-      stats_.delta_indexes += chunk_stats.emitted_delta_index;
-      stats_.index_bytes += chunk_stats.index_bytes;
-      stats_.id_compressed_bytes += chunk_stats.id_compressed_bytes;
-      stats_.mantissa_stream_bytes += chunk_stats.mantissa_stream_bytes;
-      stats_.mantissa_raw_bytes += chunk_stats.mantissa_raw_bytes;
-      freq_before_sum_ += chunk_stats.top_byte_frequency_before;
-      freq_after_sum_ += chunk_stats.top_byte_frequency_after;
-      compressible_fraction_sum_ += chunk_stats.compressible_fraction;
     }
   }
   pending_.erase(pending_.begin(),
@@ -116,12 +102,7 @@ PrimacyStats PrimacyStreamWriter::Finish() {
   pending_.clear();
   Emit(trailer);
 
-  if (stats_.chunks > 0) {
-    const auto chunks = static_cast<double>(stats_.chunks);
-    stats_.top_byte_frequency_before = freq_before_sum_ / chunks;
-    stats_.top_byte_frequency_after = freq_after_sum_ / chunks;
-    stats_.mean_compressible_fraction = compressible_fraction_sum_ / chunks;
-  }
+  FinalizeChunkStatMeans(stats_);
   return stats_;
 }
 
@@ -153,8 +134,14 @@ PrimacyStreamReader::PrimacyStreamReader(ByteSpan stream,
   }
 }
 
+const telemetry::StageBreakdown& PrimacyStreamReader::stage_breakdown() const {
+  return decoder_->stage_breakdown();
+}
+
 bool PrimacyStreamReader::NextChunk(Bytes& out) {
   if (saw_trailer_) return false;
+  telemetry::TraceSpan span("primacy.stream_next_chunk", "chunk",
+                            static_cast<std::uint64_t>(chunk_index_));
   if (header_.stored) {
     const ByteSpan raw = reader_.GetBlock();
     if (raw.size() != header_.total_bytes) {
@@ -187,6 +174,7 @@ bool PrimacyStreamReader::NextChunk(Bytes& out) {
       return false;
     }
     if (verify_ && directory_.has_value()) {
+      const WallTimer checksum_timer;
       if (chunk_index_ >= directory_->chunks.size()) {
         throw CorruptStreamError(
             "primacy: more chunk records than directory entries");
@@ -208,6 +196,8 @@ bool PrimacyStreamReader::NextChunk(Bytes& out) {
             " (record at byte " + std::to_string(entry.offset) +
             "): checksum mismatch");
       }
+      decoder_->AddStageNs(telemetry::Stage::kChecksum,
+                           checksum_timer.ElapsedNs());
     }
     const std::uint64_t count = reader_.GetVarint();
     if (count == 0 ||

@@ -61,10 +61,9 @@ class PrimacyStreamWriter {
   std::shared_ptr<const Codec> solver_;
   ChunkEncoder encoder_;
   Bytes pending_;        // not-yet-encoded input bytes
+  /// Cumulative accounting; the per-chunk mean fields hold running sums
+  /// until Finish() calls FinalizeChunkStatMeans.
   PrimacyStats stats_;
-  double freq_before_sum_ = 0.0;
-  double freq_after_sum_ = 0.0;
-  double compressible_fraction_sum_ = 0.0;
   bool finished_ = false;
 };
 
@@ -87,6 +86,10 @@ class PrimacyStreamReader {
 
   /// Convenience: drain the remaining chunks as doubles.
   std::vector<double> ReadAllDoubles();
+
+  /// Per-stage decode time accumulated over the chunks read so far (zero
+  /// when telemetry is off).
+  const telemetry::StageBreakdown& stage_breakdown() const;
 
  private:
   ByteSpan stream_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bitstream/byte_io.h"
+#include "telemetry/trace.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -21,6 +22,8 @@ CheckpointWriter::CheckpointWriter(PrimacyOptions options)
 void CheckpointWriter::AddStream(const std::string& name,
                                  std::size_t element_width,
                                  std::size_t elements, Bytes stream) {
+  telemetry::TraceSpan span("primacy.checkpoint_add", "variable",
+                            static_cast<std::uint64_t>(variables_.size()));
   if (finished_) {
     throw InvalidArgumentError("CheckpointWriter: Add after Finish");
   }
@@ -201,6 +204,8 @@ std::vector<Bytes> CheckpointReader::ReadAllRaw(
   SharedThreadPool().ParallelForSlots(
       variables_.size(), decode_options_.threads,
       [&](std::size_t, std::size_t v) {
+        telemetry::TraceSpan span("primacy.checkpoint_read", "variable",
+                                  static_cast<std::uint64_t>(v));
         const VariableInfo& info = variables_[v];
         raw[v] = decompressor.DecompressBytes(StreamOf(info), &per_variable[v]);
         if (raw[v].size() != info.elements * info.element_width) {
@@ -216,6 +221,7 @@ std::vector<Bytes> CheckpointReader::ReadAllRaw(
       totals.output_bytes += s.output_bytes;
       totals.used_directory = totals.used_directory || s.used_directory;
       totals.chunks_verified += s.chunks_verified;
+      totals.stage.Accumulate(s.stage);
     }
     *stats = totals;
   }

@@ -1,0 +1,160 @@
+// Process-wide metrics registry: monotonic counters, gauges, and
+// fixed-bucket histograms, exported as Prometheus text.
+//
+// Hot-path discipline: instrument sites resolve their metric once (a mutex
+// is taken only at registration) and then update through relaxed atomics —
+// no locks, no allocation. Metric objects are never destroyed or moved, so
+// cached pointers stay valid for the life of the process.
+//
+// When the build is configured with PRIMACY_TELEMETRY=OFF every operation
+// here compiles to an inline no-op (the stub half of this header), so
+// instrumented code needs no #ifdefs of its own.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "telemetry/stage.h"
+
+#if PRIMACY_TELEMETRY_ENABLED
+#include <atomic>
+#include <memory>
+#include <vector>
+#endif
+
+namespace primacy::telemetry {
+
+#if PRIMACY_TELEMETRY_ENABLED
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed value (queue depth, worker count, ...).
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram (cumulative, Prometheus-style: bucket i counts
+/// observations <= bounds[i], plus an implicit +Inf bucket).
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void Observe(double value);
+
+  std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+  /// Cumulative count of observations <= bounds()[i]; i == bounds().size()
+  /// is the +Inf bucket (== Count()).
+  std::uint64_t CumulativeCount(std::size_t i) const;
+  std::span<const double> bounds() const { return bounds_; }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;                       // ascending upper bounds
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Owns every metric; resolve with Get*(), render with RenderPrometheus().
+/// `labels` is a pre-rendered Prometheus label body without braces, e.g.
+/// `stage="split"` — metrics with the same name but different labels are
+/// distinct series under one family.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name, std::string_view labels = {});
+  Gauge& GetGauge(std::string_view name, std::string_view labels = {});
+  Histogram& GetHistogram(std::string_view name,
+                          std::span<const double> bounds,
+                          std::string_view labels = {});
+
+  /// Prometheus text exposition format, series sorted by (name, labels).
+  std::string RenderPrometheus() const;
+
+  /// Zeroes every registered metric (registrations — and therefore cached
+  /// pointers — survive). Test isolation only.
+  void ResetAllForTest();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+#else  // !PRIMACY_TELEMETRY_ENABLED — inline no-op stubs.
+
+class Counter {
+ public:
+  void Increment(std::uint64_t = 1) {}
+  std::uint64_t Value() const { return 0; }
+  void Reset() {}
+};
+
+class Gauge {
+ public:
+  void Set(std::int64_t) {}
+  void Add(std::int64_t) {}
+  std::int64_t Value() const { return 0; }
+  void Reset() {}
+};
+
+class Histogram {
+ public:
+  void Observe(double) {}
+  std::uint64_t Count() const { return 0; }
+  double Sum() const { return 0.0; }
+  std::uint64_t CumulativeCount(std::size_t) const { return 0; }
+  std::span<const double> bounds() const { return {}; }
+  void Reset() {}
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global() {
+    static MetricsRegistry registry;
+    return registry;
+  }
+  Counter& GetCounter(std::string_view, std::string_view = {}) {
+    static Counter stub;
+    return stub;
+  }
+  Gauge& GetGauge(std::string_view, std::string_view = {}) {
+    static Gauge stub;
+    return stub;
+  }
+  Histogram& GetHistogram(std::string_view, std::span<const double>,
+                          std::string_view = {}) {
+    static Histogram stub;
+    return stub;
+  }
+  std::string RenderPrometheus() const { return std::string(); }
+  void ResetAllForTest() {}
+};
+
+#endif  // PRIMACY_TELEMETRY_ENABLED
+
+}  // namespace primacy::telemetry

@@ -1,0 +1,108 @@
+// Pipeline stage taxonomy shared by the chunk encoder/decoder, the metrics
+// registry, and the model-validation bench.
+//
+// The stages are the measurable units of the paper's performance model
+// (Section III): split + frequency + id_map + serialize make up the
+// preconditioner (T_prec, Eqs. 7-8), solver + isobar the solver passes
+// (T_comp, Eqs. 9-10); on the read path solver + isobar are T_decomp and
+// frequency (index restore) + id_map + merge the inverse preconditioner.
+// checksum is the v3 integrity pass, outside the paper's model.
+//
+// StageBreakdown is plain data and exists in every build; StageClock is the
+// collection primitive and compiles to a no-op when PRIMACY_TELEMETRY=OFF,
+// leaving every breakdown zero at zero cost.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#ifndef PRIMACY_TELEMETRY_ENABLED
+#define PRIMACY_TELEMETRY_ENABLED 1
+#endif
+
+namespace primacy::telemetry {
+
+/// True when telemetry collection is compiled in (PRIMACY_TELEMETRY=ON).
+inline constexpr bool kEnabled = PRIMACY_TELEMETRY_ENABLED != 0;
+
+enum class Stage : std::uint8_t {
+  kSplit = 0,   // big-endian rows + high/low byte split (encode only)
+  kFrequency,   // pair-frequency analysis + index build/extend/deserialize
+  kIdMap,       // MapToIds / MapFromIds, including linearization
+  kSolver,      // solver codec over the ID bytes
+  kIsobar,      // ISOBAR partition compress/decompress of the mantissa
+  kChecksum,    // XXH64 verification (v3 decode paths)
+  kMerge,       // decode-side fused high/low merge to native layout
+  kSerialize,   // record framing: varints, blocks, index serialization
+};
+inline constexpr std::size_t kStageCount = 8;
+
+constexpr std::string_view StageName(Stage stage) {
+  constexpr std::array<std::string_view, kStageCount> kNames = {
+      "split",  "frequency", "id_map", "solver",
+      "isobar", "checksum",  "merge",  "serialize"};
+  return kNames[static_cast<std::size_t>(stage)];
+}
+
+/// Per-stage elapsed nanoseconds, accumulated across chunks (and, for
+/// parallel runs, across workers — so totals are CPU seconds, not wall).
+struct StageBreakdown {
+  std::array<std::uint64_t, kStageCount> ns{};
+
+  std::uint64_t& operator[](Stage stage) {
+    return ns[static_cast<std::size_t>(stage)];
+  }
+  std::uint64_t operator[](Stage stage) const {
+    return ns[static_cast<std::size_t>(stage)];
+  }
+
+  double Seconds(Stage stage) const {
+    return static_cast<double>((*this)[stage]) * 1e-9;
+  }
+
+  std::uint64_t TotalNs() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t v : ns) total += v;
+    return total;
+  }
+  double TotalSeconds() const { return static_cast<double>(TotalNs()) * 1e-9; }
+
+  void Accumulate(const StageBreakdown& other) {
+    for (std::size_t i = 0; i < kStageCount; ++i) ns[i] += other.ns[i];
+  }
+};
+
+/// Lap timer for sequential stage attribution: each Lap() charges the time
+/// since the previous Lap()/construction to one stage. One clock read per
+/// stage boundary; a no-op (and no clock reads) when telemetry is off.
+class StageClock {
+ public:
+#if PRIMACY_TELEMETRY_ENABLED
+  StageClock() : last_(std::chrono::steady_clock::now()) {}
+
+  /// Forgets any time since the last lap (e.g. across untimed sections).
+  void Restart() { last_ = std::chrono::steady_clock::now(); }
+
+  void Lap(StageBreakdown& breakdown, Stage stage) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto delta = now - last_;
+    if (delta.count() > 0) {
+      breakdown[stage] += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count());
+    }
+    last_ = now;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point last_;
+#else
+  StageClock() = default;
+  void Restart() {}
+  void Lap(StageBreakdown&, Stage) {}
+#endif
+};
+
+}  // namespace primacy::telemetry

@@ -1,0 +1,183 @@
+#include "telemetry/trace.h"
+
+#if PRIMACY_TELEMETRY_ENABLED
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace primacy::telemetry {
+namespace {
+
+std::uint64_t NowNs() {
+  // Rebased so exported timestamps are small and stable within a run.
+  static const auto base = std::chrono::steady_clock::now();
+  const auto delta = std::chrono::steady_clock::now() - base;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count());
+}
+
+struct ThreadTraceBuffer {
+  std::array<TraceEvent, kTraceRingCapacity> events;
+  // Total events ever pushed; slot = pushed % capacity. The owner thread is
+  // the only writer; the exporter reads under the registry mutex after an
+  // acquire load, which orders it after every slot write it observes.
+  std::atomic<std::uint64_t> pushed{0};
+  std::uint32_t tid = 0;
+};
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* registry = new BufferRegistry();
+  return *registry;
+}
+
+ThreadTraceBuffer& LocalBuffer() {
+  // The shared_ptr in the registry keeps the buffer alive after the thread
+  // exits, so the exporter can still read short-lived workers' events.
+  thread_local std::shared_ptr<ThreadTraceBuffer> buffer = [] {
+    auto fresh = std::make_shared<ThreadTraceBuffer>();
+    BufferRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    fresh->tid = registry.next_tid++;
+    registry.buffers.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled = [] {
+    const char* trace = std::getenv("PRIMACY_TRACE");
+    const char* out = std::getenv("PRIMACY_TRACE_OUT");
+    return (trace != nullptr && trace[0] != '\0' && trace[0] != '0') ||
+           (out != nullptr && out[0] != '\0');
+  }();
+  return enabled;
+}
+
+/// Registers the PRIMACY_TRACE_OUT exit hook the first time a span fires.
+void EnsureExitFlushRegistered() {
+  static const bool registered = [] {
+    if (const char* path = std::getenv("PRIMACY_TRACE_OUT");
+        path != nullptr && path[0] != '\0') {
+      static std::string out_path = path;
+      std::atexit([] { WriteChromeTrace(out_path); });
+    }
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char* name, const char* arg_name,
+                     std::uint64_t arg_value)
+    : name_(name),
+      arg_name_(arg_name),
+      arg_value_(arg_value),
+      start_ns_(0),
+      active_(TracingEnabled()) {
+  if (active_) {
+    EnsureExitFlushRegistered();
+    start_ns_ = NowNs();
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const std::uint64_t end_ns = NowNs();
+  ThreadTraceBuffer& buffer = LocalBuffer();
+  const std::uint64_t n = buffer.pushed.load(std::memory_order_relaxed);
+  TraceEvent& slot = buffer.events[n % kTraceRingCapacity];
+  slot.name = name_;
+  slot.arg_name = arg_name_;
+  slot.arg_value = arg_value_;
+  slot.start_ns = start_ns_;
+  slot.dur_ns = end_ns - start_ns_;
+  slot.tid = buffer.tid;
+  buffer.pushed.store(n + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> SnapshotTraceEvents() {
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : registry.buffers) {
+    const std::uint64_t pushed =
+        buffer->pushed.load(std::memory_order_acquire);
+    const std::uint64_t kept =
+        std::min<std::uint64_t>(pushed, kTraceRingCapacity);
+    for (std::uint64_t i = pushed - kept; i < pushed; ++i) {
+      events.push_back(buffer->events[i % kTraceRingCapacity]);
+    }
+  }
+  return events;
+}
+
+std::string RenderChromeTrace() {
+  const std::vector<TraceEvent> events = SnapshotTraceEvents();
+  std::string out = "{\"traceEvents\": [\n";
+  char line[256];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    const double ts_us = static_cast<double>(e.start_ns) / 1e3;
+    const double dur_us = static_cast<double>(e.dur_ns) / 1e3;
+    if (e.arg_name != nullptr) {
+      std::snprintf(line, sizeof(line),
+                    "{\"name\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
+                    "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
+                    "\"args\": {\"%s\": %llu}}",
+                    e.name, e.tid, ts_us, dur_us, e.arg_name,
+                    static_cast<unsigned long long>(e.arg_value));
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "{\"name\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
+                    "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f}",
+                    e.name, e.tid, ts_us, dur_us);
+    }
+    out += line;
+    out += i + 1 < events.size() ? ",\n" : "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = RenderChromeTrace();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) ==
+                  json.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+void ClearTraceBuffers() {
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& buffer : registry.buffers) {
+    buffer->pushed.store(0, std::memory_order_release);
+  }
+}
+
+}  // namespace primacy::telemetry
+
+#endif  // PRIMACY_TELEMETRY_ENABLED

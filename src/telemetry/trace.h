@@ -1,0 +1,107 @@
+// Lightweight trace spans with per-thread ring buffers and a
+// chrome://tracing (Trace Event Format) JSON exporter.
+//
+// Usage:
+//   telemetry::TraceSpan span("primacy.encode_chunk", "bytes", chunk.size());
+//   ... work ...   // the event is recorded when `span` goes out of scope
+//
+// Recording is gated twice: at compile time (PRIMACY_TELEMETRY=OFF makes
+// TraceSpan an empty struct) and at run time (tracing defaults off; enable
+// with SetTracingEnabled(true) or the PRIMACY_TRACE=1 environment variable).
+// A disabled span costs one relaxed atomic load.
+//
+// Each thread records into its own fixed-size ring buffer (no locks, no
+// allocation after the first span on a thread; the newest kTraceRingCapacity
+// events per thread are kept). Span names and arg names must be string
+// literals (or otherwise outlive the process) — the buffers store pointers.
+//
+// Exporting (RenderChromeTrace / WriteChromeTrace) walks every thread's
+// buffer; call it at a quiescent point (no spans in flight) for a fully
+// consistent snapshot. If PRIMACY_TRACE_OUT=<path> is set in the
+// environment, tracing is enabled automatically and the buffers are flushed
+// to <path> at process exit — so any tool or bench can be traced without
+// code changes:  PRIMACY_TRACE_OUT=trace.json ./fig4_end_to_end --quick
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/stage.h"
+
+namespace primacy::telemetry {
+
+/// One completed span. Timestamps are nanoseconds on the steady clock,
+/// rebased so time zero is roughly process start.
+struct TraceEvent {
+  const char* name = nullptr;      // static string
+  const char* arg_name = nullptr;  // nullptr = no argument
+  std::uint64_t arg_value = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+};
+
+/// Events retained per thread (newest win once the ring wraps).
+inline constexpr std::size_t kTraceRingCapacity = 8192;
+
+#if PRIMACY_TELEMETRY_ENABLED
+
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : TraceSpan(name, nullptr, 0) {}
+  TraceSpan(const char* name, const char* arg_name, std::uint64_t arg_value);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* arg_name_;
+  std::uint64_t arg_value_;
+  std::uint64_t start_ns_;
+  bool active_;
+};
+
+/// All buffered events across threads, oldest-first per thread. Exporter
+/// and test hook; snapshot at quiescence for exact results.
+std::vector<TraceEvent> SnapshotTraceEvents();
+
+/// chrome://tracing JSON ({"traceEvents": [...]}); load in chrome's
+/// about:tracing or https://ui.perfetto.dev.
+std::string RenderChromeTrace();
+
+/// Writes RenderChromeTrace() to `path`; returns false on I/O failure.
+bool WriteChromeTrace(const std::string& path);
+
+/// Drops all buffered events (test isolation; call at quiescence).
+void ClearTraceBuffers();
+
+#else  // !PRIMACY_TELEMETRY_ENABLED — inline no-op stubs.
+
+inline bool TracingEnabled() { return false; }
+inline void SetTracingEnabled(bool) {}
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*) {}
+  TraceSpan(const char*, const char*, std::uint64_t) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+inline std::vector<TraceEvent> SnapshotTraceEvents() { return {}; }
+inline std::string RenderChromeTrace() {
+  return std::string("{\"traceEvents\": []}\n");
+}
+inline bool WriteChromeTrace(const std::string&) { return false; }
+inline void ClearTraceBuffers() {}
+
+#endif  // PRIMACY_TELEMETRY_ENABLED
+
+}  // namespace primacy::telemetry

@@ -1,11 +1,44 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <exception>
 
+#include "telemetry/metrics.h"
+#include "util/timer.h"
+
 namespace primacy {
+namespace {
+
+/// Pool-wide metrics, resolved once. Utilization = busy_ns / (workers *
+/// wall); wait = enqueue-to-start latency (scheduling delay + queueing).
+struct PoolMetrics {
+  telemetry::Gauge& workers;
+  telemetry::Gauge& queue_depth;
+  telemetry::Counter& tasks;
+  telemetry::Counter& busy_ns;
+  telemetry::Histogram& wait_us;
+  telemetry::Histogram& run_us;
+
+  static PoolMetrics& Get() {
+    static constexpr std::array<double, 7> kLatencyBoundsUs = {
+        10.0, 100.0, 1000.0, 10000.0, 100000.0, 1e6, 1e7};
+    auto& registry = telemetry::MetricsRegistry::Global();
+    static PoolMetrics metrics{
+        registry.GetGauge("primacy_pool_workers"),
+        registry.GetGauge("primacy_pool_queue_depth"),
+        registry.GetCounter("primacy_pool_tasks_total"),
+        registry.GetCounter("primacy_pool_busy_ns_total"),
+        registry.GetHistogram("primacy_pool_task_wait_us", kLatencyBoundsUs),
+        registry.GetHistogram("primacy_pool_task_run_us", kLatencyBoundsUs),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -14,6 +47,9 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  if constexpr (telemetry::kEnabled) {
+    PoolMetrics::Get().workers.Add(static_cast<std::int64_t>(num_threads));
   }
 }
 
@@ -24,6 +60,34 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+  if constexpr (telemetry::kEnabled) {
+    PoolMetrics::Get().workers.Add(
+        -static_cast<std::int64_t>(workers_.size()));
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  if constexpr (telemetry::kEnabled) {
+    PoolMetrics& metrics = PoolMetrics::Get();
+    metrics.queue_depth.Add(1);
+    metrics.tasks.Increment();
+    WallTimer enqueue_timer;
+    task = [inner = std::move(task), enqueue_timer, &metrics] {
+      metrics.queue_depth.Add(-1);
+      metrics.wait_us.Observe(static_cast<double>(enqueue_timer.ElapsedNs()) /
+                              1e3);
+      WallTimer run_timer;
+      inner();
+      const std::uint64_t run_ns = run_timer.ElapsedNs();
+      metrics.busy_ns.Increment(run_ns);
+      metrics.run_us.Observe(static_cast<double>(run_ns) / 1e3);
+    };
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.emplace(std::move(task));
+  }
+  cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -40,11 +40,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<Result()>>(
         std::forward<Fn>(fn));
     std::future<Result> result = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      tasks_.emplace([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    Enqueue([task] { (*task)(); });
     return result;
   }
 
@@ -68,6 +64,10 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+
+  /// Queues one type-erased task, wrapping it with telemetry accounting
+  /// (queue depth, enqueue-to-start wait, run time) when compiled in.
+  void Enqueue(std::function<void()> task);
 
   /// Pops and runs one queued task on the calling thread; false if the
   /// queue was empty.

@@ -1,8 +1,10 @@
-// Lightweight wall-clock timing used by the benchmark harnesses and by the
-// throughput calibration pass that feeds the performance model.
+// Lightweight wall-clock timing used by the benchmark harnesses, the
+// telemetry stage clocks, and the throughput calibration pass that feeds
+// the performance model.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace primacy {
 
@@ -13,9 +15,18 @@ class WallTimer {
 
   void Reset() { start_ = Clock::now(); }
 
-  /// Seconds elapsed since construction or the last Reset().
+  /// Seconds elapsed since construction or the last Reset(). Never negative
+  /// (the clock is monotonic; a zero-duration read yields 0.0).
   double Seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed nanoseconds, clamped to >= 0.
+  std::uint64_t ElapsedNs() const {
+    const auto delta = Clock::now() - start_;
+    if (delta.count() <= 0) return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count());
   }
 
  private:
@@ -24,9 +35,22 @@ class WallTimer {
 };
 
 /// Throughput in MB/s (decimal megabytes, as in the paper's tables).
+/// Edge cases: zero bytes report 0 regardless of elapsed time, and a
+/// zero/negative/NaN elapsed time reports 0 rather than inf/NaN — 0 means
+/// "unmeasurable", and keeps the value JSON-serializable.
 inline double ThroughputMBps(std::size_t bytes, double seconds) {
-  if (seconds <= 0.0) return 0.0;
+  if (bytes == 0) return 0.0;
+  if (!(seconds > 0.0)) return 0.0;  // also catches NaN
   return static_cast<double>(bytes) / 1.0e6 / seconds;
+}
+
+/// Rate in bytes/second with the elapsed time clamped to >= 1 ns, for
+/// calibration paths (performance-model inputs) that must never divide by
+/// zero or feed a zero/infinite rate downstream. Zero bytes still rate 0.
+inline double SafeRateBps(std::size_t bytes, double seconds) {
+  if (bytes == 0) return 0.0;
+  if (!(seconds > 1e-9)) seconds = 1e-9;  // also catches NaN and negatives
+  return static_cast<double>(bytes) / seconds;
 }
 
 }  // namespace primacy

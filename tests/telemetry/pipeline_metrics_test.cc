@@ -1,0 +1,173 @@
+// End-to-end checks that the pipeline's telemetry agrees with itself: the
+// PrimacyStats/PrimacyDecodeStats stage breakdowns must match the registry's
+// per-stage counter family exactly, and serial vs parallel decode must
+// produce identical data-dependent stats and metric deltas (only timing and
+// threads_used may differ).
+#include <array>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/primacy_codec.h"
+#include "datasets/datasets.h"
+#include "telemetry/metrics.h"
+#include "telemetry/stage.h"
+
+namespace primacy {
+namespace {
+
+using telemetry::kStageCount;
+using telemetry::MetricsRegistry;
+using telemetry::StageName;
+
+std::uint64_t CounterValue(const char* name, std::string labels = {}) {
+  return MetricsRegistry::Global().GetCounter(name, labels).Value();
+}
+
+std::array<std::uint64_t, kStageCount> StageCounters(const char* family) {
+  std::array<std::uint64_t, kStageCount> values{};
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    const std::string label =
+        "stage=\"" +
+        std::string(StageName(static_cast<telemetry::Stage>(s))) + "\"";
+    values[s] = CounterValue(family, label);
+  }
+  return values;
+}
+
+std::vector<double> TestValues() {
+  return GenerateDatasetByName("num_plasma", 1u << 16);
+}
+
+PrimacyOptions SmallChunkOptions() {
+  PrimacyOptions options;
+  options.chunk_bytes = 64 * 1024;  // 8 chunks at 1<<16 doubles
+  return options;
+}
+
+TEST(PipelineMetricsTest, EncodeStageStatsMatchRegistryExactly) {
+  const std::vector<double> values = TestValues();
+  const auto before = StageCounters("primacy_encode_stage_ns_total");
+  const std::uint64_t chunks_before =
+      CounterValue("primacy_encode_chunks_total");
+  const std::uint64_t input_before =
+      CounterValue("primacy_encode_input_bytes_total");
+
+  PrimacyStats stats;
+  PrimacyCompressor(SmallChunkOptions()).Compress(values, &stats);
+
+  const auto after = StageCounters("primacy_encode_stage_ns_total");
+  if (!telemetry::kEnabled) {
+    EXPECT_EQ(stats.stage.TotalNs(), 0u);
+    EXPECT_EQ(after, before);
+    return;
+  }
+  // Every lap the encoder charged to its stats was also published, and
+  // nothing else ran in between.
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    EXPECT_EQ(after[s] - before[s], stats.stage.ns[s])
+        << "stage " << StageName(static_cast<telemetry::Stage>(s));
+  }
+  EXPECT_GT(stats.stage.TotalNs(), 0u);
+  EXPECT_EQ(CounterValue("primacy_encode_chunks_total") - chunks_before,
+            stats.chunks);
+  EXPECT_EQ(CounterValue("primacy_encode_input_bytes_total") - input_before,
+            stats.input_bytes);
+}
+
+TEST(PipelineMetricsTest, DecodeStageStatsMatchRegistryExactly) {
+  const std::vector<double> values = TestValues();
+  const Bytes stream = PrimacyCompressor(SmallChunkOptions()).Compress(values);
+
+  const auto before = StageCounters("primacy_decode_stage_ns_total");
+  PrimacyDecodeStats stats;
+  const std::vector<double> restored =
+      PrimacyDecompressor(SmallChunkOptions()).Decompress(stream, &stats);
+  const auto after = StageCounters("primacy_decode_stage_ns_total");
+
+  ASSERT_EQ(restored, values);
+  if (!telemetry::kEnabled) {
+    EXPECT_EQ(stats.stage.TotalNs(), 0u);
+    EXPECT_EQ(after, before);
+    return;
+  }
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    EXPECT_EQ(after[s] - before[s], stats.stage.ns[s])
+        << "stage " << StageName(static_cast<telemetry::Stage>(s));
+  }
+  EXPECT_GT(stats.stage.TotalNs(), 0u);
+}
+
+TEST(PipelineMetricsTest, SerialAndParallelDecodeIdenticalStatsAndMetrics) {
+  const std::vector<double> values = TestValues();
+  const Bytes stream = PrimacyCompressor(SmallChunkOptions()).Compress(values);
+
+  PrimacyOptions serial_options = SmallChunkOptions();
+  serial_options.threads = 1;
+  PrimacyOptions parallel_options = SmallChunkOptions();
+  parallel_options.threads = 4;
+
+  const std::uint64_t chunks0 = CounterValue("primacy_decode_chunks_total");
+  const std::uint64_t bytes0 =
+      CounterValue("primacy_decode_output_bytes_total");
+  PrimacyDecodeStats serial_stats;
+  const auto serial_out =
+      PrimacyDecompressor(serial_options).Decompress(stream, &serial_stats);
+  const std::uint64_t chunks1 = CounterValue("primacy_decode_chunks_total");
+  const std::uint64_t bytes1 =
+      CounterValue("primacy_decode_output_bytes_total");
+  PrimacyDecodeStats parallel_stats;
+  const auto parallel_out =
+      PrimacyDecompressor(parallel_options)
+          .Decompress(stream, &parallel_stats);
+  const std::uint64_t chunks2 = CounterValue("primacy_decode_chunks_total");
+  const std::uint64_t bytes2 =
+      CounterValue("primacy_decode_output_bytes_total");
+
+  EXPECT_EQ(serial_out, parallel_out);
+  EXPECT_EQ(serial_out, values);
+
+  // Data-dependent stats are mode-independent.
+  EXPECT_EQ(serial_stats.chunks_decoded, parallel_stats.chunks_decoded);
+  EXPECT_EQ(serial_stats.output_bytes, parallel_stats.output_bytes);
+  EXPECT_EQ(serial_stats.used_directory, parallel_stats.used_directory);
+  EXPECT_EQ(serial_stats.chunks_verified, parallel_stats.chunks_verified);
+  EXPECT_GT(serial_stats.chunks_decoded, 1u);
+
+  // Both runs publish identical metric deltas (timing counters aside).
+  EXPECT_EQ(chunks1 - chunks0, chunks2 - chunks1);
+  EXPECT_EQ(bytes1 - bytes0, bytes2 - bytes1);
+  if (telemetry::kEnabled) {
+    EXPECT_EQ(chunks1 - chunks0, serial_stats.chunks_decoded);
+    EXPECT_EQ(bytes1 - bytes0, serial_stats.output_bytes);
+    // Both modes run the same decode stages; the heavy ones must register
+    // time in each (exact ns differ — they are timings, not byte counts).
+    for (const telemetry::Stage s :
+         {telemetry::Stage::kSolver, telemetry::Stage::kIsobar,
+          telemetry::Stage::kMerge}) {
+      EXPECT_GT(serial_stats.stage[s], 0u) << StageName(s);
+      EXPECT_GT(parallel_stats.stage[s], 0u) << StageName(s);
+    }
+    // Encode-only stages stay untouched on the decode path.
+    EXPECT_EQ(serial_stats.stage[telemetry::Stage::kSplit], 0u);
+    EXPECT_EQ(parallel_stats.stage[telemetry::Stage::kSplit], 0u);
+  }
+}
+
+TEST(PipelineMetricsTest, StatsMeansSurviveStreamingAccumulation) {
+  // AccumulateChunkStats/FinalizeChunkStatMeans: the mean fields reported
+  // for a multi-chunk stream must be averages, not sums.
+  const std::vector<double> values = TestValues();
+  PrimacyStats stats;
+  PrimacyCompressor(SmallChunkOptions()).Compress(values, &stats);
+  EXPECT_GT(stats.chunks, 1u);
+  EXPECT_GE(stats.mean_compressible_fraction, 0.0);
+  EXPECT_LE(stats.mean_compressible_fraction, 1.0);
+  EXPECT_GE(stats.top_byte_frequency_before, 0.0);
+  EXPECT_LE(stats.top_byte_frequency_before, 1.0);
+  EXPECT_GE(stats.top_byte_frequency_after, 0.0);
+  EXPECT_LE(stats.top_byte_frequency_after, 1.0);
+}
+
+}  // namespace
+}  // namespace primacy

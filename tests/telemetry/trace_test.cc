@@ -1,0 +1,97 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace primacy::telemetry {
+namespace {
+
+#if !PRIMACY_TELEMETRY_ENABLED
+
+TEST(TraceTest, StubsRecordNothing) {
+  SetTracingEnabled(true);
+  { TraceSpan span("stub.span"); }
+  EXPECT_TRUE(SnapshotTraceEvents().empty());
+  EXPECT_EQ(RenderChromeTrace(), "{\"traceEvents\": []}\n");
+}
+
+#else
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTracingEnabled(true);
+    ClearTraceBuffers();
+  }
+  void TearDown() override {
+    SetTracingEnabled(false);
+    ClearTraceBuffers();
+  }
+};
+
+TEST_F(TraceTest, DisabledTracingRecordsNothing) {
+  SetTracingEnabled(false);
+  { TraceSpan span("trace_test.disabled"); }
+  EXPECT_TRUE(SnapshotTraceEvents().empty());
+}
+
+TEST_F(TraceTest, NestedSpansRecordContainment) {
+  {
+    TraceSpan outer("trace_test.outer", "arg", 7);
+    { TraceSpan inner("trace_test.inner"); }
+  }
+  const std::vector<TraceEvent> events = SnapshotTraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans complete innermost-first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_STREQ(inner.name, "trace_test.inner");
+  EXPECT_STREQ(outer.name, "trace_test.outer");
+  EXPECT_STREQ(outer.arg_name, "arg");
+  EXPECT_EQ(outer.arg_value, 7u);
+  EXPECT_EQ(inner.arg_name, nullptr);
+  // Containment: the inner span starts no earlier and ends no later.
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+  EXPECT_EQ(inner.tid, outer.tid);
+}
+
+TEST_F(TraceTest, RingKeepsNewestEventsOnOverflow) {
+  for (std::size_t i = 0; i < kTraceRingCapacity + 100; ++i) {
+    TraceSpan span("trace_test.overflow", "i", i);
+  }
+  const std::vector<TraceEvent> events = SnapshotTraceEvents();
+  ASSERT_EQ(events.size(), kTraceRingCapacity);
+  // Oldest-first per thread; the first 100 spans were evicted.
+  EXPECT_EQ(events.front().arg_value, 100u);
+  EXPECT_EQ(events.back().arg_value, kTraceRingCapacity + 99);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonHasCompleteEvents) {
+  { TraceSpan span("trace_test.render", "bytes", 123); }
+  const std::string json = RenderChromeTrace();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.find('{'), json.rfind("{\"traceEvents\""));
+  EXPECT_NE(json.find("\"name\": \"trace_test.render\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);  // complete event
+  EXPECT_NE(json.find("\"bytes\": 123"), std::string::npos);
+  // Balanced braces — a cheap structural sanity check on the exporter.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(TraceTest, ClearTraceBuffersDropsEverything) {
+  { TraceSpan span("trace_test.cleared"); }
+  ASSERT_FALSE(SnapshotTraceEvents().empty());
+  ClearTraceBuffers();
+  EXPECT_TRUE(SnapshotTraceEvents().empty());
+}
+
+#endif  // PRIMACY_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace primacy::telemetry

@@ -1,0 +1,72 @@
+#include "util/timer.h"
+
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace primacy {
+namespace {
+
+TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotone) {
+  const WallTimer timer;
+  const std::uint64_t first = timer.ElapsedNs();
+  const std::uint64_t second = timer.ElapsedNs();
+  EXPECT_GE(timer.Seconds(), 0.0);
+  EXPECT_GE(second, first);
+}
+
+TEST(WallTimerTest, MeasuresASleep) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Sleeps may overshoot but never undershoot the requested duration.
+  EXPECT_GE(timer.ElapsedNs(), 5'000'000u);
+  EXPECT_GE(timer.Seconds(), 0.005);
+}
+
+TEST(WallTimerTest, ResetRestartsTheClock) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.Reset();
+  EXPECT_LT(timer.Seconds(), 0.005);
+}
+
+TEST(ThroughputMBpsTest, ZeroBytesIsZeroRegardlessOfTime) {
+  EXPECT_EQ(ThroughputMBps(0, 1.0), 0.0);
+  EXPECT_EQ(ThroughputMBps(0, 0.0), 0.0);
+}
+
+TEST(ThroughputMBpsTest, NonPositiveOrNanSecondsIsZeroNotInf) {
+  EXPECT_EQ(ThroughputMBps(1'000'000, 0.0), 0.0);
+  EXPECT_EQ(ThroughputMBps(1'000'000, -1.0), 0.0);
+  EXPECT_EQ(ThroughputMBps(1'000'000,
+                           std::numeric_limits<double>::quiet_NaN()),
+            0.0);
+}
+
+TEST(ThroughputMBpsTest, DecimalMegabytes) {
+  EXPECT_DOUBLE_EQ(ThroughputMBps(2'000'000, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(ThroughputMBps(500'000, 0.5), 1.0);
+}
+
+TEST(SafeRateBpsTest, ZeroBytesIsZero) {
+  EXPECT_EQ(SafeRateBps(0, 0.0), 0.0);
+  EXPECT_EQ(SafeRateBps(0, 5.0), 0.0);
+}
+
+TEST(SafeRateBpsTest, ClampsDegenerateTimesToOneNanosecond) {
+  EXPECT_DOUBLE_EQ(SafeRateBps(100, 0.0), 100.0 / 1e-9);
+  EXPECT_DOUBLE_EQ(SafeRateBps(100, -3.0), 100.0 / 1e-9);
+  EXPECT_DOUBLE_EQ(
+      SafeRateBps(100, std::numeric_limits<double>::quiet_NaN()),
+      100.0 / 1e-9);
+}
+
+TEST(SafeRateBpsTest, NormalRatesPassThrough) {
+  EXPECT_DOUBLE_EQ(SafeRateBps(100, 2.0), 50.0);
+  EXPECT_DOUBLE_EQ(SafeRateBps(1'000'000, 0.25), 4'000'000.0);
+}
+
+}  // namespace
+}  // namespace primacy
