@@ -134,12 +134,17 @@ int Metrics(const char* path) {
                  "note: built with PRIMACY_TELEMETRY=OFF; all metrics "
                  "read zero\n");
   }
+  // threads = 2 engages the process-wide SharedThreadPool so the
+  // primacy_pool_* series (labeled pool="shared") show up in the dump.
+  PrimacyOptions options;
+  options.threads = 2;
   if (path != nullptr) {
-    PrimacyDecompressor().DecompressBytes(ReadFile(path));
+    PrimacyDecompressor(options).DecompressBytes(ReadFile(path));
   } else {
+    options.chunk_bytes = 256 * 1024;  // several chunks -> parallel paths
     const auto values = GenerateDatasetByName("num_plasma", 1u << 18);
-    const Bytes stream = PrimacyCompressor().Compress(values);
-    PrimacyDecompressor().Decompress(stream);
+    const Bytes stream = PrimacyCompressor(options).Compress(values);
+    PrimacyDecompressor(options).Decompress(stream);
   }
   std::fputs(telemetry::MetricsRegistry::Global().RenderPrometheus().c_str(),
              stdout);

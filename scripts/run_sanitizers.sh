@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Local reproduction of CI's sanitizer matrix: one build tree per flavor
+# (address, undefined, thread), each running the tier-1 suite plus the
+# corruption harness and the concurrency stress tests — the same three
+# named passes the CI `sanitize` job runs.
+# Usage: scripts/run_sanitizers.sh [flavor...]   (default: all three)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FLAVORS=("$@")
+if [ "${#FLAVORS[@]}" -eq 0 ]; then
+  FLAVORS=(address undefined thread)
+fi
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+
+for flavor in "${FLAVORS[@]}"; do
+  case "$flavor" in
+    address|undefined|thread) ;;
+    *) echo "unknown sanitizer flavor: $flavor" >&2; exit 2 ;;
+  esac
+  build_dir="build-$flavor"
+  echo "=== $flavor ($build_dir) ==="
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPRIMACY_SANITIZE="$flavor" \
+    -DPRIMACY_BUILD_BENCH=OFF \
+    -DPRIMACY_BUILD_EXAMPLES=OFF
+  cmake --build "$build_dir" -j "$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure -R 'CorruptionFuzz'
+  ctest --test-dir "$build_dir" --output-on-failure -R 'Stress|MetricsRegistry'
+done
+echo "sanitizer matrix complete: ${FLAVORS[*]}"

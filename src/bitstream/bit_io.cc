@@ -6,7 +6,7 @@ namespace primacy {
 
 void BitWriter::WriteBits(std::uint64_t value, unsigned count) {
   if (count > 57) throw InvalidArgumentError("BitWriter: count > 57");
-  if (count < 64) value &= (1ULL << count) - 1;
+  value &= (1ULL << count) - 1;  // count <= 57, so the shift cannot overflow
   accumulator_ |= value << pending_bits_;
   pending_bits_ += count;
   bit_count_ += count;
@@ -53,8 +53,7 @@ std::uint64_t BitReader::ReadBits(unsigned count) {
   if (available_bits_ < count) {
     throw CorruptStreamError("BitReader: stream exhausted");
   }
-  const std::uint64_t value =
-      count < 64 ? (accumulator_ & ((1ULL << count) - 1)) : accumulator_;
+  const std::uint64_t value = accumulator_ & ((1ULL << count) - 1);
   accumulator_ >>= count;
   available_bits_ -= count;
   bits_consumed_ += count;
@@ -64,10 +63,13 @@ std::uint64_t BitReader::ReadBits(unsigned count) {
 std::uint64_t BitReader::PeekBits(unsigned count) {
   if (count > 57) throw InvalidArgumentError("BitReader: count > 57");
   Refill();
-  return count < 64 ? (accumulator_ & ((1ULL << count) - 1)) : accumulator_;
+  return accumulator_ & ((1ULL << count) - 1);
 }
 
 void BitReader::SkipBits(unsigned count) {
+  // Same ceiling as ReadBits: without it a count >= 64 reaches the
+  // accumulator shift below, which is undefined for a 64-bit operand.
+  if (count > 57) throw InvalidArgumentError("BitReader: count > 57");
   Refill();
   if (available_bits_ < count) {
     throw CorruptStreamError("BitReader::SkipBits: stream exhausted");

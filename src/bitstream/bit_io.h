@@ -53,7 +53,7 @@ class BitReader {
   /// the end of the stream read as zero (standard deflate-style peeking).
   std::uint64_t PeekBits(unsigned count);
 
-  /// Consumes `count` bits previously observed via PeekBits.
+  /// Consumes `count` (<= 57) bits previously observed via PeekBits.
   void SkipBits(unsigned count);
 
   /// Discards bits up to the next byte boundary.

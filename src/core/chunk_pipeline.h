@@ -46,7 +46,8 @@ void FinalizeChunkStatMeans(PrimacyStats& totals);
 
 class ChunkEncoder {
  public:
-  /// `solver` must outlive the encoder.
+  /// `solver` must outlive the encoder; `options` is copied (so a temporary
+  /// is fine — ASan caught a dangling reference from exactly that).
   ChunkEncoder(const PrimacyOptions& options, const Codec& solver);
 
   /// Encodes one chunk (native element layout, size = multiple of the
@@ -57,7 +58,7 @@ class ChunkEncoder {
   void Reset();
 
  private:
-  const PrimacyOptions& options_;
+  const PrimacyOptions options_;
   const Codec& solver_;
   std::optional<PairFrequency> prev_freq_;
   std::optional<IdIndex> prev_index_;

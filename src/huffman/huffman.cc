@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <iterator>
+#include <limits>
 #include <utility>
 
 #include "bitstream/byte_io.h"
@@ -38,6 +39,11 @@ std::vector<std::uint8_t> BuildCodeLengths(
     std::span<const std::uint64_t> frequencies, unsigned max_length) {
   if (max_length == 0 || max_length > kMaxHuffmanCodeLength) {
     throw InvalidArgumentError("BuildCodeLengths: bad max_length");
+  }
+  // Symbols are carried as u32 throughout package-merge; reject alphabets
+  // the index type cannot represent before the loop below wraps.
+  if (frequencies.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw InvalidArgumentError("BuildCodeLengths: alphabet too large");
   }
   std::vector<std::uint8_t> lengths(frequencies.size(), 0);
 
@@ -138,6 +144,12 @@ void HuffmanEncoder::Encode(BitWriter& writer, std::size_t symbol) const {
 }
 
 HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
+  // Table entries store the symbol as u16; a larger alphabet would decode
+  // to silently-truncated symbols. The lengths come off the wire, so this
+  // is a stream-validity error, not a programming error.
+  if (lengths.size() > std::numeric_limits<std::uint16_t>::max() + 1u) {
+    throw CorruptStreamError("HuffmanDecoder: alphabet too large");
+  }
   for (const std::uint8_t len : lengths) {
     if (len > kMaxHuffmanCodeLength) {
       throw CorruptStreamError("HuffmanDecoder: length > max");

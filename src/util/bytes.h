@@ -50,11 +50,13 @@ std::vector<T> FromBytes(ByteSpan raw) {
 /// Build a Bytes buffer from a string literal (test convenience).
 inline Bytes BytesFromString(const std::string& text) {
   Bytes out(text.size());
-  std::memcpy(out.data(), text.data(), text.size());
+  // Empty-input guard: memcpy requires non-null pointers even for size 0.
+  if (!text.empty()) std::memcpy(out.data(), text.data(), text.size());
   return out;
 }
 
 inline std::string StringFromBytes(ByteSpan raw) {
+  if (raw.empty()) return std::string();
   return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
 }
 

@@ -5,15 +5,19 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <map>
 
 #include "telemetry/metrics.h"
+#include "util/error.h"
 #include "util/timer.h"
 
 namespace primacy {
-namespace {
+namespace internal {
 
-/// Pool-wide metrics, resolved once. Utilization = busy_ns / (workers *
-/// wall); wait = enqueue-to-start latency (scheduling delay + queueing).
+/// Per-pool-name metrics, resolved once per name. Utilization = busy_ns /
+/// (workers * wall); wait = enqueue-to-start latency (scheduling delay +
+/// queueing). Series carry a `pool="<name>"` label so concurrent pools
+/// (shared + nested in-situ) never collapse into one series.
 struct PoolMetrics {
   telemetry::Gauge& workers;
   telemetry::Gauge& queue_depth;
@@ -22,34 +26,67 @@ struct PoolMetrics {
   telemetry::Histogram& wait_us;
   telemetry::Histogram& run_us;
 
-  static PoolMetrics& Get() {
+  static PoolMetrics* ForName(const std::string& name) {
     static constexpr std::array<double, 7> kLatencyBoundsUs = {
         10.0, 100.0, 1000.0, 10000.0, 100000.0, 1e6, 1e7};
+    // One instance per distinct pool name, never destroyed: the registry
+    // references must outlive every pool, including the leaked shared one.
+    static std::mutex mutex;
+    static std::map<std::string, PoolMetrics*>* instances =
+        new std::map<std::string, PoolMetrics*>();
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = instances->find(name);
+    if (it != instances->end()) return it->second;
+    const std::string labels = "pool=\"" + name + "\"";
     auto& registry = telemetry::MetricsRegistry::Global();
-    static PoolMetrics metrics{
-        registry.GetGauge("primacy_pool_workers"),
-        registry.GetGauge("primacy_pool_queue_depth"),
-        registry.GetCounter("primacy_pool_tasks_total"),
-        registry.GetCounter("primacy_pool_busy_ns_total"),
-        registry.GetHistogram("primacy_pool_task_wait_us", kLatencyBoundsUs),
-        registry.GetHistogram("primacy_pool_task_run_us", kLatencyBoundsUs),
+    auto* metrics = new PoolMetrics{
+        registry.GetGauge("primacy_pool_workers", labels),
+        registry.GetGauge("primacy_pool_queue_depth", labels),
+        registry.GetCounter("primacy_pool_tasks_total", labels),
+        registry.GetCounter("primacy_pool_busy_ns_total", labels),
+        registry.GetHistogram("primacy_pool_task_wait_us", kLatencyBoundsUs,
+                              labels),
+        registry.GetHistogram("primacy_pool_task_run_us", kLatencyBoundsUs,
+                              labels),
     };
+    instances->emplace(name, metrics);
     return metrics;
   }
 };
 
+}  // namespace internal
+
+namespace {
+
+bool ValidPoolName(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, std::string_view name)
+    : name_(name) {
+  if (!ValidPoolName(name_)) {
+    throw InvalidArgumentError(
+        "ThreadPool: pool name must match [A-Za-z0-9_.-]+ (it becomes a "
+        "Prometheus label value)");
+  }
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if constexpr (telemetry::kEnabled) {
+    metrics_ = internal::PoolMetrics::ForName(name_);
+    metrics_->workers.Add(static_cast<std::int64_t>(num_threads));
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
-  }
-  if constexpr (telemetry::kEnabled) {
-    PoolMetrics::Get().workers.Add(static_cast<std::int64_t>(num_threads));
   }
 }
 
@@ -61,26 +98,25 @@ ThreadPool::~ThreadPool() {
   cv_.notify_all();
   for (auto& worker : workers_) worker.join();
   if constexpr (telemetry::kEnabled) {
-    PoolMetrics::Get().workers.Add(
-        -static_cast<std::int64_t>(workers_.size()));
+    metrics_->workers.Add(-static_cast<std::int64_t>(workers_.size()));
   }
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   if constexpr (telemetry::kEnabled) {
-    PoolMetrics& metrics = PoolMetrics::Get();
-    metrics.queue_depth.Add(1);
-    metrics.tasks.Increment();
+    internal::PoolMetrics* metrics = metrics_;
+    metrics->queue_depth.Add(1);
+    metrics->tasks.Increment();
     WallTimer enqueue_timer;
-    task = [inner = std::move(task), enqueue_timer, &metrics] {
-      metrics.queue_depth.Add(-1);
-      metrics.wait_us.Observe(static_cast<double>(enqueue_timer.ElapsedNs()) /
-                              1e3);
+    task = [inner = std::move(task), enqueue_timer, metrics] {
+      metrics->queue_depth.Add(-1);
+      metrics->wait_us.Observe(static_cast<double>(enqueue_timer.ElapsedNs()) /
+                               1e3);
       WallTimer run_timer;
       inner();
       const std::uint64_t run_ns = run_timer.ElapsedNs();
-      metrics.busy_ns.Increment(run_ns);
-      metrics.run_us.Observe(static_cast<double>(run_ns) / 1e3);
+      metrics->busy_ns.Increment(run_ns);
+      metrics->run_us.Observe(static_cast<double>(run_ns) / 1e3);
     };
   }
   {
@@ -188,7 +224,7 @@ void ThreadPool::ParallelForSlots(
 ThreadPool& SharedThreadPool() {
   // Deliberately leaked: joining workers from a static destructor can race
   // the teardown of other globals the queued tasks still reference.
-  static ThreadPool* pool = new ThreadPool(0);
+  static ThreadPool* pool = new ThreadPool(0, "shared");
   return *pool;
 }
 

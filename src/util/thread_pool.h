@@ -13,16 +13,26 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 namespace primacy {
 
+namespace internal {
+struct PoolMetrics;  // per-pool-name telemetry series (thread_pool.cc)
+}  // namespace internal
+
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency
-  /// (minimum 1).
-  explicit ThreadPool(std::size_t num_threads = 0);
+  /// (minimum 1). `name` labels this pool's telemetry series
+  /// (`primacy_pool_*{pool="<name>"}`) so nested in-situ pools stay
+  /// distinguishable; it must match [A-Za-z0-9_.-]+. Pools sharing a name
+  /// share series.
+  explicit ThreadPool(std::size_t num_threads = 0,
+                      std::string_view name = "pool");
 
   /// Drains the queue and joins all workers.
   ~ThreadPool();
@@ -31,6 +41,9 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t num_threads() const { return workers_.size(); }
+
+  /// Telemetry label for this pool's `primacy_pool_*` series.
+  const std::string& name() const { return name_; }
 
   /// Schedules `fn` and returns a future for its result. Exceptions thrown by
   /// the task are delivered through the future.
@@ -73,6 +86,8 @@ class ThreadPool {
   /// queue was empty.
   bool RunOneTask();
 
+  std::string name_;
+  internal::PoolMetrics* metrics_ = nullptr;  // per-name, process-lifetime
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;

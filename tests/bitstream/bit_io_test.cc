@@ -63,8 +63,21 @@ TEST(BitIoTest, ZeroWidthWriteAndReadAreNoops) {
 TEST(BitIoTest, WidthAboveLimitRejected) {
   BitWriter writer;
   EXPECT_THROW(writer.WriteBits(0, 58), InvalidArgumentError);
-  BitReader reader(Bytes(16));
+  const Bytes buffer(16);  // named: BitReader only views the bytes
+  BitReader reader(buffer);
   EXPECT_THROW(reader.ReadBits(58), InvalidArgumentError);
+  EXPECT_THROW(reader.PeekBits(58), InvalidArgumentError);
+}
+
+TEST(BitIoTest, SkipWidthAboveLimitRejected) {
+  // SkipBits shares ReadBits's 57-bit ceiling: with a full accumulator a
+  // skip of 64 would otherwise hit an undefined full-width shift.
+  const Bytes buffer(16);  // named: BitReader only views the bytes
+  BitReader reader(buffer);
+  EXPECT_THROW(reader.SkipBits(58), InvalidArgumentError);
+  EXPECT_THROW(reader.SkipBits(64), InvalidArgumentError);
+  reader.SkipBits(57);
+  EXPECT_EQ(reader.BitsConsumed(), 57u);
 }
 
 TEST(BitIoTest, ReadPastEndThrows) {

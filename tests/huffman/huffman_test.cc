@@ -109,6 +109,15 @@ TEST(BuildCodeLengthsTest, AlphabetTooLargeForMaxLengthThrows) {
   EXPECT_THROW(BuildCodeLengths(freq, 16), InvalidArgumentError);
 }
 
+TEST(HuffmanDecoderTest, OversizedWireAlphabetRejected) {
+  // Table entries hold u16 symbols; a 2^16+1 length vector off the wire
+  // must be rejected rather than decoded with truncated symbol ids.
+  std::vector<std::uint8_t> lengths(65537, 0);
+  lengths[0] = 1;
+  lengths[1] = 1;
+  EXPECT_THROW(HuffmanDecoder{lengths}, CorruptStreamError);
+}
+
 TEST(HuffmanRoundTripTest, EncodesAndDecodesSkewedStream) {
   Rng rng(3);
   std::vector<std::uint64_t> freq(64, 0);

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""clang-format gate, check-only — never rewrites a file.
+
+Default: checks every tracked C++ file under the first-party directories.
+With --changed-only BASE, checks only files that differ from the merge-base
+with BASE (plus uncommitted changes) — the mode CI uses so a formatting
+opinion change in clang-format never blocks an unrelated PR.
+
+Usage:
+  tools/check_format.py [--clang-format clang-format-18] [--changed-only main]
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+CHECKED_DIRS = ("src", "examples", "bench", "tests", "tools")
+EXTENSIONS = (".cc", ".h", ".cpp")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def git_lines(root, *argv):
+    proc = subprocess.run(
+        ["git", "-C", root, *argv], stdout=subprocess.PIPE, text=True, check=True
+    )
+    return [line for line in proc.stdout.splitlines() if line]
+
+
+def candidate_files(root, changed_only):
+    if changed_only:
+        merge_base = git_lines(root, "merge-base", changed_only, "HEAD")[0]
+        files = set(
+            git_lines(root, "diff", "--name-only", "--diff-filter=ACMR", merge_base)
+        )
+        files |= set(git_lines(root, "diff", "--name-only", "--diff-filter=ACMR"))
+    else:
+        files = set(git_lines(root, "ls-files"))
+    return sorted(
+        f
+        for f in files
+        if f.startswith(tuple(d + "/" for d in CHECKED_DIRS))
+        and f.endswith(EXTENSIONS)
+        and os.path.exists(os.path.join(root, f))
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang-format", default="clang-format")
+    parser.add_argument(
+        "--changed-only",
+        metavar="BASE",
+        help="check only files changed since merge-base with BASE",
+    )
+    args = parser.parse_args()
+
+    root = repo_root()
+    files = candidate_files(root, args.changed_only)
+    if not files:
+        print("check_format: nothing to check")
+        return 0
+
+    bad = []
+    for rel in files:
+        proc = subprocess.run(
+            [args.clang_format, "--dry-run", "--Werror", os.path.join(root, rel)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        if proc.returncode != 0:
+            bad.append(rel)
+            print(proc.stdout, end="" if proc.stdout.endswith("\n") else "\n")
+
+    if bad:
+        print(f"check_format: {len(bad)}/{len(files)} files need formatting:")
+        for rel in bad:
+            print(f"  clang-format -i {rel}")
+        return 1
+    print(f"check_format: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""clang-tidy driver for the `tidy` CMake target.
+
+Reads compile_commands.json from the build directory, keeps the entries for
+first-party translation units (src/, examples/, bench/), and runs clang-tidy
+over them in parallel with the repo's .clang-tidy profile. Exit status is
+non-zero iff any file produced a diagnostic, so CI and
+`cmake --build build --target tidy` gate identically.
+
+Usage:
+  tools/run_tidy.py -p build [--clang-tidy clang-tidy-18] [-j N] [files...]
+
+Passing explicit files restricts the run (used by pre-commit style hooks);
+files outside the compile database are reported and skipped.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import subprocess
+import sys
+
+#: Directories (relative to the repo root) whose translation units are gated.
+GATED_DIRS = ("src", "examples", "bench")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_database(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(path):
+        sys.exit(
+            f"error: {path} not found — configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the default) first"
+        )
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def gated_sources(database, root):
+    """First-party TU paths from the compile database, deduplicated."""
+    prefixes = tuple(os.path.join(root, d) + os.sep for d in GATED_DIRS)
+    seen = []
+    for entry in database:
+        source = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"])
+        )
+        if source.startswith(prefixes) and source not in seen:
+            seen.append(source)
+    return seen
+
+
+def run_one(clang_tidy, build_dir, source):
+    proc = subprocess.run(
+        [clang_tidy, "--quiet", "-p", build_dir, source],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return source, proc.returncode, proc.stdout
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-p", "--build-dir", default="build")
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("files", nargs="*")
+    args = parser.parse_args()
+
+    root = repo_root()
+    database = load_database(args.build_dir)
+    sources = gated_sources(database, root)
+    if args.files:
+        requested = {os.path.normpath(os.path.abspath(f)) for f in args.files}
+        missing = requested - set(sources)
+        for path in sorted(missing):
+            print(f"note: {path} not in the gated compile database; skipped")
+        sources = [s for s in sources if s in requested]
+    if not sources:
+        print("run_tidy: no gated translation units to check")
+        return 0
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        futures = [
+            pool.submit(run_one, args.clang_tidy, args.build_dir, source)
+            for source in sources
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            source, code, output = future.result()
+            if code != 0 or output.strip():
+                failures += 1
+                rel = os.path.relpath(source, root)
+                print(f"--- clang-tidy: {rel}")
+                print(output, end="" if output.endswith("\n") else "\n")
+
+    checked = len(sources)
+    if failures:
+        print(f"run_tidy: {failures}/{checked} files with diagnostics")
+        return 1
+    print(f"run_tidy: {checked} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
