@@ -1,0 +1,173 @@
+// Extension bench: the decoded-block cache on hot range reads. A fixed-seed
+// set of range reads — one per chunk, at a random offset inside it — is run
+// against one compressed stream under four configurations: cache off (the
+// seed read path), cold cache (every chunk a first touch), warm cache
+// (repeat passes, every chunk resident), and a deliberately undersized
+// cache that thrashes. Every configuration's output is hash-checked against
+// the uncached decode, so the speedups reported are for byte-identical
+// results.
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/builtin_codecs.h"
+#include "util/checksum.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace primacy;
+
+constexpr std::size_t kChunkBytes = 16 * 1024;  // 2048 doubles per chunk
+constexpr std::size_t kChunkElements = kChunkBytes / 8;
+constexpr std::size_t kRangeElements = kChunkElements / 2;
+constexpr int kWarmPasses = 5;
+
+/// One in-chunk range per whole chunk, at a fixed-seed random offset, so a
+/// pass over a fresh cache misses every chunk exactly once and a repeat
+/// pass hits every chunk.
+std::vector<std::uint64_t> MakeRanges(std::size_t elements) {
+  std::vector<std::uint64_t> firsts;
+  std::uint64_t state = 0x243f6a8885a308d3ULL;
+  for (std::size_t c = 0; (c + 1) * kChunkElements <= elements; ++c) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    firsts.push_back(c * kChunkElements + (state >> 17) % kRangeElements);
+  }
+  return firsts;
+}
+
+struct PassResult {
+  double seconds = 0.0;
+  PrimacyDecodeStats totals;
+  std::uint64_t output_hash = 0;  // chained across ranges, order-sensitive
+};
+
+/// One pass over every range. The per-range hashes are chained so any
+/// wrong byte in any range under any configuration changes the result.
+PassResult RunPass(const PrimacyDecompressor& decompressor, ByteSpan stream,
+                   const std::vector<std::uint64_t>& ranges) {
+  PassResult result;
+  WallTimer timer;
+  for (const std::uint64_t first : ranges) {
+    PrimacyDecodeStats stats;
+    const Bytes out =
+        decompressor.DecompressBytesRange(stream, first, kRangeElements, &stats);
+    result.output_hash = Xxh64(out, result.output_hash);
+    result.totals.chunks_decoded += stats.chunks_decoded;
+    result.totals.cache_hits += stats.cache_hits;
+    result.totals.cache_misses += stats.cache_misses;
+    result.totals.output_bytes += stats.output_bytes;
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+double PassMBps(const PassResult& pass) {
+  return ThroughputMBps(pass.totals.output_bytes, pass.seconds);
+}
+
+void Report(primacy::bench::BenchReport& report, const char* label,
+            const PassResult& pass, const DecodedBlockCache* cache) {
+  CacheStatsSnapshot snapshot;
+  if (cache != nullptr) snapshot = cache->Stats();
+  std::printf("%-10s %10.4fs %10.1f MB/s %8zu hits %8zu misses %8zu evict\n",
+              label, pass.seconds, PassMBps(pass), pass.totals.cache_hits,
+              pass.totals.cache_misses, snapshot.evictions);
+  report.AddEntry(label)
+      .Set("seconds", pass.seconds)
+      .Set("read_mbps", PassMBps(pass))
+      .Set("output_bytes", pass.totals.output_bytes)
+      .Set("chunks_decoded", pass.totals.chunks_decoded)
+      .Set("cache_hits", pass.totals.cache_hits)
+      .Set("cache_misses", pass.totals.cache_misses)
+      .Set("cache_hit_ratio", snapshot.HitRatio())
+      .Set("cache_evictions", snapshot.evictions)
+      .Set("cache_resident_bytes", snapshot.bytes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
+  RegisterBuiltinCodecs();
+  bench::PrintHeader(
+      "Extension: decoded-block cache on hot range reads",
+      "beyond Shah et al. — repeated partial restores from one checkpoint");
+
+  const auto& values = bench::DatasetValues("gts_phi_l");
+  PrimacyOptions compress;
+  compress.chunk_bytes = kChunkBytes;
+  const Bytes stream = PrimacyCompressor(compress).Compress(values);
+  const std::vector<std::uint64_t> ranges = MakeRanges(values.size());
+  std::printf("dataset gts_phi_l: %zu doubles, %zu chunks of %zu KiB; one "
+              "%zu-element read per chunk per pass\n\n",
+              values.size(), ranges.size(), kChunkBytes / 1024,
+              kRangeElements);
+
+  bench::BenchReport report("cache");
+
+  // -- Cache off: the seed read path, run twice (no warm effect). ----------
+  const PrimacyDecompressor uncached(compress);
+  const PassResult off_a = RunPass(uncached, stream, ranges);
+  const PassResult off = RunPass(uncached, stream, ranges);
+  Report(report, "off", off, nullptr);
+
+  // -- Cold then warm: default-capacity cache, same decompressor. ----------
+  PrimacyOptions cached_options = compress;
+  cached_options.cache.enabled = true;
+  const PrimacyDecompressor cached(cached_options);
+  const PassResult cold = RunPass(cached, stream, ranges);
+  Report(report, "cold", cold, cached.cache().get());
+  // Warm throughput summed over several passes (each one is fast).
+  PassResult warm = RunPass(cached, stream, ranges);
+  for (int i = 1; i < kWarmPasses; ++i) {
+    const PassResult repeat = RunPass(cached, stream, ranges);
+    warm.seconds += repeat.seconds;
+    warm.totals.output_bytes += repeat.totals.output_bytes;
+    warm.totals.cache_hits += repeat.totals.cache_hits;
+    warm.totals.cache_misses += repeat.totals.cache_misses;
+    if (repeat.output_hash != warm.output_hash) {
+      std::fprintf(stderr, "FAIL: warm passes disagree\n");
+      return 1;
+    }
+  }
+  Report(report, "warm", warm, cached.cache().get());
+
+  // -- Thrash: capacity for only 2 of the stream's chunks. -----------------
+  PrimacyOptions thrash_options = compress;
+  thrash_options.cache.enabled = true;
+  thrash_options.cache.capacity_bytes = 2 * kChunkBytes;
+  thrash_options.cache.shard_count = 1;
+  const PrimacyDecompressor thrashed(thrash_options);
+  RunPass(thrashed, stream, ranges);  // fill/evict churn
+  const PassResult thrash = RunPass(thrashed, stream, ranges);
+  Report(report, "thrash", thrash, thrashed.cache().get());
+
+  // -- Every configuration produced byte-identical output. -----------------
+  const std::array<const PassResult*, 4> passes = {&off_a, &cold, &warm,
+                                                   &thrash};
+  for (const PassResult* pass : passes) {
+    if (pass->output_hash != off.output_hash) {
+      std::fprintf(stderr, "FAIL: cached output differs from uncached\n");
+      return 1;
+    }
+  }
+
+  const double speedup_vs_cold =
+      warm.seconds > 0.0 ? (kWarmPasses * cold.seconds) / warm.seconds : 0.0;
+  const double speedup_vs_off =
+      warm.seconds > 0.0 ? (kWarmPasses * off.seconds) / warm.seconds : 0.0;
+  bench::PrintRule();
+  std::printf("warm/cold speedup %.1fx, warm/off speedup %.1fx, outputs "
+              "byte-identical across all configurations\n",
+              speedup_vs_cold, speedup_vs_off);
+  report.AddEntry("summary")
+      .Set("warm_over_cold_speedup", speedup_vs_cold)
+      .Set("warm_over_off_speedup", speedup_vs_off)
+      .Set("outputs_match", true)
+      .Set("chunks", ranges.size())
+      .Set("range_elements", kRangeElements);
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include "model/perf_model.h"
 #include "telemetry/stage.h"
 #include "util/error.h"
+#include "util/stats.h"
 #include "util/timer.h"
 
 namespace {
@@ -139,6 +140,7 @@ int main(int argc, char** argv) {
       .Set("dataset", "num_plasma")
       .Set("elements", cal_half.size())
       .Set("stage_telemetry", have_stages)
+      .Set("byte_entropy_bits", ByteEntropyBits(bench::DatasetBytes("num_plasma")))
       .Set("precondition_bps", precondition_bps)
       .Set("compress_bps", compress_bps)
       .Set("decompress_bps", decompress_bps)
@@ -211,6 +213,9 @@ int main(int argc, char** argv) {
         .Set("compress_error_pct", comp_err)
         .Set("decompress_error_pct", decomp_err)
         .Set("postcondition_error_pct", post_err)
+        // Shannon entropy of the raw dataset bytes: the data-dependence the
+        // model ignores, recorded so error outliers can be read against it.
+        .Set("byte_entropy_bits", ByteEntropyBits(bench::DatasetBytes(name)))
         .Set("alpha2", in.alpha2)
         .Set("sigma_ho", in.sigma_ho)
         .Set("sigma_lo", in.sigma_lo);

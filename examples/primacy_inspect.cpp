@@ -14,8 +14,17 @@
 //                                     roundtrip a demo dataset) and dump the
 //                                     telemetry registry in Prometheus text
 //                                     format
+//   ./primacy_inspect [--no-cache] --cache-stats [file]
+//                                     decode the stream (or a demo stream)
+//                                     twice through the decoded-block cache
+//                                     and report per-pass hit/miss counts,
+//                                     the cache snapshot, and the
+//                                     primacy_cache_* metric series;
+//                                     --no-cache disables the cache to show
+//                                     the passthrough baseline
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "bitstream/byte_io.h"
@@ -151,10 +160,90 @@ int Metrics(const char* path) {
   return 0;
 }
 
+/// Decodes the stream twice through a cache-enabled decompressor (unless
+/// use_cache is false — the passthrough baseline) and reports what the
+/// cache did: per-pass hit/miss/decode counts, the shard-summed snapshot,
+/// and the primacy_cache_* series from the telemetry registry.
+int CacheStats(const char* path, bool use_cache) {
+  using namespace primacy;
+  PrimacyOptions options;
+  options.cache.enabled = use_cache;
+  Bytes stream;
+  if (path != nullptr) {
+    stream = ReadFile(path);
+  } else {
+    PrimacyOptions demo;
+    demo.chunk_bytes = 256 * 1024;  // several chunks -> several cache keys
+    const auto values = GenerateDatasetByName("num_plasma", 1u << 18);
+    stream = PrimacyCompressor(demo).Compress(values);
+    std::printf("demo stream: dataset 'num_plasma', %u doubles\n", 1u << 18);
+  }
+
+  const PrimacyDecompressor decompressor(options);
+  std::printf("cache          : %s\n",
+              decompressor.cache() != nullptr ? "enabled" : "disabled");
+  const char* pass_names[2] = {"cold", "warm"};
+  for (const char* pass : pass_names) {
+    PrimacyDecodeStats stats;
+    decompressor.DecompressBytes(stream, &stats);
+    std::printf("%s pass      : %zu chunks decoded, %zu cache hits, "
+                "%zu cache misses\n",
+                pass, stats.chunks_decoded, stats.cache_hits,
+                stats.cache_misses);
+  }
+
+  const auto& cache = decompressor.cache();
+  if (cache == nullptr) {
+    std::printf("no cache snapshot (decode ran uncached)\n");
+    return 0;
+  }
+  const CacheStatsSnapshot snapshot = cache->Stats();
+  if (snapshot.hits + snapshot.misses == 0) {
+    std::printf("stream not cacheable (v1 or stored fallback: no chunk "
+                "directory to key against)\n");
+    return 0;
+  }
+  std::printf("cache snapshot : %zu entries, %zu bytes resident\n",
+              snapshot.entries, snapshot.bytes);
+  std::printf("  hits %zu, misses %zu (ratio %.2f), insertions %zu, "
+              "evictions %zu, rejected %zu\n",
+              snapshot.hits, snapshot.misses, snapshot.HitRatio(),
+              snapshot.insertions, snapshot.evictions, snapshot.rejected);
+
+  if (!telemetry::kEnabled) {
+    std::fprintf(stderr, "note: built with PRIMACY_TELEMETRY=OFF; no "
+                         "primacy_cache_* series\n");
+    return 0;
+  }
+  std::printf("\n");
+  std::istringstream render(
+      telemetry::MetricsRegistry::Global().RenderPrometheus());
+  for (std::string line; std::getline(render, line);) {
+    if (line.find("primacy_cache_") != std::string::npos) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    // --no-cache is a modifier for --cache-stats; strip it first.
+    bool use_cache = true;
+    if (argc >= 2 && std::string(argv[1]) == "--no-cache") {
+      use_cache = false;
+      --argc;
+      ++argv;
+    }
+    if ((argc == 2 || argc == 3) && std::string(argv[1]) == "--cache-stats") {
+      return CacheStats(argc == 3 ? argv[2] : nullptr, use_cache);
+    }
+    if (!use_cache) {
+      std::fprintf(stderr, "error: --no-cache only applies to --cache-stats\n");
+      return 2;
+    }
     if (argc >= 2 && std::string(argv[1]) == "--demo") {
       const std::string dataset = argc > 2 ? argv[2] : "num_plasma";
       const auto values = primacy::GenerateDatasetByName(dataset, 1u << 19);
@@ -181,7 +270,8 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "usage: primacy_inspect <file> | --verify <file> | "
-                 "--demo [dataset] | --metrics [file]\n");
+                 "--demo [dataset] | --metrics [file] | "
+                 "[--no-cache] --cache-stats [file]\n");
     return 2;
   } catch (const primacy::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

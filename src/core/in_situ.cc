@@ -32,6 +32,9 @@ void Accumulate(PrimacyDecodeStats& totals, const PrimacyDecodeStats& s) {
   totals.output_bytes += s.output_bytes;
   totals.used_directory = totals.used_directory || s.used_directory;
   totals.chunks_verified += s.chunks_verified;
+  totals.cache_hits += s.cache_hits;
+  totals.cache_misses += s.cache_misses;
+  totals.prefetch_issued += s.prefetch_issued;
   totals.stage.Accumulate(s.stage);
 }
 

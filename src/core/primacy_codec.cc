@@ -11,6 +11,7 @@
 #include "core/chunk_pipeline.h"
 #include "core/stream_format.h"
 #include "core/streaming.h"
+#include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/checksum.h"
 #include "util/error.h"
@@ -143,6 +144,174 @@ ByteSpan ReadIndexBlock(ByteSpan stream,
   }
 }
 
+/// Content-derived 64-bit identity of a seekable stream: the stream half of
+/// the decoded-block cache key. Hashes the header bytes plus the directory
+/// payload and footer — for v3 the directory embeds every record's content
+/// checksum, so the identity is a function of all payload bytes. v2
+/// directories carry only structure (offsets/counts/flags), so a bounded
+/// sample of each record's bytes is mixed in as well. Streams with equal
+/// content hash equal (correct: their decoded chunks are identical);
+/// distinct streams colliding requires a 64-bit XXH64 collision.
+std::uint64_t StreamCacheIdentity(ByteSpan stream,
+                                  const internal::ChunkDirectory& directory,
+                                  std::size_t chunks_begin) {
+  Xxh64State state;
+  state.Update(stream.first(chunks_begin));
+  state.Update(
+      stream.subspan(static_cast<std::size_t>(directory.directory_offset)));
+  if (!directory.has_checksums) {
+    for (std::size_t c = 0; c < directory.chunks.size(); ++c) {
+      const ByteSpan record = RecordSpan(stream, directory, c);
+      const std::size_t sample = std::min<std::size_t>(record.size(), 16);
+      state.Update(record.first(sample));
+      state.Update(record.last(sample));
+    }
+  }
+  return state.Digest();
+}
+
+/// Seeds `decoder` with the cross-chunk index state chunk `c` decodes
+/// under: a no-op for a full-index chunk, otherwise the
+/// kReuseWhenCorrelated chain is resolved — walk back to the nearest full
+/// index, then replay the delta extensions up to (but not including) `c`.
+/// Only index blocks are read (counted in accounting.index_loads); no chunk
+/// payload is decoded.
+void PrimeDecoderIndex(ByteSpan stream,
+                       const internal::ChunkDirectory& directory,
+                       std::size_t c, ChunkDecoder& decoder, bool verify,
+                       PrimacyDecodeStats& accounting) {
+  if (directory.chunks[c].index_flag == 1) return;
+  std::size_t base = c;
+  while (base > 0 && directory.chunks[base].index_flag != 1) --base;
+  if (directory.chunks[base].index_flag != 1) {
+    ThrowChunkError(c, directory.chunks[c].offset,
+                    "no full index precedes chunk");
+  }
+  IdIndex index =
+      DeserializeIndex(ReadIndexBlock(stream, directory, base, verify));
+  ++accounting.index_loads;
+  for (std::size_t i = base + 1; i < c; ++i) {
+    if (directory.chunks[i].index_flag == 2) {
+      index = index.Extended(DeserializeSequenceList(
+          ReadIndexBlock(stream, directory, i, verify)));
+      ++accounting.index_loads;
+    }
+  }
+  decoder.SetIndex(std::move(index));
+}
+
+/// Sentinel for CachedChunkReader::state_for: the decoder's index state is
+/// not known to match any chunk.
+constexpr std::size_t kNoIndexState = static_cast<std::size_t>(-1);
+
+/// Decodes directory chunks through the decoded-block cache: a hit is a
+/// memcpy of the cached bytes, a miss decodes and inserts the result. With
+/// a null cache this degenerates to exactly the uncached sequential decode
+/// (every chunk a plain DecodeDirectoryChunk, no lookups, no priming beyond
+/// what the caller's first chunk needs).
+///
+/// The subtlety is IndexMode::kReuseWhenCorrelated: skipping a chunk whose
+/// record would have (re)built the decoder's index (flag 1 or 2) leaves the
+/// decoder's cross-chunk state stale for the next miss. `state_for` tracks
+/// which chunk the state is currently valid for; a miss on a reuse/delta
+/// chunk whose state is stale re-primes via PrimeDecoderIndex first.
+struct CachedChunkReader {
+  ByteSpan stream;
+  const internal::ChunkDirectory& directory;
+  DecodedBlockCache* cache;  // null = uncached
+  std::uint64_t stream_id;
+  bool verify;
+  std::size_t state_for;  // chunk the decoder's index state decodes
+
+  /// Decodes chunk `c` into `out`, which must be exactly the chunk's
+  /// decoded extent. Returns true when the record checksum was verified
+  /// (always false for a cache hit — the bytes never re-enter the decoder).
+  bool DecodeChunk(std::size_t c, ChunkDecoder& decoder, MutableByteSpan out,
+                   PrimacyDecodeStats& accounting) {
+    if (cache != nullptr) {
+      if (DecodedBlockCache::Handle handle = cache->Lookup(stream_id, c)) {
+        if (handle.data().size() != out.size()) {
+          ThrowChunkError(c, directory.chunks[c].offset,
+                          "cached chunk size mismatch");
+        }
+        std::memcpy(out.data(), handle.data().data(), out.size());
+        ++accounting.cache_hits;
+        if (directory.chunks[c].index_flag == 0) {
+          // A reuse chunk leaves the index untouched: state valid for c is
+          // equally valid for c + 1. Full/delta chunks rebuild state their
+          // record carries — skipping them leaves the decoder stale.
+          if (state_for == c) state_for = c + 1;
+        } else {
+          state_for = kNoIndexState;
+        }
+        return false;
+      }
+      ++accounting.cache_misses;
+    }
+    if (directory.chunks[c].index_flag != 1 && state_for != c) {
+      PrimeDecoderIndex(stream, directory, c, decoder, verify, accounting);
+    }
+    const bool verified =
+        DecodeDirectoryChunk(stream, directory, c, decoder, out, verify);
+    state_for = c + 1;
+    ++accounting.chunks_decoded;
+    if (cache != nullptr) cache->Insert(stream_id, c, ToBytes(ByteSpan(out)));
+    return verified;
+  }
+};
+
+/// Best-effort adjacent-chunk prefetch after a range read: decodes up to
+/// `prefetch_chunks` chunks past `clast` on the shared pool and inserts
+/// them into `cache`, so a sequential scan's next range call finds them
+/// warm. Only full-index chunks qualify (reuse/delta chunks would need the
+/// caller's chain state), already-resident chunks are skipped, and each
+/// task owns a copy of its record bytes — the caller's stream span may
+/// dangle once the range call returns. Failures (corrupt record, solver
+/// error) are swallowed: the chunk just stays cold, and the demand path
+/// re-verifies and reports there.
+void PrefetchAdjacentChunks(ByteSpan stream,
+                            const internal::ChunkDirectory& directory,
+                            const internal::StreamHeader& header,
+                            const std::shared_ptr<DecodedBlockCache>& cache,
+                            std::uint64_t stream_id, std::size_t clast,
+                            std::size_t prefetch_chunks, bool verify,
+                            PrimacyDecodeStats& accounting) {
+  const std::size_t after = directory.chunks.size() - clast - 1;
+  const std::size_t limit = clast + 1 + std::min(prefetch_chunks, after);
+  for (std::size_t c = clast + 1; c < limit; ++c) {
+    if (directory.chunks[c].index_flag != 1) continue;
+    if (cache->Contains(stream_id, c)) continue;
+    Bytes record = ToBytes(RecordSpan(stream, directory, c));
+    SharedThreadPool().Submit(
+        [record = std::move(record), cache, stream_id, c,
+         solver_name = header.solver_name,
+         linearization = header.linearization, width = header.width,
+         elements = directory.chunks[c].elements,
+         checksum = directory.chunks[c].checksum, verify] {
+          try {
+            if (verify && Xxh64(record) != checksum) return;
+            const auto solver = CreateCodec(solver_name);
+            ChunkDecoder decoder(*solver, linearization, width);
+            ByteReader reader(record);
+            const std::uint64_t n = reader.GetVarint();
+            if (n != elements) return;
+            Bytes decoded(static_cast<std::size_t>(n * width));
+            decoder.DecodeChunkInto(reader, n, decoded);
+            cache->Insert(stream_id, c, std::move(decoded));
+          } catch (...) {
+            // Best effort by contract; the demand path surfaces errors.
+          }
+        });
+    ++accounting.prefetch_issued;
+    if constexpr (telemetry::kEnabled) {
+      static telemetry::Counter& prefetch_total =
+          telemetry::MetricsRegistry::Global().GetCounter(
+              "primacy_cache_prefetch_total");
+      prefetch_total.Increment();
+    }
+  }
+}
+
 /// The tail block of a v2 stream (bytes beyond a whole number of elements),
 /// which sits between the last chunk record and the directory.
 ByteSpan ReadV2Tail(ByteSpan stream, const internal::ChunkDirectory& directory,
@@ -185,6 +354,7 @@ std::vector<std::pair<std::size_t, std::size_t>> IndexGroups(
 /// before decoding.
 Bytes DecodeSeekable(ByteSpan stream, const internal::StreamHeader& header,
                      std::size_t chunks_begin, const PrimacyOptions& options,
+                     DecodedBlockCache* cache,
                      PrimacyDecodeStats& accounting) {
   const std::size_t threads_option = options.threads;
   const internal::ChunkDirectory directory =
@@ -202,22 +372,31 @@ Bytes DecodeSeekable(ByteSpan stream, const internal::StreamHeader& header,
   const std::uint64_t element_bytes = total_elements * header.width;
   const ByteSpan tail =
       ReadV2Tail(stream, directory, element_bytes, header.total_bytes);
+  const std::uint64_t stream_id =
+      cache != nullptr ? StreamCacheIdentity(stream, directory, chunks_begin)
+                       : 0;
 
   Bytes out(static_cast<std::size_t>(header.total_bytes));
   const auto groups = IndexGroups(directory);
-  // Verified chunks per group, folded into the accounting after the
-  // (possibly parallel) decode — workers never touch shared counters.
-  std::vector<std::size_t> verified_per_group(groups.size(), 0);
+  // Per-group accounting (chunks decoded/verified, cache hits/misses),
+  // folded in after the (possibly parallel) decode — workers never touch
+  // shared counters.
+  std::vector<PrimacyDecodeStats> per_group(groups.size());
   const auto decode_group = [&](ChunkDecoder& decoder, std::size_t g) {
     const auto [first, n] = groups[g];
+    // state_for starts at the group's first chunk: groups begin at a full
+    // index (or chunk 0), so the decoder needs no priming there, and a
+    // corrupt flag-0 chunk 0 must fail in the decoder as it always has.
+    CachedChunkReader chunks{stream, directory, cache,
+                             stream_id, verify, first};
     for (std::size_t c = first; c < first + n; ++c) {
-      verified_per_group[g] += DecodeDirectoryChunk(
-          stream, directory, c, decoder,
+      per_group[g].chunks_verified += chunks.DecodeChunk(
+          c, decoder,
           MutableByteSpan(out).subspan(
               static_cast<std::size_t>(starts[c] * header.width),
               static_cast<std::size_t>(directory.chunks[c].elements *
                                        header.width)),
-          verify);
+          per_group[g]);
     }
   };
 
@@ -253,9 +432,12 @@ Bytes DecodeSeekable(ByteSpan stream, const internal::StreamHeader& header,
     for (std::size_t g = 0; g < groups.size(); ++g) decode_group(decoder, g);
     accounting.stage.Accumulate(decoder.stage_breakdown());
   }
-  accounting.chunks_decoded += directory.chunks.size();
-  for (const std::size_t v : verified_per_group) {
-    accounting.chunks_verified += v;
+  for (const PrimacyDecodeStats& g : per_group) {
+    accounting.chunks_decoded += g.chunks_decoded;
+    accounting.chunks_verified += g.chunks_verified;
+    accounting.cache_hits += g.cache_hits;
+    accounting.cache_misses += g.cache_misses;
+    accounting.index_loads += g.index_loads;
   }
 
   if (!tail.empty()) {
@@ -396,7 +578,9 @@ Bytes PrimacyCompressor::CompressBytes(ByteSpan data,
 }
 
 PrimacyDecompressor::PrimacyDecompressor(PrimacyOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      cache_(options_.block_cache != nullptr ? options_.block_cache
+                                             : MakeBlockCache(options_.cache)) {
   RegisterBuiltinCodecs();
 }
 
@@ -428,7 +612,7 @@ Bytes PrimacyDecompressor::DecompressBytes(ByteSpan stream,
     out = ToBytes(raw);
   } else if (header.version >= internal::kFormatVersion2) {
     out = DecodeSeekable(stream, header, reader.Offset(), options_,
-                         accounting);
+                         cache_.get(), accounting);
   } else {
     const auto solver = CreateCodec(header.solver_name);
     const std::uint64_t total_elements = header.total_bytes / header.width;
@@ -551,27 +735,17 @@ Bytes PrimacyDecompressor::DecompressRangeImpl(ByteSpan stream,
   };
   const std::size_t cfirst = chunk_of(first_element);
   const std::size_t clast = chunk_of(first_element + count - 1);
+  const std::uint64_t stream_id =
+      cache_ != nullptr ? StreamCacheIdentity(stream, directory,
+                                              reader.Offset())
+                        : 0;
 
   const auto solver = CreateCodec(header.solver_name);
   ChunkDecoder decoder(*solver, header.linearization, header.width);
-  if (directory.chunks[cfirst].index_flag != 1) {
-    // kReuseWhenCorrelated chain: walk back to the nearest full index, then
-    // replay the delta extensions up to (but not including) cfirst. Only
-    // index blocks are read — no chunk payload is decoded.
-    std::size_t base = cfirst;
-    while (directory.chunks[base].index_flag != 1) --base;  // chunk 0 is full
-    IdIndex index =
-        DeserializeIndex(ReadIndexBlock(stream, directory, base, verify));
-    ++accounting.index_loads;
-    for (std::size_t c = base + 1; c < cfirst; ++c) {
-      if (directory.chunks[c].index_flag == 2) {
-        index = index.Extended(DeserializeSequenceList(
-            ReadIndexBlock(stream, directory, c, verify)));
-        ++accounting.index_loads;
-      }
-    }
-    decoder.SetIndex(std::move(index));
-  }
+  // state_for starts unknown: the first decoded chunk primes the decoder's
+  // index chain (a no-op when it carries a full index).
+  CachedChunkReader chunks{stream,    directory, cache_.get(),
+                           stream_id, verify,    kNoIndexState};
 
   Bytes result(static_cast<std::size_t>(count * width));
   Bytes scratch;
@@ -582,16 +756,16 @@ Bytes PrimacyDecompressor::DecompressRangeImpl(ByteSpan stream,
                               chunk_first + chunk_count <=
                                   first_element + count;
     if (fully_inside) {
-      accounting.chunks_verified += DecodeDirectoryChunk(
-          stream, directory, c, decoder,
+      accounting.chunks_verified += chunks.DecodeChunk(
+          c, decoder,
           MutableByteSpan(result).subspan(
               static_cast<std::size_t>((chunk_first - first_element) * width),
               static_cast<std::size_t>(chunk_count * width)),
-          verify);
+          accounting);
     } else {
       scratch.resize(static_cast<std::size_t>(chunk_count * width));
       accounting.chunks_verified +=
-          DecodeDirectoryChunk(stream, directory, c, decoder, scratch, verify);
+          chunks.DecodeChunk(c, decoder, scratch, accounting);
       const std::uint64_t overlap_first =
           std::max(chunk_first, first_element);
       const std::uint64_t overlap_end =
@@ -601,9 +775,13 @@ Bytes PrimacyDecompressor::DecompressRangeImpl(ByteSpan stream,
           scratch.data() + (overlap_first - chunk_first) * width,
           static_cast<std::size_t>((overlap_end - overlap_first) * width));
     }
-    ++accounting.chunks_decoded;
   }
   accounting.stage.Accumulate(decoder.stage_breakdown());
+  if (cache_ != nullptr && options_.cache.prefetch_chunks > 0) {
+    PrefetchAdjacentChunks(stream, directory, header, cache_, stream_id,
+                           clast, options_.cache.prefetch_chunks, verify,
+                           accounting);
+  }
   return finish(std::move(result));
 }
 

@@ -59,6 +59,7 @@
 #include <memory>
 #include <string>
 
+#include "cache/block_cache.h"
 #include "compress/codec.h"
 #include "core/id_mapper.h"
 #include "isobar/analyzer.h"
@@ -114,6 +115,18 @@ struct PrimacyOptions {
   /// payload's own checksum is always verified — it drives every bounds
   /// computation — regardless of this setting.
   bool verify_checksums = true;
+  /// Decoded-chunk cache knobs (off by default). When enabled, the
+  /// decompressor constructed from these options builds a private
+  /// DecodedBlockCache and serves repeated chunk decodes from it; cached
+  /// results are byte-identical to a cold decode. v1 and stored streams
+  /// are never cached (no chunk directory to key against; stored payloads
+  /// are sliced directly).
+  CacheOptions cache;
+  /// Explicit cache instance, shared across decompressors (a CheckpointReader
+  /// shares one across its per-call decompressors; callers can share one
+  /// across readers). Takes precedence over `cache` — the knobs above are
+  /// only consulted when this is null.
+  std::shared_ptr<DecodedBlockCache> block_cache;
   IsobarOptions isobar;
 };
 
@@ -185,6 +198,14 @@ struct PrimacyDecodeStats {
   /// Chunk records whose checksum was verified before decoding (v3 streams
   /// with verify_checksums on).
   std::size_t chunks_verified = 0;
+  /// Chunks served from the decoded-block cache (no decode work; not
+  /// counted in chunks_decoded) vs. looked up but absent. Both zero when
+  /// no cache is configured.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  /// Adjacent-chunk prefetch tasks handed to the shared pool by this call
+  /// (best effort; completion is not awaited).
+  std::size_t prefetch_issued = 0;
   /// Wall time per decode stage, summed across chunks and decode slots (CPU
   /// time under parallel decode). All-zero when PRIMACY_TELEMETRY=OFF.
   telemetry::StageBreakdown stage;
@@ -222,12 +243,18 @@ class PrimacyDecompressor {
                              std::uint64_t count,
                              PrimacyDecodeStats* stats = nullptr) const;
 
+  /// The decoded-block cache this decompressor reads through: the instance
+  /// supplied in options.block_cache, one built from options.cache, or null
+  /// (uncached). Exposed so callers can inspect Stats() or share it.
+  const std::shared_ptr<DecodedBlockCache>& cache() const { return cache_; }
+
  private:
   Bytes DecompressRangeImpl(ByteSpan stream, std::uint64_t first_element,
                             std::uint64_t count, std::size_t expected_width,
                             PrimacyDecodeStats* stats) const;
 
   PrimacyOptions options_;
+  std::shared_ptr<DecodedBlockCache> cache_;
 };
 
 /// Outcome of a VerifyStream integrity pass.

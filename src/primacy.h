@@ -7,6 +7,7 @@
 // Layered contents:
 //   core preconditioner  — core/primacy_codec.h, core/streaming.h,
 //                          core/in_situ.h
+//   read-path cache      — cache/block_cache.h
 //   solver codecs        — deflate/, lzfast/, bwt/ (byte-level classes) and
 //                          fpc/, fpzip_like/ (predictive comparators),
 //                          registry in compress/
@@ -14,6 +15,7 @@
 //   evaluation substrate — datasets/, model/, hpcsim/
 #pragma once
 
+#include "cache/block_cache.h"     // IWYU pragma: export
 #include "compress/codec.h"        // IWYU pragma: export
 #include "compress/frame.h"        // IWYU pragma: export
 #include "compress/registry.h"     // IWYU pragma: export

@@ -11,6 +11,23 @@ namespace primacy {
 namespace {
 constexpr std::uint32_t kMagic = 0x314b4350;  // "PCK1"
 constexpr std::uint8_t kVersion = 1;
+
+/// Materializes the reader's shared decoded-block cache: an explicit
+/// block_cache instance passes through untouched, otherwise one is built
+/// from the cache knobs (null when disabled). Every decompressor the
+/// reader constructs from these options then shares the same instance.
+PrimacyOptions WithMaterializedCache(PrimacyOptions options) {
+  if (options.block_cache == nullptr) {
+    options.block_cache = MakeBlockCache(options.cache);
+  }
+  return options;
+}
+
+PrimacyOptions SerialOptions(PrimacyOptions options) {
+  options.threads = 1;
+  return options;
+}
+
 }  // namespace
 
 CheckpointWriter::CheckpointWriter(PrimacyOptions options)
@@ -84,7 +101,10 @@ Bytes CheckpointWriter::Finish() {
 }
 
 CheckpointReader::CheckpointReader(ByteSpan file, PrimacyOptions decode_options)
-    : file_(file), decode_options_(std::move(decode_options)) {
+    : file_(file),
+      decode_options_(WithMaterializedCache(std::move(decode_options))),
+      decompressor_(decode_options_),
+      serial_decompressor_(SerialOptions(decode_options_)) {
   if (file.size() < 13) {
     throw CorruptStreamError("checkpoint: file too small");
   }
@@ -126,13 +146,18 @@ CheckpointReader::CheckpointReader(ByteSpan file, PrimacyOptions decode_options)
   if (!footer.AtEnd()) {
     throw CorruptStreamError("checkpoint: trailing footer bytes");
   }
+  by_name_.reserve(variables_.size());
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    by_name_.emplace(variables_[i].name, i);  // first entry wins
+  }
 }
 
 const VariableInfo& CheckpointReader::Find(const std::string& name) const {
-  for (const VariableInfo& info : variables_) {
-    if (info.name == name) return info;
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    throw InvalidArgumentError("checkpoint: no variable named " + name);
   }
-  throw InvalidArgumentError("checkpoint: no variable named " + name);
+  return variables_[it->second];
 }
 
 ByteSpan CheckpointReader::StreamOf(const VariableInfo& info) const {
@@ -145,8 +170,7 @@ std::vector<double> CheckpointReader::ReadDoubles(
   if (info.element_width != 8) {
     throw InvalidArgumentError("checkpoint: " + name + " is single precision");
   }
-  const PrimacyDecompressor decompressor(decode_options_);
-  std::vector<double> values = decompressor.Decompress(StreamOf(info), stats);
+  std::vector<double> values = decompressor_.Decompress(StreamOf(info), stats);
   if (values.size() != info.elements) {
     throw CorruptStreamError("checkpoint: element count mismatch for " + name);
   }
@@ -159,9 +183,8 @@ std::vector<float> CheckpointReader::ReadFloats(const std::string& name,
   if (info.element_width != 4) {
     throw InvalidArgumentError("checkpoint: " + name + " is double precision");
   }
-  const PrimacyDecompressor decompressor(decode_options_);
   std::vector<float> values =
-      decompressor.DecompressSingle(StreamOf(info), stats);
+      decompressor_.DecompressSingle(StreamOf(info), stats);
   if (values.size() != info.elements) {
     throw CorruptStreamError("checkpoint: element count mismatch for " + name);
   }
@@ -175,9 +198,8 @@ std::vector<double> CheckpointReader::ReadDoublesRange(
   if (info.element_width != 8) {
     throw InvalidArgumentError("checkpoint: " + name + " is single precision");
   }
-  const PrimacyDecompressor decompressor(decode_options_);
-  return decompressor.DecompressRange(StreamOf(info), first_element, count,
-                                      stats);
+  return decompressor_.DecompressRange(StreamOf(info), first_element, count,
+                                       stats);
 }
 
 std::vector<float> CheckpointReader::ReadFloatsRange(
@@ -187,18 +209,14 @@ std::vector<float> CheckpointReader::ReadFloatsRange(
   if (info.element_width != 4) {
     throw InvalidArgumentError("checkpoint: " + name + " is double precision");
   }
-  const PrimacyDecompressor decompressor(decode_options_);
-  return decompressor.DecompressRangeSingle(StreamOf(info), first_element,
-                                            count, stats);
+  return decompressor_.DecompressRangeSingle(StreamOf(info), first_element,
+                                             count, stats);
 }
 
 std::vector<Bytes> CheckpointReader::ReadAllRaw(
     PrimacyDecodeStats* stats) const {
   // Variable-parallel restore; each stream decodes serially inside (the
   // outer fan-out already uses the requested concurrency).
-  PrimacyOptions serial = decode_options_;
-  serial.threads = 1;
-  const PrimacyDecompressor decompressor(std::move(serial));
   std::vector<Bytes> raw(variables_.size());
   std::vector<PrimacyDecodeStats> per_variable(variables_.size());
   SharedThreadPool().ParallelForSlots(
@@ -207,7 +225,8 @@ std::vector<Bytes> CheckpointReader::ReadAllRaw(
         telemetry::TraceSpan span("primacy.checkpoint_read", "variable",
                                   static_cast<std::uint64_t>(v));
         const VariableInfo& info = variables_[v];
-        raw[v] = decompressor.DecompressBytes(StreamOf(info), &per_variable[v]);
+        raw[v] =
+            serial_decompressor_.DecompressBytes(StreamOf(info), &per_variable[v]);
         if (raw[v].size() != info.elements * info.element_width) {
           throw CorruptStreamError("checkpoint: element count mismatch for " +
                                    info.name);
@@ -221,6 +240,9 @@ std::vector<Bytes> CheckpointReader::ReadAllRaw(
       totals.output_bytes += s.output_bytes;
       totals.used_directory = totals.used_directory || s.used_directory;
       totals.chunks_verified += s.chunks_verified;
+      totals.cache_hits += s.cache_hits;
+      totals.cache_misses += s.cache_misses;
+      totals.prefetch_issued += s.prefetch_issued;
       totals.stage.Accumulate(s.stage);
     }
     *stats = totals;

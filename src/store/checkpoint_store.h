@@ -15,6 +15,7 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/primacy_codec.h"
@@ -77,7 +78,12 @@ class CheckpointReader {
  public:
   /// `file` must outlive the reader. `decode_options` carries the decode-side
   /// knobs (threads: within-variable parallel decode for the single-variable
-  /// reads, variable-parallel fan-out for ReadAllRaw).
+  /// reads, variable-parallel fan-out for ReadAllRaw; cache: when enabled —
+  /// or when an explicit block_cache instance is supplied — every read path
+  /// of this reader decodes through one shared DecodedBlockCache, so
+  /// repeated range reads over the same variable skip the chunk decode).
+  /// The variable directory, the name-lookup index, and the decompressor
+  /// state are all built here, once, not per read call.
   explicit CheckpointReader(ByteSpan file, PrimacyOptions decode_options = {});
 
   const std::vector<VariableInfo>& variables() const { return variables_; }
@@ -117,12 +123,27 @@ class CheckpointReader {
   /// in footer order.
   std::vector<VariableVerifyResult> VerifyAll() const;
 
+  /// The decoded-block cache shared by this reader's decode paths; null
+  /// when caching is disabled. Exposed for stats rendering and tests.
+  const std::shared_ptr<DecodedBlockCache>& cache() const {
+    return decompressor_.cache();
+  }
+
  private:
   ByteSpan StreamOf(const VariableInfo& info) const;
 
   ByteSpan file_;
   PrimacyOptions decode_options_;
   std::vector<VariableInfo> variables_;
+  /// Footer-order index by name (duplicate names keep the first entry, as
+  /// the old linear scan did).
+  std::unordered_map<std::string, std::size_t> by_name_;
+  /// Hoisted decode state, built once in the constructor instead of per
+  /// read call: a decompressor with the reader's options and a serial
+  /// (threads = 1) twin for the variable-parallel fan-out paths. Both share
+  /// decode_options_.block_cache.
+  PrimacyDecompressor decompressor_;
+  PrimacyDecompressor serial_decompressor_;
 };
 
 }  // namespace primacy

@@ -66,6 +66,47 @@ TEST_P(GoldenCorpusTest, DecodesBitIdenticallyToCommittedInput) {
   }
 }
 
+TEST_P(GoldenCorpusTest, CachedDecodeMatchesUncachedByteForByte) {
+  // Cache-ON decode of the committed corpus must stay byte-identical to the
+  // seed's uncached decode: v2+ directory streams decode through the cache
+  // (second pass all hits), v1 and stored streams bypass it entirely.
+  const GoldenStream& golden = GetParam();
+  const Bytes stream = ReadGolden(golden.file);
+  const Bytes input = ReadGolden(golden.input);
+  ASSERT_FALSE(stream.empty());
+
+  PrimacyOptions options;
+  options.cache.enabled = true;
+  options.cache.capacity_bytes = 4 * 1024 * 1024;
+  const PrimacyDecompressor cached(options);
+  ASSERT_NE(cached.cache(), nullptr);
+
+  PrimacyDecodeStats cold;
+  EXPECT_EQ(cached.DecompressBytes(stream, &cold), input) << golden.file;
+  PrimacyDecodeStats warm;
+  EXPECT_EQ(cached.DecompressBytes(stream, &warm), input) << golden.file;
+
+  const bool cacheable =
+      !golden.stored && golden.version >= internal::kFormatVersion2;
+  if (cacheable) {
+    EXPECT_GT(warm.cache_hits, 0u);
+    EXPECT_EQ(warm.chunks_decoded, 0u);
+    // Warm range reads agree with the seed's uncached range reads.
+    PrimacyDecodeStats range_stats;
+    const Bytes slice =
+        cached.DecompressBytesRange(stream, 250, 12, &range_stats);
+    EXPECT_EQ(slice,
+              Bytes(input.begin() + 250 * 8, input.begin() + 262 * 8));
+    EXPECT_EQ(range_stats.chunks_decoded, 0u);
+    EXPECT_GT(range_stats.cache_hits, 0u);
+  } else {
+    // v1 and stored streams are never cached.
+    EXPECT_EQ(cold.cache_misses, 0u);
+    EXPECT_EQ(warm.cache_hits, 0u);
+    EXPECT_EQ(cached.cache()->Stats().entries, 0u);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllVersions, GoldenCorpusTest,
     ::testing::Values(

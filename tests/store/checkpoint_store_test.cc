@@ -193,6 +193,86 @@ TEST(CheckpointStoreTest, ThreadedReaderMatchesSerialReader) {
             CheckpointReader(file).ReadDoubles("phi"));
 }
 
+TEST(CheckpointStoreTest, DefaultReaderHasNoCache) {
+  const auto data = GenerateDatasetByName("obs_info", 10000);
+  CheckpointWriter writer;
+  writer.Add("x", std::span(data));
+  const Bytes file = writer.Finish();
+  const CheckpointReader reader(file);
+  EXPECT_EQ(reader.cache(), nullptr);
+  PrimacyDecodeStats stats;
+  EXPECT_EQ(reader.ReadDoubles("x", &stats), data);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+}
+
+TEST(CheckpointStoreTest, CachedReaderServesWarmRangeReads) {
+  const auto phi = GenerateDatasetByName("gts_phi_l", 40000);
+  PrimacyOptions small;
+  small.chunk_bytes = 64 * 1024;  // 8192 doubles per chunk
+  CheckpointWriter writer(small);
+  writer.Add("phi", std::span(phi));
+  const Bytes file = writer.Finish();
+
+  PrimacyOptions decode;
+  decode.cache.enabled = true;
+  decode.cache.capacity_bytes = 8 * 1024 * 1024;
+  const CheckpointReader reader(file, decode);
+  ASSERT_NE(reader.cache(), nullptr);
+
+  PrimacyDecodeStats cold;
+  const auto first = reader.ReadDoublesRange("phi", 10000, 5000, &cold);
+  EXPECT_EQ(first,
+            std::vector<double>(phi.begin() + 10000, phi.begin() + 15000));
+  EXPECT_EQ(cold.chunks_decoded, 1u);
+  EXPECT_EQ(cold.cache_misses, 1u);
+
+  // A range spanning chunks 0 and 1: chunk 0 is cold (decoded), chunk 1 is
+  // already resident from the first read.
+  PrimacyDecodeStats warm;
+  const auto second = reader.ReadDoublesRange("phi", 7000, 2000, &warm);
+  EXPECT_EQ(second,
+            std::vector<double>(phi.begin() + 7000, phi.begin() + 9000));
+  EXPECT_EQ(warm.chunks_decoded, 1u);  // chunk 0
+  EXPECT_EQ(warm.cache_hits, 1u);      // chunk 1
+
+  PrimacyDecodeStats third;
+  const auto again = reader.ReadDoublesRange("phi", 10000, 5000, &third);
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(third.chunks_decoded, 0u);
+  EXPECT_EQ(third.cache_hits, 1u);
+}
+
+TEST(CheckpointStoreTest, FullReadWarmsRangeReadsThroughSharedCache) {
+  const auto phi = GenerateDatasetByName("num_plasma", 40000);
+  PrimacyOptions small;
+  small.chunk_bytes = 64 * 1024;
+  CheckpointWriter writer(small);
+  writer.Add("phi", std::span(phi));
+  const Bytes file = writer.Finish();
+
+  PrimacyOptions decode;
+  decode.threads = 2;
+  decode.cache.enabled = true;
+  decode.cache.capacity_bytes = 8 * 1024 * 1024;
+  const CheckpointReader reader(file, decode);
+
+  // ReadAllRaw decodes through the serial twin; it must share the same
+  // cache instance, so a later range read is already warm.
+  PrimacyDecodeStats full;
+  const std::vector<Bytes> raw = reader.ReadAllRaw(&full);
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_EQ(FromBytes<double>(raw[0]), phi);
+  EXPECT_GT(full.cache_misses, 0u);
+
+  PrimacyDecodeStats warm;
+  const auto slice = reader.ReadDoublesRange("phi", 20000, 1000, &warm);
+  EXPECT_EQ(slice,
+            std::vector<double>(phi.begin() + 20000, phi.begin() + 21000));
+  EXPECT_EQ(warm.chunks_decoded, 0u);
+  EXPECT_GT(warm.cache_hits, 0u);
+}
+
 TEST(CheckpointStoreTest, LazyDecompression) {
   // Reading one variable must not require decompressing the others; this is
   // observable through timing only indirectly, so assert the structural
