@@ -140,7 +140,8 @@ ChunkRecordStats ChunkEncoder::EncodeChunk(ByteSpan chunk, Bytes& out) {
   // the previous ID assignment; unseen sequences are appended as a small
   // delta (paper Section II-F's "more intelligent indexing scheme"). Old IDs
   // never change, so decoding stays in lockstep.
-  const PairFrequency freq = AnalyzePairFrequency(split.high);
+  AnalyzePairFrequencyInto(split.high, freq_scratch_);
+  const PairFrequency& freq = freq_scratch_;
   enum class IndexAction { kFresh, kReuse, kDelta };
   IndexAction action = IndexAction::kFresh;
   std::vector<std::uint16_t> delta;
@@ -160,7 +161,11 @@ ChunkRecordStats ChunkEncoder::EncodeChunk(ByteSpan chunk, Bytes& out) {
   } else if (action == IndexAction::kDelta) {
     prev_index_ = prev_index_->Extended(delta);
   }
-  prev_freq_ = freq;
+  // Swap (not copy) the counts into prev_freq_; next chunk's analyze will
+  // overwrite freq_scratch_ anyway, so nothing is lost and no 256 KiB copy
+  // happens per chunk.
+  if (!prev_freq_.has_value()) prev_freq_.emplace();
+  std::swap(prev_freq_->counts, freq_scratch_.counts);
   const IdIndex& index = *prev_index_;
   clock.Lap(stats.stage, telemetry::Stage::kFrequency);
 

@@ -60,6 +60,10 @@ class ChunkEncoder {
  private:
   const PrimacyOptions options_;
   const Codec& solver_;
+  // Reused across chunks: each EncodeChunk analyzes into freq_scratch_ and
+  // then swaps it into prev_freq_, so the 256 KiB counts buffer is allocated
+  // once per encoder instead of once per chunk.
+  PairFrequency freq_scratch_;
   std::optional<PairFrequency> prev_freq_;
   std::optional<IdIndex> prev_index_;
 };

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "bitstream/byte_io.h"
+#include "kernels/kernels.h"
 #include "util/error.h"
 
 namespace primacy {
@@ -15,17 +16,18 @@ std::size_t PairFrequency::DistinctSequences() const {
 }
 
 PairFrequency AnalyzePairFrequency(ByteSpan high_bytes) {
+  PairFrequency frequency;
+  AnalyzePairFrequencyInto(high_bytes, frequency);
+  return frequency;
+}
+
+void AnalyzePairFrequencyInto(ByteSpan high_bytes, PairFrequency& frequency) {
   if (high_bytes.size() % 2 != 0) {
     throw InvalidArgumentError("AnalyzePairFrequency: odd byte count");
   }
-  PairFrequency frequency;
   frequency.counts.assign(65536, 0);
-  for (std::size_t i = 0; i < high_bytes.size(); i += 2) {
-    const auto hi = static_cast<std::uint32_t>(high_bytes[i]);
-    const auto lo = static_cast<std::uint32_t>(high_bytes[i + 1]);
-    ++frequency.counts[(hi << 8) | lo];
-  }
-  return frequency;
+  kernels::Active().count_pairs(high_bytes.data(), high_bytes.size() / 2,
+                                frequency.counts.data());
 }
 
 IdIndex IdIndex::FromFrequency(const PairFrequency& frequency) {
@@ -44,6 +46,7 @@ IdIndex IdIndex::FromFrequency(const PairFrequency& frequency) {
                    });
   IdIndex index;
   index.sequences_.assign(occurring.begin(), occurring.end());
+  index.sequences32_ = std::move(occurring);
   index.ids_.assign(65536, kUnmapped);
   for (std::size_t id = 0; id < index.sequences_.size(); ++id) {
     index.ids_[index.sequences_[id]] = static_cast<std::uint32_t>(id);
@@ -60,6 +63,7 @@ IdIndex IdIndex::FromSequences(std::vector<std::uint16_t> sequences) {
     }
     index.ids_[sequences[id]] = static_cast<std::uint32_t>(id);
   }
+  index.sequences32_.assign(sequences.begin(), sequences.end());
   index.sequences_ = std::move(sequences);
   return index;
 }
@@ -67,6 +71,7 @@ IdIndex IdIndex::FromSequences(std::vector<std::uint16_t> sequences) {
 IdIndex IdIndex::Extended(std::span<const std::uint16_t> additions) const {
   IdIndex out;
   out.sequences_ = sequences_;
+  out.sequences32_ = sequences32_;
   out.ids_ = ids_;
   if (out.ids_.empty()) out.ids_.assign(65536, kUnmapped);
   for (const std::uint16_t sequence : additions) {
@@ -75,6 +80,7 @@ IdIndex IdIndex::Extended(std::span<const std::uint16_t> additions) const {
     }
     out.ids_[sequence] = static_cast<std::uint32_t>(out.sequences_.size());
     out.sequences_.push_back(sequence);
+    out.sequences32_.push_back(sequence);
   }
   return out;
 }

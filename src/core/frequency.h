@@ -27,6 +27,11 @@ struct PairFrequency {
 /// (N x 2 matrix).
 PairFrequency AnalyzePairFrequency(ByteSpan high_bytes);
 
+/// Same analysis into caller-owned storage: `frequency.counts` is (re)sized
+/// to 65536 and zeroed, then accumulated into. Lets a chunk loop reuse one
+/// 256 KiB buffer instead of allocating per chunk.
+void AnalyzePairFrequencyInto(ByteSpan high_bytes, PairFrequency& frequency);
+
 /// The bijective ID <-> byte-sequence mapping for one chunk.
 class IdIndex {
  public:
@@ -52,6 +57,15 @@ class IdIndex {
   /// Sequence list in ID order (the serialized form).
   const std::vector<std::uint16_t>& sequences() const { return sequences_; }
 
+  /// Raw lookup tables for the kernel layer (kernels take pointers, not this
+  /// class). ids_table() has 65536 entries (sequence -> ID or kUnmapped);
+  /// sequences_u32() is the ID-order sequence list widened to u32 so AVX2
+  /// can gather from it without over-reading past a u16 entry.
+  const std::uint32_t* ids_table() const { return ids_.data(); }
+  const std::vector<std::uint32_t>& sequences_u32() const {
+    return sequences32_;
+  }
+
   /// Returns a copy of this index with `additions` appended at the high-ID
   /// end (the delta-index scheme of IndexMode::kReuseWhenCorrelated: old IDs
   /// keep their values, new sequences get the next IDs). Throws
@@ -67,6 +81,7 @@ class IdIndex {
  private:
   IdIndex() = default;
   std::vector<std::uint16_t> sequences_;   // indexed by ID
+  std::vector<std::uint32_t> sequences32_; // sequences_ widened for gathers
   std::vector<std::uint32_t> ids_;         // indexed by sequence, size 65536
 };
 

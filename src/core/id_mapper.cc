@@ -1,9 +1,14 @@
 #include "core/id_mapper.h"
 
+#include "kernels/kernels.h"
 #include "util/byte_matrix.h"
 #include "util/error.h"
 
 namespace primacy {
+
+// Both directions run through the dispatched lookup kernels, which are
+// noexcept and signal a bad value by returning false; the throw sites below
+// re-derive the precise error so the exception contract is unchanged.
 
 Bytes MapToIds(ByteSpan high_bytes, const IdIndex& index,
                Linearization linearization) {
@@ -11,16 +16,9 @@ Bytes MapToIds(ByteSpan high_bytes, const IdIndex& index,
     throw InvalidArgumentError("MapToIds: odd byte count");
   }
   Bytes ids(high_bytes.size());
-  for (std::size_t i = 0; i < high_bytes.size(); i += 2) {
-    const auto sequence = static_cast<std::uint16_t>(
-        (static_cast<std::uint32_t>(high_bytes[i]) << 8) |
-        static_cast<std::uint32_t>(high_bytes[i + 1]));
-    const std::uint32_t id = index.IdOf(sequence);
-    if (id == IdIndex::kUnmapped) {
-      throw InvalidArgumentError("MapToIds: sequence not in index");
-    }
-    ids[i] = static_cast<std::byte>(id >> 8);
-    ids[i + 1] = static_cast<std::byte>(id & 0xff);
+  if (!kernels::Active().map_ids16(high_bytes.data(), high_bytes.size() / 2,
+                                   index.ids_table(), ids.data())) {
+    throw InvalidArgumentError("MapToIds: sequence not in index");
   }
   if (linearization == Linearization::kColumn) {
     return RowToColumn(ids, 2);
@@ -36,15 +34,12 @@ Bytes MapFromIds(ByteSpan id_bytes, const IdIndex& index,
   Bytes rows = linearization == Linearization::kColumn
                    ? ColumnToRow(id_bytes, 2)
                    : ToBytes(id_bytes);
-  for (std::size_t i = 0; i < rows.size(); i += 2) {
-    const auto id = (static_cast<std::uint32_t>(rows[i]) << 8) |
-                    static_cast<std::uint32_t>(rows[i + 1]);
-    if (id >= index.size()) {
-      throw CorruptStreamError("MapFromIds: ID beyond index");
-    }
-    const std::uint16_t sequence = index.SequenceOf(id);
-    rows[i] = static_cast<std::byte>(sequence >> 8);
-    rows[i + 1] = static_cast<std::byte>(sequence & 0xff);
+  // In place: the kernel contract allows out == in (each block is fully
+  // loaded before it is stored).
+  if (!kernels::Active().unmap_ids16(
+          rows.data(), rows.size() / 2, index.sequences_u32().data(),
+          static_cast<std::uint32_t>(index.size()), rows.data())) {
+    throw CorruptStreamError("MapFromIds: ID beyond index");
   }
   return rows;
 }

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "bitstream/byte_io.h"
+#include "kernels/kernels.h"
 #include "util/error.h"
 #include "util/stats.h"
 
@@ -50,15 +51,19 @@ IsobarPlan AnalyzeColumns(ByteSpan rows, std::size_t width,
     ColumnAnalysis analysis;
     analysis.column = col;
     if (n > 0) {
-      // Strided deterministic sample of the column.
+      // Strided deterministic sample of the column, accumulated by the
+      // dispatched histogram kernel. `taken` is the trip count of the
+      // historical loop: i = start, start+stride, ... while i < n, capped
+      // at `samples`.
       const std::size_t samples = std::min(options.sample_bytes, n);
       const std::size_t stride = std::max<std::size_t>(1, n / samples);
+      const std::size_t start = options.sample_offset % stride;
+      const std::size_t taken =
+          start < n ? std::min(samples, (n - 1 - start) / stride + 1) : 0;
       std::array<std::uint64_t, 256> histogram{};
-      std::size_t taken = 0;
-      for (std::size_t i = options.sample_offset % std::max<std::size_t>(1, stride);
-           i < n && taken < samples; i += stride, ++taken) {
-        ++histogram[static_cast<std::size_t>(rows[i * width + col])];
-      }
+      kernels::Active().histogram_stride(rows.data() + start * width + col,
+                                         taken, stride * width,
+                                         histogram.data());
       analysis.entropy_bits = HistogramEntropyBits(histogram);
       const std::uint64_t top =
           *std::max_element(histogram.begin(), histogram.end());

@@ -1,0 +1,147 @@
+// Runtime ISA dispatch: pick the best kernel table the CPU supports, once,
+// honoring the PRIMACY_FORCE_ISA environment override, and export the
+// selection as the telemetry gauge primacy_kernel_isa{isa="..."}.
+#include "kernels/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "kernels/tables.h"
+#include "telemetry/metrics.h"
+
+namespace primacy::kernels {
+namespace {
+
+struct Selection {
+  const KernelTable* table;
+  Isa isa;
+};
+
+#if PRIMACY_SIMD_ENABLED
+/// CPUID probe, callable even from static initializers (where libgcc's own
+/// feature-table constructor may not have run yet).
+bool CpuHasAvx2() {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") != 0;
+}
+#endif
+
+/// Best ISA this CPU can run (independent of any override).
+Isa BestSupportedIsa() {
+#if PRIMACY_SIMD_ENABLED
+  if (CpuHasAvx2()) return Isa::kAvx2;
+  return Isa::kSse2;  // baseline of every x86-64 CPU
+#else
+  return Isa::kScalar;
+#endif
+}
+
+bool ParseIsaName(const char* name, Isa& out) {
+  if (std::strcmp(name, "scalar") == 0) {
+    out = Isa::kScalar;
+    return true;
+  }
+  if (std::strcmp(name, "sse2") == 0) {
+    out = Isa::kSse2;
+    return true;
+  }
+  if (std::strcmp(name, "avx2") == 0) {
+    out = Isa::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+void PublishIsaGauge(Isa active) {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  for (Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2}) {
+    std::string labels = std::string("isa=\"") + IsaName(isa) + "\"";
+    registry.GetGauge("primacy_kernel_isa", labels).Set(isa == active ? 1 : 0);
+  }
+}
+
+Selection Resolve() {
+  Isa isa = BestSupportedIsa();
+  if (const char* forced = std::getenv("PRIMACY_FORCE_ISA")) {
+    Isa wanted;
+    if (!ParseIsaName(forced, wanted)) {
+      std::fprintf(stderr,
+                   "primacy: ignoring unknown PRIMACY_FORCE_ISA=%s "
+                   "(want scalar|sse2|avx2)\n",
+                   forced);
+    } else if (TableFor(wanted) == nullptr) {
+      std::fprintf(stderr,
+                   "primacy: PRIMACY_FORCE_ISA=%s unavailable on this "
+                   "build/CPU, using %s\n",
+                   forced, IsaName(isa));
+    } else {
+      isa = wanted;
+    }
+  }
+  PublishIsaGauge(isa);
+  return Selection{TableFor(isa), isa};
+}
+
+std::atomic<const Selection*> g_active{nullptr};
+
+const Selection& ActiveSelection() {
+  const Selection* sel = g_active.load(std::memory_order_acquire);
+  if (sel == nullptr) {
+    static const Selection resolved = Resolve();
+    g_active.store(&resolved, std::memory_order_release);
+    sel = &resolved;
+  }
+  return *sel;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+const KernelTable* TableFor(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &ScalarTable();
+#if PRIMACY_SIMD_ENABLED
+    case Isa::kSse2:
+      return detail::Sse2Table();
+    case Isa::kAvx2:
+      return CpuHasAvx2() ? detail::Avx2Table() : nullptr;
+#else
+    case Isa::kSse2:
+    case Isa::kAvx2:
+      break;
+#endif
+  }
+  return nullptr;
+}
+
+const KernelTable& Active() { return *ActiveSelection().table; }
+
+Isa ActiveIsa() { return ActiveSelection().isa; }
+
+bool ForceIsa(Isa isa) {
+  const KernelTable* table = TableFor(isa);
+  if (table == nullptr) return false;
+  ActiveSelection();  // make sure first-use resolution has happened
+  static Selection forced;
+  forced = Selection{table, isa};
+  g_active.store(&forced, std::memory_order_release);
+  PublishIsaGauge(isa);
+  return true;
+}
+
+}  // namespace primacy::kernels

@@ -1,0 +1,20 @@
+// Internal: per-ISA table accessors wired into dispatch.cc. The SIMD
+// translation units (sse2.cc, avx2.cc) define these; when PRIMACY_SIMD is
+// OFF (or the target is not x86-64) they are compiled out and dispatch.cc
+// never references them.
+#pragma once
+
+#include "kernels/kernels.h"
+
+#ifndef PRIMACY_SIMD_ENABLED
+#define PRIMACY_SIMD_ENABLED 0
+#endif
+
+namespace primacy::kernels::detail {
+
+#if PRIMACY_SIMD_ENABLED
+const KernelTable* Sse2Table();
+const KernelTable* Avx2Table();
+#endif
+
+}  // namespace primacy::kernels::detail

@@ -2,12 +2,23 @@
 
 #include <bit>
 #include <cstring>
+#include <version>
 
+#include "kernels/kernels.h"
 #include "util/error.h"
+
+#if defined(__cpp_lib_byteswap) && __cpp_lib_byteswap >= 202110L
+#define PRIMACY_BSWAP64(x) std::byteswap(x)
+#define PRIMACY_BSWAP32(x) std::byteswap(x)
+#else
+#define PRIMACY_BSWAP64(x) __builtin_bswap64(x)
+#define PRIMACY_BSWAP32(x) __builtin_bswap32(x)
+#endif
 
 namespace primacy {
 
 namespace {
+
 void RequireMultiple(std::size_t size, std::size_t width, const char* what) {
   if (width == 0) throw InvalidArgumentError("byte_matrix: width must be > 0");
   if (size % width != 0) {
@@ -15,6 +26,19 @@ void RequireMultiple(std::size_t size, std::size_t width, const char* what) {
                                " size is not a multiple of the element width");
   }
 }
+
+/// Host bits of one element <-> big-endian byte significance. On the
+/// little-endian hosts we run on this is a byteswap; a big-endian host
+/// would memcpy straight through.
+inline std::uint64_t ToBigEndian64(std::uint64_t bits) {
+  if constexpr (std::endian::native == std::endian::big) return bits;
+  return PRIMACY_BSWAP64(bits);
+}
+inline std::uint32_t ToBigEndian32(std::uint32_t bits) {
+  if constexpr (std::endian::native == std::endian::big) return bits;
+  return PRIMACY_BSWAP32(bits);
+}
+
 }  // namespace
 
 SplitBytes SplitHighLow(ByteSpan data, std::size_t width,
@@ -28,6 +52,18 @@ SplitBytes SplitHighLow(ByteSpan data, std::size_t width,
   SplitBytes out;
   out.high.resize(n * high_width);
   out.low.resize(n * low_width);
+  // high_width 2 over widths 8 and 4 are the PRIMACY shapes (doubles and
+  // floats); anything else is a generic slow path kept for API completeness.
+  if (width == 8 && high_width == 2) {
+    kernels::Active().split_w8_h2(data.data(), n, out.high.data(),
+                                  out.low.data());
+    return out;
+  }
+  if (width == 4 && high_width == 2) {
+    kernels::Active().split_w4_h2(data.data(), n, out.high.data(),
+                                  out.low.data());
+    return out;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     if (high_width > 0) {
       std::memcpy(out.high.data() + i * high_width, data.data() + i * width,
@@ -56,6 +92,14 @@ Bytes MergeHighLow(ByteSpan high, ByteSpan low, std::size_t width,
     throw InvalidArgumentError("MergeHighLow: inconsistent element counts");
   }
   Bytes out(n * width);
+  if (width == 8 && high_width == 2) {
+    kernels::Active().merge_w8_h2(high.data(), low.data(), n, out.data());
+    return out;
+  }
+  if (width == 4 && high_width == 2) {
+    kernels::Active().merge_w4_h2(high.data(), low.data(), n, out.data());
+    return out;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     if (high_width > 0) {
       std::memcpy(out.data() + i * width, high.data() + i * high_width,
@@ -73,6 +117,20 @@ Bytes RowToColumn(ByteSpan rows, std::size_t width) {
   RequireMultiple(rows.size(), width, "input");
   const std::size_t n = rows.size() / width;
   Bytes out(rows.size());
+  const kernels::KernelTable& k = kernels::Active();
+  switch (width) {
+    case 2:
+      k.row_to_col_w2(rows.data(), n, out.data());
+      return out;
+    case 4:
+      k.row_to_col_w4(rows.data(), n, out.data());
+      return out;
+    case 8:
+      k.row_to_col_w8(rows.data(), n, out.data());
+      return out;
+    default:
+      break;
+  }
   for (std::size_t col = 0; col < width; ++col) {
     std::byte* dst = out.data() + col * n;
     for (std::size_t i = 0; i < n; ++i) dst[i] = rows[i * width + col];
@@ -84,6 +142,20 @@ Bytes ColumnToRow(ByteSpan columns, std::size_t width) {
   RequireMultiple(columns.size(), width, "input");
   const std::size_t n = columns.size() / width;
   Bytes out(columns.size());
+  const kernels::KernelTable& k = kernels::Active();
+  switch (width) {
+    case 2:
+      k.col_to_row_w2(columns.data(), n, out.data());
+      return out;
+    case 4:
+      k.col_to_row_w4(columns.data(), n, out.data());
+      return out;
+    case 8:
+      k.col_to_row_w8(columns.data(), n, out.data());
+      return out;
+    default:
+      break;
+  }
   for (std::size_t col = 0; col < width; ++col) {
     const std::byte* src = columns.data() + col * n;
     for (std::size_t i = 0; i < n; ++i) out[i * width + col] = src[i];
@@ -105,10 +177,8 @@ Bytes ExtractColumn(ByteSpan rows, std::size_t width, std::size_t column) {
 Bytes DoublesToBigEndianRows(std::span<const double> values) {
   Bytes out(values.size() * 8);
   for (std::size_t i = 0; i < values.size(); ++i) {
-    const auto bits = std::bit_cast<std::uint64_t>(values[i]);
-    for (std::size_t b = 0; b < 8; ++b) {
-      out[i * 8 + b] = static_cast<std::byte>((bits >> (56 - 8 * b)) & 0xff);
-    }
+    const auto be = ToBigEndian64(std::bit_cast<std::uint64_t>(values[i]));
+    std::memcpy(out.data() + i * 8, &be, 8);
   }
   return out;
 }
@@ -116,10 +186,8 @@ Bytes DoublesToBigEndianRows(std::span<const double> values) {
 Bytes FloatsToBigEndianRows(std::span<const float> values) {
   Bytes out(values.size() * 4);
   for (std::size_t i = 0; i < values.size(); ++i) {
-    const auto bits = std::bit_cast<std::uint32_t>(values[i]);
-    for (std::size_t b = 0; b < 4; ++b) {
-      out[i * 4 + b] = static_cast<std::byte>((bits >> (24 - 8 * b)) & 0xff);
-    }
+    const auto be = ToBigEndian32(std::bit_cast<std::uint32_t>(values[i]));
+    std::memcpy(out.data() + i * 4, &be, 4);
   }
   return out;
 }
@@ -128,11 +196,9 @@ std::vector<float> BigEndianRowsToFloats(ByteSpan rows) {
   RequireMultiple(rows.size(), 4, "input");
   std::vector<float> out(rows.size() / 4);
   for (std::size_t i = 0; i < out.size(); ++i) {
-    std::uint32_t bits = 0;
-    for (std::size_t b = 0; b < 4; ++b) {
-      bits = (bits << 8) | static_cast<std::uint32_t>(rows[i * 4 + b]);
-    }
-    out[i] = std::bit_cast<float>(bits);
+    std::uint32_t be = 0;
+    std::memcpy(&be, rows.data() + i * 4, 4);
+    out[i] = std::bit_cast<float>(ToBigEndian32(be));
   }
   return out;
 }
@@ -141,6 +207,24 @@ Bytes ReverseElementBytes(ByteSpan data, std::size_t width) {
   RequireMultiple(data.size(), width, "input");
   Bytes out(data.size());
   const std::size_t n = data.size() / width;
+  if (width == 8) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t bits;
+      std::memcpy(&bits, data.data() + i * 8, 8);
+      bits = PRIMACY_BSWAP64(bits);
+      std::memcpy(out.data() + i * 8, &bits, 8);
+    }
+    return out;
+  }
+  if (width == 4) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t bits;
+      std::memcpy(&bits, data.data() + i * 4, 4);
+      bits = PRIMACY_BSWAP32(bits);
+      std::memcpy(out.data() + i * 4, &bits, 4);
+    }
+    return out;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t b = 0; b < width; ++b) {
       out[i * width + b] = data[i * width + (width - 1 - b)];
@@ -153,11 +237,9 @@ std::vector<double> BigEndianRowsToDoubles(ByteSpan rows) {
   RequireMultiple(rows.size(), 8, "input");
   std::vector<double> out(rows.size() / 8);
   for (std::size_t i = 0; i < out.size(); ++i) {
-    std::uint64_t bits = 0;
-    for (std::size_t b = 0; b < 8; ++b) {
-      bits = (bits << 8) | static_cast<std::uint64_t>(rows[i * 8 + b]);
-    }
-    out[i] = std::bit_cast<double>(bits);
+    std::uint64_t be = 0;
+    std::memcpy(&be, rows.data() + i * 8, 8);
+    out[i] = std::bit_cast<double>(ToBigEndian64(be));
   }
   return out;
 }
