@@ -476,6 +476,17 @@ Bytes PrimacyCompressor::Compress(std::span<const float> values,
 
 Bytes PrimacyCompressor::CompressBytes(ByteSpan data,
                                        PrimacyStats* stats) const {
+  return CompressBytesImpl(data, /*reuse=*/nullptr, stats);
+}
+
+Bytes PrimacyCompressor::CompressBytesWith(ChunkEncoder& encoder,
+                                           ByteSpan data,
+                                           PrimacyStats* stats) const {
+  return CompressBytesImpl(data, &encoder, stats);
+}
+
+Bytes PrimacyCompressor::CompressBytesImpl(ByteSpan data, ChunkEncoder* reuse,
+                                           PrimacyStats* stats) const {
   telemetry::TraceSpan span("primacy.compress", "bytes",
                             static_cast<std::uint64_t>(data.size()));
   const std::size_t width = ElementWidth(options_.precision);
@@ -498,7 +509,10 @@ Bytes PrimacyCompressor::CompressBytes(ByteSpan data,
   internal::ChunkDirectory directory;
   directory.chunks.resize(chunk_count);
 
-  const bool parallel = options_.threads != 1 &&
+  // A caller-supplied encoder pins the serial path: reuse exists to keep
+  // one worker's scratch hot, and its output must stay byte-identical to a
+  // fresh serial encode.
+  const bool parallel = reuse == nullptr && options_.threads != 1 &&
                         options_.index_mode == IndexMode::kPerChunk &&
                         chunk_count > 1;
   if (parallel) {
@@ -531,14 +545,21 @@ Bytes PrimacyCompressor::CompressBytes(ByteSpan data,
       AppendBytes(out, records[i]);
     }
   } else {
-    ChunkEncoder encoder(options_, *solver_);
+    std::optional<ChunkEncoder> local;
+    ChunkEncoder* encoder = reuse;
+    if (encoder == nullptr) {
+      local.emplace(options_, *solver_);
+      encoder = &*local;
+    } else {
+      encoder->Reset();  // clear cross-chunk index state from prior streams
+    }
     for (std::size_t i = 0; i < chunk_count; ++i) {
       const std::size_t first = i * chunk_elements;
       const std::size_t count =
           std::min(chunk_elements, total_elements - first);
       directory.chunks[i].offset = out.size();
       chunk_stats[i] =
-          encoder.EncodeChunk(body.subspan(first * width, count * width), out);
+          encoder->EncodeChunk(body.subspan(first * width, count * width), out);
     }
   }
 

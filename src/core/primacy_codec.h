@@ -67,6 +67,8 @@
 
 namespace primacy {
 
+class ChunkEncoder;  // chunk_pipeline.h
+
 /// Per-chunk index policy (paper Section II-F; kReuseWhenCorrelated is the
 /// "more intelligent indexing scheme" sketched as future work).
 enum class IndexMode {
@@ -177,9 +179,22 @@ class PrimacyCompressor {
   /// elements are stored verbatim.
   Bytes CompressBytes(ByteSpan data, PrimacyStats* stats = nullptr) const;
 
+  /// As CompressBytes, but encodes through a caller-owned ChunkEncoder
+  /// instead of constructing one per call, so long-lived callers (the
+  /// service layer's batch workers) amortize encoder scratch allocation
+  /// across requests. The encoder is Reset() first and must have been built
+  /// with the same options/solver as this compressor. Always takes the
+  /// serial path; output is byte-identical to CompressBytes with
+  /// threads == 1.
+  Bytes CompressBytesWith(ChunkEncoder& encoder, ByteSpan data,
+                          PrimacyStats* stats = nullptr) const;
+
   const PrimacyOptions& options() const { return options_; }
 
  private:
+  Bytes CompressBytesImpl(ByteSpan data, ChunkEncoder* reuse,
+                          PrimacyStats* stats) const;
+
   PrimacyOptions options_;
   std::shared_ptr<const Codec> solver_;
 };

@@ -1,0 +1,141 @@
+#include "service/batch_queue.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace primacy::service {
+
+BatchQueue::BatchQueue(BatchOptions options, ServiceClock* clock,
+                       Dispatcher dispatcher)
+    : options_(options), clock_(clock), dispatcher_(std::move(dispatcher)) {
+  PRIMACY_CHECK(clock_ != nullptr);
+  if (!dispatcher_) {
+    throw InvalidArgumentError("BatchQueue: null dispatcher");
+  }
+  clock_->RegisterWaiter(&mu_, &cv_);
+  // Dedicated timer thread, not a pool task: it parks for the queue's whole
+  // lifetime, which would wedge a pool worker (allowlisted by the
+  // pool-containment lint rule). It runs no request work — batches execute
+  // in the dispatcher's pool tasks, which keep the pool's exception
+  // containment.
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+BatchQueue::~BatchQueue() {
+  Stop();
+  clock_->UnregisterWaiter(&cv_);
+}
+
+void BatchQueue::Push(std::size_t bytes,
+                      std::function<void(CodecContext&)> work) {
+  if (!work) {
+    throw InvalidArgumentError("BatchQueue: null work item");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  pending_.push_back(Item{next_sequence_++, bytes, clock_->NowNs(),
+                          std::move(work)});
+  pending_bytes_ += bytes;
+  if (stopping_) {
+    // Late push racing Stop: never strand an accepted item — it flushes
+    // right now as a drain batch instead of waiting for a flusher that is
+    // already gone.
+    CutAndDispatch(lock, FlushTrigger::kDrain);
+    return;
+  }
+  if (options_.flush_timeout_ns == 0) {
+    CutAndDispatch(lock, FlushTrigger::kTimeout);
+    return;
+  }
+  if (options_.flush_bytes != 0 && pending_bytes_ >= options_.flush_bytes) {
+    CutAndDispatch(lock, FlushTrigger::kSize);
+    return;
+  }
+  if (options_.flush_requests != 0 &&
+      pending_.size() >= options_.flush_requests) {
+    CutAndDispatch(lock, FlushTrigger::kCount);
+    return;
+  }
+  if (pending_.size() == 1) {
+    // First item of a fresh batch: wake the flusher so it arms this batch's
+    // timeout deadline.
+    cv_.notify_all();
+  }
+}
+
+void BatchQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!pending_.empty()) {
+    CutAndDispatch(lock, FlushTrigger::kDrain);
+  }
+}
+
+void BatchQueue::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      if (!pending_.empty()) {
+        CutAndDispatch(lock, FlushTrigger::kDrain);
+      }
+    }
+    cv_.notify_all();
+  }
+  if (flusher_.joinable()) {
+    flusher_.join();
+  }
+}
+
+BatchQueue::Stats BatchQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t BatchQueue::Depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+void BatchQueue::CutAndDispatch(std::unique_lock<std::mutex>& lock,
+                                FlushTrigger trigger) {
+  Batch batch;
+  batch.trigger = trigger;
+  batch.bytes = pending_bytes_;
+  batch.cut_ns = clock_->NowNs();
+  batch.items = std::move(pending_);
+  pending_.clear();
+  pending_bytes_ = 0;
+  switch (trigger) {
+    case FlushTrigger::kSize: ++stats_.size_flushes; break;
+    case FlushTrigger::kCount: ++stats_.count_flushes; break;
+    case FlushTrigger::kTimeout: ++stats_.timeout_flushes; break;
+    case FlushTrigger::kDrain: ++stats_.drain_flushes; break;
+  }
+  ++stats_.batches;
+  stats_.items += batch.items.size();
+  lock.unlock();
+  dispatcher_(std::move(batch));
+  lock.lock();
+}
+
+void BatchQueue::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stopping_) return;
+    if (pending_.empty() || options_.flush_timeout_ns == 0) {
+      // Nothing to time out (push self-flushes when the timeout is zero);
+      // park until a push or Stop wakes us.
+      clock_->WaitUntil(lock, cv_, kNoDeadlineNs);
+      continue;
+    }
+    const std::uint64_t deadline =
+        pending_.front().enqueue_ns + options_.flush_timeout_ns;
+    if (clock_->NowNs() >= deadline) {
+      CutAndDispatch(lock, FlushTrigger::kTimeout);
+      continue;
+    }
+    clock_->WaitUntil(lock, cv_, deadline);
+  }
+}
+
+}  // namespace primacy::service

@@ -1,0 +1,98 @@
+#include "service/clock.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/error.h"
+
+namespace primacy::service {
+
+namespace {
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+SystemServiceClock& SystemServiceClock::Instance() {
+  static SystemServiceClock clock;
+  // Touch the epoch so NowNs is monotonic from the first Instance() call.
+  ProcessEpoch();
+  return clock;
+}
+
+std::uint64_t SystemServiceClock::NowNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - ProcessEpoch())
+          .count());
+}
+
+void SystemServiceClock::WaitUntil(std::unique_lock<std::mutex>& lock,
+                                   std::condition_variable& cv,
+                                   std::uint64_t deadline_ns) {
+  if (deadline_ns == kNoDeadlineNs) {
+    cv.wait(lock);
+    return;
+  }
+  cv.wait_until(lock,
+                ProcessEpoch() + std::chrono::nanoseconds(deadline_ns));
+}
+
+void VirtualClock::RegisterWaiter(std::mutex* mutex,
+                                  std::condition_variable* cv) {
+  PRIMACY_CHECK(mutex != nullptr && cv != nullptr);
+  std::lock_guard<std::mutex> guard(mu_);
+  waiters_.emplace_back(mutex, cv);
+}
+
+void VirtualClock::UnregisterWaiter(std::condition_variable* cv) {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::erase_if(waiters_, [cv](const auto& w) { return w.second == cv; });
+}
+
+void VirtualClock::WaitUntil(std::unique_lock<std::mutex>& lock,
+                             std::condition_variable& cv,
+                             std::uint64_t deadline_ns) {
+  // The caller holds `lock` from this check until cv.wait releases it, and
+  // Advance locks the same mutex before notifying, so either the new time
+  // is visible here or the notify arrives after the wait begins.
+  if (NowNs() >= deadline_ns) return;
+  cv.wait(lock);
+}
+
+std::uint64_t VirtualClock::Advance(std::uint64_t delta_ns) {
+  const std::uint64_t now =
+      now_ns_.fetch_add(delta_ns, std::memory_order_acq_rel) + delta_ns;
+  NotifyAllWaiters();
+  return now;
+}
+
+void VirtualClock::AdvanceTo(std::uint64_t now_ns) {
+  std::uint64_t current = now_ns_.load(std::memory_order_acquire);
+  while (current < now_ns &&
+         !now_ns_.compare_exchange_weak(current, now_ns,
+                                        std::memory_order_acq_rel)) {
+  }
+  NotifyAllWaiters();
+}
+
+void VirtualClock::NotifyAllWaiters() {
+  // The whole notify loop runs under mu_: UnregisterWaiter blocks until a
+  // concurrent Advance is done with the registered pointers, so a component
+  // that unregisters in its destructor can never have its mutex/cv touched
+  // after teardown. No lock-order cycle is possible because the only path
+  // that acquires mu_ while holding a waiter's mutex would be a
+  // Register/Unregister call made under that mutex, which the registration
+  // contract forbids (WaitUntil itself never touches mu_).
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& [mutex, cv] : waiters_) {
+    std::lock_guard<std::mutex> waiter_guard(*mutex);
+    cv->notify_all();
+  }
+}
+
+}  // namespace primacy::service

@@ -1,0 +1,109 @@
+// Virtual-time seam for the service layer.
+//
+// Every time-dependent decision in src/service — batch flush timeouts,
+// quota refill, retry-after hints, latency accounting — reads time through
+// a ServiceClock instead of std::chrono directly, so the batching and
+// backpressure logic is testable without a single wall-clock sleep: tests
+// inject a VirtualClock and advance it explicitly, and a timeout "fires"
+// the instant the test says it does.
+//
+// Wakeup protocol (how a timed wait works without polling): a component
+// that will ever block with WaitUntil registers its (mutex, condvar) pair
+// once at construction. SystemServiceClock ignores the registration and
+// maps WaitUntil onto condition_variable::wait_until. VirtualClock keeps
+// the registered pairs and, on Advance, locks each pair's mutex and
+// notifies its condvar — locking the mutex first is what makes the handoff
+// race-free: a waiter checks NowNs() and enters cv.wait() while holding
+// its own mutex, so Advance either observes the new time before the waiter
+// checks it, or blocks on the mutex until the waiter is actually waiting
+// and the notify cannot be lost.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace primacy::service {
+
+/// Deadline value meaning "no deadline: wait for a notify only".
+inline constexpr std::uint64_t kNoDeadlineNs = ~std::uint64_t{0};
+
+class ServiceClock {
+ public:
+  virtual ~ServiceClock() = default;
+
+  /// Nanoseconds since this clock's epoch (process start for the system
+  /// clock, the constructor argument for a virtual clock). Monotonic.
+  virtual std::uint64_t NowNs() const = 0;
+
+  /// Declares that `cv` (guarded by `mutex`) will be passed to WaitUntil.
+  /// Both must stay valid until UnregisterWaiter; registration must not be
+  /// called while holding `mutex` (VirtualClock::Advance acquires it).
+  virtual void RegisterWaiter(std::mutex* mutex, std::condition_variable* cv) {
+    (void)mutex;
+    (void)cv;
+  }
+  virtual void UnregisterWaiter(std::condition_variable* cv) { (void)cv; }
+
+  /// Blocks on `cv` until the clock reaches `deadline_ns`, the cv is
+  /// notified, or spuriously — callers always re-check their predicate and
+  /// the clock in a loop. `lock` must hold a mutex registered with
+  /// RegisterWaiter (system clocks don't care, virtual clocks do).
+  virtual void WaitUntil(std::unique_lock<std::mutex>& lock,
+                         std::condition_variable& cv,
+                         std::uint64_t deadline_ns) = 0;
+};
+
+/// Wall-clock implementation over std::chrono::steady_clock. All instances
+/// share one process-wide epoch so timestamps are comparable across
+/// components that were constructed at different moments.
+class SystemServiceClock final : public ServiceClock {
+ public:
+  /// Process-wide instance; the default when ServiceOptions.clock is null.
+  static SystemServiceClock& Instance();
+
+  std::uint64_t NowNs() const override;
+  void WaitUntil(std::unique_lock<std::mutex>& lock,
+                 std::condition_variable& cv,
+                 std::uint64_t deadline_ns) override;
+};
+
+/// Test clock: time moves only when Advance/AdvanceTo is called. Thread-safe
+/// — any thread may advance while others wait; see the header comment for
+/// why wakeups cannot be lost. Waiting on a (mutex, cv) pair that was never
+/// registered is a test bug: Advance cannot wake it.
+class VirtualClock final : public ServiceClock {
+ public:
+  explicit VirtualClock(std::uint64_t start_ns = 0) : now_ns_(start_ns) {}
+
+  std::uint64_t NowNs() const override {
+    return now_ns_.load(std::memory_order_acquire);
+  }
+
+  void RegisterWaiter(std::mutex* mutex, std::condition_variable* cv) override;
+  void UnregisterWaiter(std::condition_variable* cv) override;
+  void WaitUntil(std::unique_lock<std::mutex>& lock,
+                 std::condition_variable& cv,
+                 std::uint64_t deadline_ns) override;
+
+  /// Moves time forward by `delta_ns` and wakes every registered waiter
+  /// (each re-checks its own deadline). Returns the new now.
+  std::uint64_t Advance(std::uint64_t delta_ns);
+
+  /// Moves time forward to `now_ns` (no-op if time is already past it).
+  void AdvanceTo(std::uint64_t now_ns);
+
+ private:
+  void NotifyAllWaiters();
+
+  std::atomic<std::uint64_t> now_ns_;
+  // Guards the waiter list (not the time — that is the atomic above, so
+  // NowNs never touches a lock on the hot path).
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::mutex*, std::condition_variable*>> waiters_;
+};
+
+}  // namespace primacy::service

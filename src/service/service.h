@@ -1,0 +1,243 @@
+// Multi-tenant compression/decompression service over the PRIMACY codec.
+//
+// This is the long-lived request layer the ROADMAP's "serves millions of
+// users" north star asks for: callers submit small compress/decompress
+// requests tagged with a tenant, an admission queue coalesces them into
+// chunk-sized batches (flush on size, count, or timeout — see
+// batch_queue.h), and batches execute on the shared thread pool through a
+// pool of reusable codec worker contexts, so per-request dispatch and
+// codec-state construction cost is amortized across the batch.
+//
+// Per tenant, admission enforces a byte-rate token bucket and an in-flight
+// cap with explicit backpressure: BackpressurePolicy::kReject fails fast
+// with a retry_after_ns hint, kBlock holds the submitter until capacity
+// frees. Each tenant may also own a share of the service's decoded-block
+// cache budget as a private partition, so one tenant's hot read set never
+// evicts another's.
+//
+// Every response is byte-identical to the corresponding direct library
+// call (PrimacyCompressor::CompressBytes / PrimacyDecompressor::
+// DecompressBytes) — batching changes when and where work runs, never what
+// it produces. The service_load bench hash-verifies this on every request.
+//
+// All time flows through a ServiceClock (clock.h), so the whole layer —
+// flush timeouts, quota refill, retry-after, latency accounting — is
+// driven deterministically by a VirtualClock in tests, with no real sleeps.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/primacy_codec.h"
+#include "service/batch_queue.h"
+#include "service/clock.h"
+#include "service/tenant.h"
+#include "util/bytes.h"
+
+namespace primacy::service {
+
+namespace internal {
+struct Tenant;  // per-tenant admission state (service.cc)
+}  // namespace internal
+
+enum class ServiceStatus : std::uint8_t {
+  kOk,
+  /// Quota bucket cannot cover the request; retry_after_ns says when it can.
+  kRejectedQuota,
+  /// Tenant is at its in-flight cap; retry_after_ns is a coarse hint.
+  kRejectedInflight,
+  /// The tenant was drained after this request was admitted.
+  kCancelled,
+  /// The codec threw (corrupt stream on decompress, bad arguments); the
+  /// message is in `error`.
+  kError,
+  /// Submitted during/after shutdown.
+  kShuttingDown,
+};
+
+struct ServiceResponse {
+  ServiceStatus status = ServiceStatus::kError;
+  /// Compressed stream (compress) or restored bytes (decompress); empty
+  /// unless status == kOk.
+  Bytes payload;
+  /// For kRejected*: nanoseconds until the request could be admitted.
+  std::uint64_t retry_after_ns = 0;
+  std::string error;
+
+  bool ok() const { return status == ServiceStatus::kOk; }
+};
+
+struct ServiceOptions {
+  /// Codec options every request is served with. `threads` is forced to 1
+  /// per request — parallelism comes from batching across requests, and the
+  /// serial path is what the reusable worker contexts accelerate.
+  PrimacyOptions codec;
+  BatchOptions batch;
+  /// Concurrent codec slots one batch may use (0 = shared-pool width).
+  /// Items within a batch execute in parallel across slots; each slot reuses
+  /// one checked-out worker context for every item it claims.
+  std::size_t max_batch_parallelism = 0;
+  /// Total decoded-block cache budget partitioned across tenants by their
+  /// cache_share (0 = no tenant caches).
+  std::size_t cache_capacity_bytes = 0;
+  /// Shards per tenant cache partition.
+  std::size_t cache_shards = 4;
+  /// Time source; null = the process-wide SystemServiceClock. Not owned;
+  /// must outlive the service.
+  ServiceClock* clock = nullptr;
+};
+
+/// Service-wide exact counters (functional, kept under the service mutex —
+/// meaningful even when telemetry is compiled out). Batch counters come
+/// from the admission queue.
+struct ServiceStatsSnapshot {
+  std::uint64_t admitted_requests = 0;
+  std::uint64_t admitted_bytes = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t rejected_inflight = 0;
+  std::uint64_t rejected_bytes = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+  BatchQueue::Stats batch;
+};
+
+class CompressionService;
+
+/// Streamed-upload session: a tenant appends payload bytes incrementally
+/// and Finish() routes the whole upload through the normal admission +
+/// batching path, producing a one-shot (seekable, v3 checksummed) stream
+/// byte-identical to a direct CompressBytes of the concatenation.
+///
+/// Only seekable output targets are supported: a non-seekable sink would
+/// silently degrade to format v1 — PrimacyStreamWriter cannot seek back to
+/// write the v2/v3 chunk directory + footer (ROADMAP "streaming writer
+/// parity") — losing random access and checksums. BeginUpload rejects that
+/// with InvalidArgumentError instead of degrading.
+class UploadSession {
+ public:
+  UploadSession(UploadSession&&) = default;
+  UploadSession& operator=(UploadSession&&) = default;
+
+  /// Buffers upload bytes; throws after Finish().
+  void Append(ByteSpan data);
+
+  /// Submits the buffered upload as one compress request (admission rules
+  /// apply: quota, in-flight cap, batching). The session is spent.
+  std::future<ServiceResponse> Finish();
+
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  friend class CompressionService;
+  UploadSession(CompressionService* service, std::string tenant)
+      : service_(service), tenant_(std::move(tenant)) {}
+
+  CompressionService* service_;
+  std::string tenant_;
+  Bytes buffer_;
+  bool finished_ = false;
+};
+
+/// How an upload's output will be consumed; see UploadSession.
+enum class UploadSink : std::uint8_t {
+  /// Output lands somewhere rewritable (memory, a regular file): the
+  /// service can emit a complete seekable v3 stream.
+  kSeekableBuffer,
+  /// Output is write-once/append-only (a socket, a pipe): would force the
+  /// v1-only streaming writer. Rejected.
+  kNonSeekableStream,
+};
+
+class CompressionService {
+ public:
+  explicit CompressionService(ServiceOptions options);
+
+  /// Drains the admission queue, waits for every dispatched batch to
+  /// finish (all futures are fulfilled), and joins the flusher.
+  ~CompressionService();
+
+  CompressionService(const CompressionService&) = delete;
+  CompressionService& operator=(const CompressionService&) = delete;
+
+  /// Registers a tenant before any traffic for it. Throws on duplicate
+  /// names, names not matching [A-Za-z0-9_.-]+, or cache_share outside
+  /// [0, 1].
+  void AddTenant(const TenantConfig& config);
+
+  /// Submits one request. The future is always fulfilled: with the result,
+  /// a rejection (policy kReject), kCancelled (tenant drained first), or
+  /// kError (codec failure). With policy kBlock the call itself may block
+  /// until quota/in-flight capacity frees. Unknown tenants throw
+  /// InvalidArgumentError.
+  std::future<ServiceResponse> SubmitCompress(std::string_view tenant,
+                                              Bytes payload);
+  std::future<ServiceResponse> SubmitDecompress(std::string_view tenant,
+                                                Bytes stream);
+
+  /// Opens a streamed-upload session; sink must be seekable (see
+  /// UploadSession).
+  UploadSession BeginUpload(std::string_view tenant, UploadSink sink);
+
+  /// Cancels the tenant's admitted-but-not-executed requests (their futures
+  /// resolve kCancelled) and flushes the queue so the cancellations land
+  /// promptly. Requests admitted after this call proceed normally. Returns
+  /// the number of requests that were in flight at the cut.
+  std::size_t DrainTenant(std::string_view tenant);
+
+  /// Force-flushes the admission queue (tests and latency-sensitive
+  /// callers; normal operation relies on the size/count/timeout triggers).
+  void Flush();
+
+  ServiceStatsSnapshot Stats() const;
+  TenantStatsSnapshot TenantStats(std::string_view tenant) const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  enum class RequestType : std::uint8_t { kCompress, kDecompress };
+
+  std::future<ServiceResponse> Submit(RequestType type,
+                                      std::string_view tenant_name,
+                                      Bytes payload);
+  internal::Tenant& FindTenant(std::string_view name) const;
+  void DispatchBatch(BatchQueue::Batch&& batch);
+  void ExecuteBatch(BatchQueue::Batch& batch);
+
+  CodecContext* CheckOutContext();
+  void ReturnContext(CodecContext* context);
+
+  ServiceOptions options_;
+  ServiceClock* clock_;  // options_.clock or the system clock
+
+  mutable std::mutex mu_;
+  /// Wakes blocked submitters (quota refill via clock Advance, completions)
+  /// and the destructor's outstanding-batch wait. Registered with the
+  /// clock so VirtualClock::Advance can wake timed quota waits.
+  std::condition_variable cv_;
+  std::unordered_map<std::string, std::unique_ptr<internal::Tenant>>
+      tenants_;
+  ServiceStatsSnapshot stats_;
+  std::size_t outstanding_batches_ = 0;
+  bool stopping_ = false;
+
+  /// Reusable codec worker state: checked out per batch slot, returned when
+  /// the slot finishes, so encoder scratch and solver instances persist
+  /// across batches instead of being rebuilt per request.
+  std::mutex context_mu_;
+  std::vector<std::unique_ptr<CodecContext>> contexts_;
+  std::vector<CodecContext*> free_contexts_;
+
+  /// Declared last: the queue's flusher may touch everything above.
+  std::unique_ptr<BatchQueue> queue_;
+};
+
+}  // namespace primacy::service

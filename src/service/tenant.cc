@@ -1,0 +1,63 @@
+#include "service/tenant.h"
+
+#include <algorithm>
+
+namespace primacy::service {
+
+namespace {
+constexpr std::uint64_t kNsPerSec = 1'000'000'000ULL;
+}  // namespace
+
+TokenBucket::TokenBucket(std::uint64_t rate, std::uint64_t burst,
+                         std::uint64_t now_ns)
+    : rate_(rate),
+      burst_(rate == 0 ? 0 : (burst == 0 ? rate : burst)),
+      available_(burst_),
+      last_refill_ns_(now_ns) {}
+
+void TokenBucket::Refill(std::uint64_t now_ns) {
+  if (rate_ == 0 || now_ns <= last_refill_ns_) return;
+  const std::uint64_t delta_ns = now_ns - last_refill_ns_;
+  last_refill_ns_ = now_ns;
+  if (available_ >= burst_) {
+    // Full bucket: elapsed time earns nothing, and the carry resets so a
+    // saturated idle period cannot bank fractional credit.
+    carry_byte_ns_ = 0;
+    return;
+  }
+  // tokens = (carry + delta * rate) / 1e9, remainder carried. The 128-bit
+  // product keeps the math exact for any realistic rate x interval.
+  const unsigned __int128 earned_byte_ns =
+      static_cast<unsigned __int128>(delta_ns) * rate_ + carry_byte_ns_;
+  const std::uint64_t tokens =
+      static_cast<std::uint64_t>(earned_byte_ns / kNsPerSec);
+  carry_byte_ns_ = static_cast<std::uint64_t>(earned_byte_ns % kNsPerSec);
+  if (tokens >= burst_ - available_) {
+    available_ = burst_;
+    carry_byte_ns_ = 0;
+  } else {
+    available_ += tokens;
+  }
+}
+
+bool TokenBucket::TryCharge(std::uint64_t bytes) {
+  if (rate_ == 0) return true;
+  if (bytes > available_) return false;
+  available_ -= bytes;
+  return true;
+}
+
+std::uint64_t TokenBucket::RetryAfterNs(std::uint64_t bytes) const {
+  if (rate_ == 0) return 0;
+  const std::uint64_t target = std::min(bytes, burst_);
+  if (target <= available_) return 0;
+  const std::uint64_t deficit = target - available_;
+  // ceil(deficit * 1e9 / rate) minus nothing for the carry: ignoring the
+  // banked carry only ever rounds the hint up, so "advance by the hint"
+  // always crosses the admit boundary.
+  const unsigned __int128 need_byte_ns =
+      static_cast<unsigned __int128>(deficit) * kNsPerSec;
+  return static_cast<std::uint64_t>((need_byte_ns + rate_ - 1) / rate_);
+}
+
+}  // namespace primacy::service

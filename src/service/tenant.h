@@ -1,0 +1,119 @@
+// Per-tenant admission state: byte quotas, in-flight limits, backpressure
+// policy, and the tenant's share of the service's decoded-block cache.
+//
+// Quotas are a classic token bucket, but refilled lazily from a
+// ServiceClock instead of a refill thread: every admission attempt first
+// credits the tokens the elapsed virtual time earned. The arithmetic is
+// exact-integer (a byte·ns carry instead of floating accrual), so a test
+// that advances a VirtualClock by precisely the returned retry-after always
+// lands on the admit side of the boundary — determinism the virtual-clock
+// suite relies on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace primacy::service {
+
+/// What to do with a request the tenant's quota or in-flight limit cannot
+/// admit right now.
+enum class BackpressurePolicy {
+  /// Fail fast: the response carries kRejectedQuota / kRejectedInflight and
+  /// a retry_after_ns hint (time until the bucket can cover the request).
+  kReject,
+  /// Hold the submitting caller inside Submit until capacity frees up
+  /// (quota refill or a completion). Blocking respects the service clock,
+  /// so virtual-clock tests unblock by advancing time.
+  kBlock,
+};
+
+struct TenantConfig {
+  /// Label for stats and telemetry series; must match [A-Za-z0-9_.-]+ (it
+  /// is rendered into Prometheus label values).
+  std::string name;
+  /// Sustained admission rate in bytes/second; 0 = unlimited (no bucket).
+  std::uint64_t quota_bytes_per_sec = 0;
+  /// Bucket capacity: how many bytes may be admitted in one burst. 0 with a
+  /// nonzero rate defaults to one second of rate.
+  std::uint64_t quota_burst_bytes = 0;
+  /// Admitted-but-not-completed request cap; 0 = unlimited.
+  std::size_t max_inflight = 0;
+  BackpressurePolicy on_pressure = BackpressurePolicy::kReject;
+  /// This tenant's fraction of ServiceOptions.cache_capacity_bytes, carved
+  /// into a private decoded-block cache for its decompress traffic (so one
+  /// tenant's working set can never evict another's). <= 0 disables the
+  /// tenant's cache partition.
+  double cache_share = 0.0;
+  /// Byte budget for the tenant's compress-result memo: a content-addressed
+  /// LRU over (input, stream) pairs that serves repeated compression of the
+  /// same payload from memory — the compress-side analogue of the decoded
+  /// -block cache partition. Hits are full-payload verified (a 64-bit hash
+  /// collision degrades to a miss, never a wrong stream), which is only
+  /// sound because the codec is deterministic for fixed options. 0 = off.
+  std::size_t memo_bytes = 0;
+};
+
+/// Lazily refilled token bucket over a ServiceClock timeline. Not
+/// thread-safe on its own: the service serializes calls under its mutex.
+class TokenBucket {
+ public:
+  /// `rate` in bytes/sec (0 = unlimited: every TryCharge succeeds),
+  /// `burst` in bytes, `now_ns` the clock reading at construction.
+  TokenBucket(std::uint64_t rate, std::uint64_t burst, std::uint64_t now_ns);
+
+  /// Credits tokens earned since the last refill, capped at the burst size.
+  void Refill(std::uint64_t now_ns);
+
+  /// Spends `bytes` if available (callers Refill first). Oversized requests
+  /// (bytes > burst) are charged by draining the bucket into debt-free
+  /// rejection: TryCharge returns false and RetryAfterNs reports the time
+  /// until a full burst, the closest the bucket can get.
+  bool TryCharge(std::uint64_t bytes);
+
+  /// Nanoseconds of refill needed before `bytes` could be charged — the
+  /// retry_after hint. Exact: advancing the clock by this amount and
+  /// refilling guarantees TryCharge(bytes) succeeds, provided bytes fits
+  /// the burst. Requests beyond the burst report time-to-full-burst.
+  std::uint64_t RetryAfterNs(std::uint64_t bytes) const;
+
+  std::uint64_t available() const { return available_; }
+  /// Effective bucket capacity (burst == 0 defaulted to one second of rate).
+  std::uint64_t burst() const { return burst_; }
+  bool unlimited() const { return rate_ == 0; }
+
+ private:
+  std::uint64_t rate_;   // bytes per second
+  std::uint64_t burst_;  // bucket capacity in bytes
+  std::uint64_t available_;
+  std::uint64_t last_refill_ns_;
+  /// Sub-byte refill remainder in byte·nanoseconds, in [0, 1e9). Carrying
+  /// it instead of truncating keeps long refill sequences exact regardless
+  /// of how the elapsed time is sliced.
+  std::uint64_t carry_byte_ns_ = 0;
+};
+
+/// Point-in-time view of one tenant's accounting (exact functional
+/// counters, maintained under the service mutex — available even when the
+/// build compiles telemetry out).
+struct TenantStatsSnapshot {
+  std::uint64_t admitted_requests = 0;
+  std::uint64_t admitted_bytes = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t rejected_inflight = 0;
+  std::uint64_t rejected_bytes = 0;
+  std::uint64_t completed = 0;  // kOk responses
+  std::uint64_t cancelled = 0;  // drained before execution
+  std::uint64_t failed = 0;     // codec threw; kError responses
+  std::size_t inflight = 0;
+  std::uint64_t quota_available_bytes = 0;
+  /// Decoded-block cache partition counters; all-zero when the tenant has
+  /// no cache share.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// Compress-result memo counters; all-zero when memo_bytes == 0.
+  std::uint64_t memo_hits = 0;
+  std::size_t memo_bytes_used = 0;
+};
+
+}  // namespace primacy::service

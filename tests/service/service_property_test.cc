@@ -1,0 +1,169 @@
+// Property: for ANY interleaving of batched requests, every response is
+// byte-identical to the corresponding direct library call. Batching decides
+// when and where work runs — never what it produces. Inputs mix the golden
+// corpus files (real committed data, including the adversarial noise file
+// that takes the stored-stream fallback) with seeded random slices whose
+// sizes deliberately include non-multiples of 8 (tail-byte paths).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/primacy_codec.h"
+#include "service/clock.h"
+#include "service/service.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace primacy::service {
+namespace {
+
+Bytes ReadGolden(const std::string& name) {
+  const std::string path = std::string(PRIMACY_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing golden file " << path;
+  std::vector<char> data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  return ToBytes(ByteSpan(reinterpret_cast<const std::byte*>(data.data()),
+                          data.size()));
+}
+
+// A deterministic pool of payloads: golden-corpus slices plus random data,
+// with sizes that are not multiples of the element width (tail path) and a
+// tiny sub-element payload.
+std::vector<Bytes> BuildInputPool(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bytes> pool;
+  const Bytes input = ReadGolden("input.bin");
+  const Bytes noise = ReadGolden("noise.bin");
+  pool.push_back(input);
+  pool.push_back(noise);  // incompressible: exercises the stored fallback
+  for (const std::size_t size : {4096ul, 4097ul, 8000ul, 123ul, 5ul}) {
+    Bytes payload(size);
+    for (auto& b : payload) {
+      b = static_cast<std::byte>(rng.NextBelow(256));
+    }
+    pool.push_back(std::move(payload));
+  }
+  // Compressible slices of varying length from the golden input.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::size_t take =
+        std::min<std::size_t>(input.size(), 512 + 809 * i);
+    pool.push_back(ToBytes(ByteSpan(input.data(), take)));
+  }
+  return pool;
+}
+
+TEST(ServicePropertyTest, AnyInterleavingIsByteIdenticalToDirectCalls) {
+  const std::vector<Bytes> inputs = BuildInputPool(/*seed=*/20260808);
+
+  // Expected outputs from direct, unbatched library calls.
+  PrimacyOptions direct_options;
+  direct_options.threads = 1;
+  const PrimacyCompressor compressor(direct_options);
+  const PrimacyDecompressor decompressor(direct_options);
+  std::vector<Bytes> expected_streams;
+  for (const Bytes& input : inputs) {
+    expected_streams.push_back(compressor.CompressBytes(input));
+  }
+
+  VirtualClock clock;
+  ServiceOptions options;
+  options.batch.flush_bytes = 16 * 1024;  // small: force many batch cuts
+  options.batch.flush_requests = 7;       // and count cuts interleaved
+  options.batch.flush_timeout_ns = 1ULL << 60;
+  options.clock = &clock;
+  CompressionService service(options);
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 24;
+  for (int t = 0; t < kThreads; ++t) {
+    service.AddTenant({.name = "tenant" + std::to_string(t)});
+  }
+
+  struct Pending {
+    std::size_t input_index;
+    bool decompress;
+    std::future<ServiceResponse> future;
+  };
+  std::vector<std::vector<Pending>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<std::uint64_t>(t));  // per-thread deterministic request sequence
+      const std::string tenant = "tenant" + std::to_string(t);
+      for (int r = 0; r < kRequestsPerThread; ++r) {
+        const std::size_t index = rng.NextBelow(inputs.size());
+        const bool decompress = rng.NextBelow(2) == 1;
+        Bytes payload = decompress ? expected_streams[index] : inputs[index];
+        auto future =
+            decompress ? service.SubmitDecompress(tenant, std::move(payload))
+                       : service.SubmitCompress(tenant, std::move(payload));
+        per_thread[static_cast<std::size_t>(t)].push_back({index, decompress, std::move(future)});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  service.Flush();  // whatever the triggers left pending
+
+  std::size_t verified = 0;
+  for (auto& pendings : per_thread) {
+    for (Pending& pending : pendings) {
+      ServiceResponse response = pending.future.get();
+      ASSERT_TRUE(response.ok()) << response.error;
+      const Bytes& expected = pending.decompress
+                                  ? inputs[pending.input_index]
+                                  : expected_streams[pending.input_index];
+      ASSERT_EQ(response.payload, expected)
+          << "input " << pending.input_index
+          << (pending.decompress ? " (decompress)" : " (compress)");
+      ++verified;
+    }
+  }
+  EXPECT_EQ(verified, kThreads * kRequestsPerThread);
+  // Batching actually engaged: fewer batches than requests.
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.batch.items, verified);
+  EXPECT_LT(stats.batch.batches, verified);
+}
+
+// Round-trip through the service in both directions for every pool input,
+// single-tenant, exercising encoder-context reuse across many batches.
+TEST(ServicePropertyTest, SequentialRoundTripsStayByteIdentical) {
+  const std::vector<Bytes> inputs = BuildInputPool(/*seed=*/777);
+  PrimacyOptions direct_options;
+  direct_options.threads = 1;
+  const PrimacyCompressor compressor(direct_options);
+
+  VirtualClock clock;
+  ServiceOptions options;
+  options.batch.flush_bytes = 0;
+  options.batch.flush_requests = 3;
+  options.batch.flush_timeout_ns = 1ULL << 60;
+  options.clock = &clock;
+  CompressionService service(options);
+  service.AddTenant({.name = "solo"});
+
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::future<ServiceResponse>> futures;
+    for (const Bytes& input : inputs) {
+      futures.push_back(service.SubmitCompress("solo", input));
+    }
+    service.Flush();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      ServiceResponse response = futures[i].get();
+      ASSERT_TRUE(response.ok()) << response.error;
+      ASSERT_EQ(response.payload, compressor.CompressBytes(inputs[i]))
+          << "round " << round << " input " << i;
+      auto restored = service.SubmitDecompress("solo", response.payload);
+      service.Flush();
+      ASSERT_EQ(restored.get().payload, inputs[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace primacy::service

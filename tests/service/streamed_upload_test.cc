@@ -1,0 +1,144 @@
+// Regression coverage for the streaming-writer format gap (ROADMAP
+// "streaming writer parity") and the service's streamed-upload path built
+// around it.
+//
+// PrimacyStreamWriter still emits format v1 only: it cannot seek back to
+// plant the v2/v3 chunk directory + footer, so its output has no random
+// access and no checksums. The first test pins that behavior — when parity
+// lands (a footer-carrying v2/v3 streamed format), its assertions flip and
+// the test must be updated alongside the feature. Until then the service
+// refuses non-seekable upload sinks outright rather than silently
+// degrading, and routes seekable uploads through the one-shot compressor,
+// which emits full v3 streams.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/primacy_codec.h"
+#include "core/stream_format.h"
+#include "core/streaming.h"
+#include "service/clock.h"
+#include "service/service.h"
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace primacy::service {
+namespace {
+
+std::vector<double> MakeValues(std::size_t count) {
+  std::vector<double> values(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    values[i] = 1.5 + static_cast<double>(i) * 0.125;
+  }
+  return values;
+}
+
+// Documents the gap: even with default (v3-capable) options, the streaming
+// writer downgrades to v1 — no chunk directory, no footer, no checksums,
+// and the seekable decompressor refuses the stream. If this test starts
+// failing because stream[4] != 1, streaming parity has landed: update the
+// service's BeginUpload policy (and this test) to accept non-seekable
+// sinks.
+TEST(ServiceStreamedUpload, StreamWriterStillEmitsV1OnlyStreams) {
+  Bytes stream;
+  PrimacyOptions options;  // defaults request the current (v3) format
+  PrimacyStreamWriter writer(
+      [&stream](ByteSpan data) { primacy::AppendBytes(stream, data); },
+      options);
+  const std::vector<double> values = MakeValues(512);
+  writer.Append(values);
+  writer.Finish();
+
+  ASSERT_GT(stream.size(), 5u);
+  // Byte 4 is the format version (after the 4-byte magic).
+  EXPECT_EQ(static_cast<std::uint8_t>(stream[4]),
+            primacy::internal::kFormatVersion1)
+      << "streaming writer now emits v" << static_cast<int>(stream[4])
+      << " — parity landed; relax BeginUpload's non-seekable rejection";
+
+  // Consequence of v1-with-sentinel: no random access. The one-shot
+  // decompressor (and with it DecompressRange) refuses streamed streams.
+  PrimacyDecompressor decompressor;
+  EXPECT_THROW(decompressor.DecompressBytes(stream), CorruptStreamError);
+  EXPECT_THROW(decompressor.DecompressRange(stream, 0, 16),
+               CorruptStreamError);
+  // The sequential reader still handles it fine — that is all v1 offers.
+  PrimacyStreamReader reader{ByteSpan(stream)};
+  EXPECT_EQ(reader.ReadAllDoubles(), values);
+}
+
+TEST(ServiceStreamedUpload, NonSeekableSinkIsRejectedWithClearError) {
+  VirtualClock clock;
+  ServiceOptions options;
+  options.clock = &clock;
+  CompressionService service(options);
+  service.AddTenant({.name = "uploader"});
+  try {
+    service.BeginUpload("uploader", UploadSink::kNonSeekableStream);
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    // The message must say what is unsupported and why, not just "invalid".
+    const std::string message = e.what();
+    EXPECT_NE(message.find("non-seekable"), std::string::npos) << message;
+    EXPECT_NE(message.find("v1"), std::string::npos) << message;
+    EXPECT_NE(message.find("streaming writer parity"), std::string::npos)
+        << message;
+  }
+  EXPECT_THROW(service.BeginUpload("ghost", UploadSink::kSeekableBuffer),
+               InvalidArgumentError);
+}
+
+TEST(ServiceStreamedUpload, SeekableUploadProducesFullSeekableV3Stream) {
+  VirtualClock clock;
+  ServiceOptions options;
+  options.batch.flush_bytes = 0;
+  options.batch.flush_requests = 0;
+  options.batch.flush_timeout_ns = 1ULL << 60;
+  options.clock = &clock;
+  CompressionService service(options);
+  service.AddTenant({.name = "uploader"});
+
+  const std::vector<double> values = MakeValues(2048);
+  Bytes whole(values.size() * sizeof(double));
+  std::memcpy(whole.data(), values.data(), whole.size());
+
+  UploadSession session =
+      service.BeginUpload("uploader", UploadSink::kSeekableBuffer);
+  // Append in ragged pieces (including one that splits an element).
+  std::size_t offset = 0;
+  for (const std::size_t piece : {4096ul, 100ul, 8000ul}) {
+    const std::size_t take = std::min(piece, whole.size() - offset);
+    session.Append(ByteSpan(whole.data() + offset, take));
+    offset += take;
+  }
+  session.Append(ByteSpan(whole.data() + offset, whole.size() - offset));
+  EXPECT_EQ(session.buffered_bytes(), whole.size());
+
+  auto future = session.Finish();
+  EXPECT_THROW(session.Append(ByteSpan(whole.data(), 1)),
+               InvalidArgumentError);
+  service.Flush();
+  ServiceResponse response = future.get();
+  ASSERT_TRUE(response.ok()) << response.error;
+
+  // Byte-identical to the direct one-shot compression of the concatenation.
+  PrimacyOptions direct_options;
+  direct_options.threads = 1;
+  EXPECT_EQ(response.payload,
+            PrimacyCompressor(direct_options).CompressBytes(whole));
+  // And a genuine v3 stream: current version byte, random access works.
+  EXPECT_EQ(static_cast<std::uint8_t>(response.payload[4]),
+            primacy::internal::kFormatVersion3);
+  PrimacyDecompressor decompressor;
+  const std::vector<double> slice =
+      decompressor.DecompressRange(response.payload, 100, 64);
+  ASSERT_EQ(slice.size(), 64u);
+  for (std::size_t i = 0; i < slice.size(); ++i) {
+    EXPECT_EQ(slice[i], values[100 + i]);
+  }
+}
+
+}  // namespace
+}  // namespace primacy::service

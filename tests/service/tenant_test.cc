@@ -1,0 +1,84 @@
+// TokenBucket arithmetic: the admission math must be exact-integer so
+// virtual-clock tests land deterministically on admit/reject boundaries.
+#include "service/tenant.h"
+
+#include <gtest/gtest.h>
+
+namespace primacy::service {
+namespace {
+
+TEST(ServiceTokenBucket, UnlimitedBucketAlwaysAdmits) {
+  TokenBucket bucket(/*rate=*/0, /*burst=*/0, /*now_ns=*/0);
+  EXPECT_TRUE(bucket.unlimited());
+  EXPECT_TRUE(bucket.TryCharge(1'000'000'000));
+  EXPECT_EQ(bucket.RetryAfterNs(1'000'000'000), 0u);
+}
+
+TEST(ServiceTokenBucket, StartsFullAndChargesDown) {
+  TokenBucket bucket(/*rate=*/1000, /*burst=*/500, /*now_ns=*/0);
+  EXPECT_EQ(bucket.available(), 500u);
+  EXPECT_TRUE(bucket.TryCharge(300));
+  EXPECT_EQ(bucket.available(), 200u);
+  EXPECT_FALSE(bucket.TryCharge(250));
+  EXPECT_EQ(bucket.available(), 200u);  // a failed charge spends nothing
+}
+
+TEST(ServiceTokenBucket, BurstDefaultsToOneSecondOfRate) {
+  TokenBucket bucket(/*rate=*/1000, /*burst=*/0, /*now_ns=*/0);
+  EXPECT_EQ(bucket.burst(), 1000u);
+  EXPECT_EQ(bucket.available(), 1000u);
+}
+
+// Fractional refill must carry, not truncate: at 3 bytes/sec, 333333333 ns
+// earns 0.999999999 bytes — zero tokens, but the remainder is banked so the
+// next nanosecond tips it over.
+TEST(ServiceTokenBucket, RefillCarriesSubByteRemainders) {
+  TokenBucket bucket(/*rate=*/3, /*burst=*/10, /*now_ns=*/0);
+  ASSERT_TRUE(bucket.TryCharge(10));  // drain
+  bucket.Refill(333'333'333);
+  EXPECT_EQ(bucket.available(), 0u);
+  bucket.Refill(333'333'334);
+  EXPECT_EQ(bucket.available(), 1u);
+}
+
+// The determinism contract the service suite leans on: advancing by exactly
+// RetryAfterNs admits; one nanosecond less still rejects.
+TEST(ServiceTokenBucket, RetryAfterIsAnExactBoundary) {
+  TokenBucket bucket(/*rate=*/1000, /*burst=*/500, /*now_ns=*/0);
+  ASSERT_TRUE(bucket.TryCharge(500));  // drain
+  const std::uint64_t retry = bucket.RetryAfterNs(100);
+  EXPECT_EQ(retry, 100'000'000u);  // 100 bytes at 1000 B/s
+  bucket.Refill(retry - 1);
+  EXPECT_FALSE(bucket.TryCharge(100));
+  bucket.Refill(retry);
+  EXPECT_TRUE(bucket.TryCharge(100));
+}
+
+TEST(ServiceTokenBucket, SaturatedIdleBanksNoCredit) {
+  TokenBucket bucket(/*rate=*/1000, /*burst=*/100, /*now_ns=*/0);
+  // Ten seconds at a full bucket earn nothing — no carry, no overfill.
+  bucket.Refill(10'000'000'000ULL);
+  EXPECT_EQ(bucket.available(), 100u);
+  ASSERT_TRUE(bucket.TryCharge(100));
+  // Credit accrues only from the moment the bucket left saturation.
+  bucket.Refill(10'000'000'000ULL + 1'000'000);  // +1 ms = 1 byte
+  EXPECT_EQ(bucket.available(), 1u);
+}
+
+TEST(ServiceTokenBucket, RefillCapsAtBurst) {
+  TokenBucket bucket(/*rate=*/1000, /*burst=*/100, /*now_ns=*/0);
+  ASSERT_TRUE(bucket.TryCharge(100));
+  bucket.Refill(5'000'000'000ULL);  // would earn 5000 bytes; caps at 100
+  EXPECT_EQ(bucket.available(), 100u);
+}
+
+TEST(ServiceTokenBucket, OversizedRequestReportsTimeToFullBurst) {
+  TokenBucket bucket(/*rate=*/1000, /*burst=*/500, /*now_ns=*/0);
+  // A full bucket is the closest the bucket can ever get to 600 bytes.
+  EXPECT_EQ(bucket.RetryAfterNs(600), 0u);
+  ASSERT_TRUE(bucket.TryCharge(500));
+  EXPECT_EQ(bucket.RetryAfterNs(600), 500'000'000u);  // time to refill 500
+}
+
+}  // namespace
+}  // namespace primacy::service
