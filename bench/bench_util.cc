@@ -7,6 +7,7 @@
 #include <map>
 #include <optional>
 
+#include "telemetry/exporter/observability_hub.h"
 #include "util/error.h"
 #include "util/timer.h"
 
@@ -74,6 +75,10 @@ void Init(int argc, char** argv) {
       std::exit(2);
     }
   }
+  // Any bench becomes scrapeable/traceable/profilable without code changes:
+  // PRIMACY_METRICS_PORT / PRIMACY_TRACE_DIR / PRIMACY_PROFILE_HZ. No-op
+  // when none are set (and when telemetry is compiled out).
+  telemetry::MaybeStartHubFromEnv();
 }
 
 bool Quick() { return Config().quick; }

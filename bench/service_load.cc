@@ -34,7 +34,9 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/chunk_pipeline.h"
 #include "service/service.h"
+#include "telemetry/metrics.h"
 #include "util/checksum.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -223,19 +225,78 @@ ModeResult RunService(const std::vector<TenantWorkload>& workloads,
   return result;
 }
 
-void Report(BenchReport& report, const std::string& mode,
-            const ModeResult& result) {
+BenchReport::Entry& Report(BenchReport& report, const std::string& mode,
+                           const ModeResult& result) {
   std::printf("  %-18s %8.0f req/s  %7.1f MB/s  %6.3f s  %s\n", mode.c_str(),
               result.RequestsPerSec(), result.MBps(), result.seconds,
               result.mismatches == 0 ? "all verified"
                                      : "VERIFICATION FAILED");
-  report.AddEntry(mode)
+  return report.AddEntry(mode)
       .Set("requests", static_cast<std::size_t>(result.requests))
       .Set("seconds", result.seconds)
       .Set("requests_per_sec", result.RequestsPerSec())
       .Set("mb_per_sec", result.MBps())
       .Set("mismatches", static_cast<std::size_t>(result.mismatches))
       .Set("verified", result.mismatches == 0);
+}
+
+/// Per-stage duration histograms at one instant, both pipelines. Captured
+/// around each mode so DeltaSince isolates that mode's distribution even
+/// though the registry accumulates across the whole process.
+struct StageHistograms {
+  std::array<primacy::telemetry::HistogramSnapshot,
+             primacy::telemetry::kStageCount>
+      encode;
+  std::array<primacy::telemetry::HistogramSnapshot,
+             primacy::telemetry::kStageCount>
+      decode;
+
+  static StageHistograms Capture() {
+    namespace tel = primacy::telemetry;
+    StageHistograms snapshot;
+    auto& registry = tel::MetricsRegistry::Global();
+    // Bounds must match the pipeline's registration (first caller fixes
+    // the buckets) — StageSecondsBounds() is that contract.
+    const std::span<const double> bounds = primacy::StageSecondsBounds();
+    for (std::size_t s = 0; s < tel::kStageCount; ++s) {
+      const std::string label =
+          "stage=\"" +
+          std::string(tel::StageName(static_cast<tel::Stage>(s))) + "\"";
+      snapshot.encode[s] =
+          registry.GetHistogram("primacy_encode_stage_seconds", bounds, label)
+              .Snapshot();
+      snapshot.decode[s] =
+          registry.GetHistogram("primacy_decode_stage_seconds", bounds, label)
+              .Snapshot();
+    }
+    return snapshot;
+  }
+};
+
+/// Adds p50/p95/p99 per-chunk stage latencies for every stage this mode
+/// exercised (flat keys, e.g. p99_encode_solver_s) to the mode's entry.
+void AddStagePercentiles(BenchReport::Entry& entry,
+                         const StageHistograms& before,
+                         const StageHistograms& after) {
+  namespace tel = primacy::telemetry;
+  const struct {
+    const char* prefix;
+    const std::array<tel::HistogramSnapshot, tel::kStageCount>& earlier;
+    const std::array<tel::HistogramSnapshot, tel::kStageCount>& later;
+  } pipelines[] = {{"encode", before.encode, after.encode},
+                   {"decode", before.decode, after.decode}};
+  for (const auto& pipeline : pipelines) {
+    for (std::size_t s = 0; s < tel::kStageCount; ++s) {
+      const tel::HistogramSnapshot delta =
+          pipeline.later[s].DeltaSince(pipeline.earlier[s]);
+      if (delta.count == 0) continue;
+      const std::string stage(tel::StageName(static_cast<tel::Stage>(s)));
+      const std::string key = std::string(pipeline.prefix) + "_" + stage;
+      entry.Set("p50_" + key + "_s", delta.Quantile(0.50))
+          .Set("p95_" + key + "_s", delta.Quantile(0.95))
+          .Set("p99_" + key + "_s", delta.Quantile(0.99));
+    }
+  }
 }
 
 }  // namespace
@@ -256,8 +317,14 @@ int main(int argc, char** argv) {
 
   BenchReport report("service");
 
+  StageHistograms stage_mark = StageHistograms::Capture();
   const ModeResult direct = RunDirectDispatch(workloads);
-  Report(report, "direct_dispatch", direct);
+  {
+    const StageHistograms now = StageHistograms::Capture();
+    AddStagePercentiles(Report(report, "direct_dispatch", direct),
+                        stage_mark, now);
+    stage_mark = now;
+  }
 
   primacy::service::BatchOptions unbatched;
   unbatched.flush_timeout_ns = 0;  // flush on every push: no coalescing
@@ -265,7 +332,12 @@ int main(int argc, char** argv) {
   std::uint64_t unbatched_memo_hits = 0;
   const ModeResult service_unbatched = RunService(
       workloads, unbatched, &unbatched_cache_hits, &unbatched_memo_hits);
-  Report(report, "service_unbatched", service_unbatched);
+  {
+    const StageHistograms now = StageHistograms::Capture();
+    AddStagePercentiles(Report(report, "service_unbatched", service_unbatched),
+                        stage_mark, now);
+    stage_mark = now;
+  }
 
   primacy::service::BatchOptions batched;
   batched.flush_bytes = 32 * 1024;     // ~8 requests
@@ -275,7 +347,8 @@ int main(int argc, char** argv) {
   std::uint64_t batched_memo_hits = 0;
   const ModeResult service_batched =
       RunService(workloads, batched, &batched_cache_hits, &batched_memo_hits);
-  Report(report, "service_batched", service_batched);
+  AddStagePercentiles(Report(report, "service_batched", service_batched),
+                      stage_mark, StageHistograms::Capture());
   std::printf("  service hit counts: unbatched cache=%llu memo=%llu | "
               "batched cache=%llu memo=%llu\n",
               static_cast<unsigned long long>(unbatched_cache_hits),

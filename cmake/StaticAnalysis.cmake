@@ -76,4 +76,10 @@ if(PRIMACY_BUILD_TESTS)
     COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/primacy_lint
             --self-test
     WORKING_DIRECTORY ${CMAKE_SOURCE_DIR})
+  # The /metrics validator CI uses against a live scrape must itself keep
+  # accepting the exporter's shapes and rejecting malformed expositions.
+  add_test(NAME PromtextSelfTest
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/check_promtext.py
+            --self-test
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR})
 endif()

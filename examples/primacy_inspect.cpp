@@ -22,7 +22,16 @@
 //                                     primacy_cache_* metric series;
 //                                     --no-cache disables the cache to show
 //                                     the passthrough baseline
+//   ./primacy_inspect --serve [port]  run a demo roundtrip workload in a
+//                                     loop while serving the observability
+//                                     endpoints (/metrics, /healthz,
+//                                     /readyz, /statusz, /profilez) on
+//                                     127.0.0.1:<port> (0 or omitted =
+//                                     ephemeral, printed on stdout); GET
+//                                     /quitquitquit stops the process —
+//                                     the target CI scrapes live
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -31,6 +40,7 @@
 #include "core/primacy_codec.h"
 #include "core/stream_format.h"
 #include "datasets/datasets.h"
+#include "telemetry/exporter/observability_hub.h"
 #include "telemetry/metrics.h"
 #include "util/error.h"
 
@@ -226,6 +236,53 @@ int CacheStats(const char* path, bool use_cache) {
   return 0;
 }
 
+/// Serves the observability endpoints over a continuously-running demo
+/// roundtrip workload, so a scrape (or a person with curl) sees live
+/// counters, stage histograms, and profiler samples. Stops on
+/// GET /quitquitquit.
+int Serve(int port) {
+  using namespace primacy;
+  if (!telemetry::kEnabled) {
+    std::fprintf(stderr,
+                 "error: built with PRIMACY_TELEMETRY=OFF; there is no "
+                 "endpoint to serve\n");
+    return 2;
+  }
+  telemetry::ObservabilityHubOptions hub_options;
+  hub_options.http_port = port;
+  hub_options.enable_quit_endpoint = true;
+  hub_options.profile_interval_ns = 1'000'000;  // 1 kHz stage sampling
+  if (const char* dir = std::getenv("PRIMACY_TRACE_DIR")) {
+    hub_options.trace_dir = dir;  // also rotate trace segments while serving
+  }
+  telemetry::ObservabilityHub hub(std::move(hub_options));
+  hub.Start();
+  if (hub.HttpPort() < 0) {
+    std::fprintf(stderr, "error: cannot bind 127.0.0.1:%d\n", port);
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%d — GET /metrics /healthz /readyz "
+              "/statusz /profilez; GET /quitquitquit stops\n",
+              hub.HttpPort());
+  std::fflush(stdout);
+
+  PrimacyOptions options;
+  options.chunk_bytes = 64 * 1024;
+  const auto values = GenerateDatasetByName("num_plasma", 1u << 16);
+  const PrimacyCompressor compressor(options);
+  const PrimacyDecompressor decompressor(options);
+  std::uint64_t rounds = 0;
+  while (!hub.ShutdownRequested()) {
+    const Bytes stream = compressor.Compress(values);
+    decompressor.Decompress(stream);
+    ++rounds;
+  }
+  hub.Stop();
+  std::printf("shutdown requested after %llu roundtrips\n",
+              static_cast<unsigned long long>(rounds));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -263,6 +320,9 @@ int main(int argc, char** argv) {
     if ((argc == 2 || argc == 3) && std::string(argv[1]) == "--metrics") {
       return Metrics(argc == 3 ? argv[2] : nullptr);
     }
+    if ((argc == 2 || argc == 3) && std::string(argv[1]) == "--serve") {
+      return Serve(argc == 3 ? std::atoi(argv[2]) : 0);
+    }
     if (argc == 2) {
       const primacy::Bytes stream = ReadFile(argv[1]);
       Inspect(stream);
@@ -271,7 +331,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: primacy_inspect <file> | --verify <file> | "
                  "--demo [dataset] | --metrics [file] | "
-                 "[--no-cache] --cache-stats [file]\n");
+                 "[--no-cache] --cache-stats [file] | --serve [port]\n");
     return 2;
   } catch (const primacy::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -9,6 +9,7 @@
 #include "core/id_mapper.h"
 #include "isobar/partitioned_codec.h"
 #include "telemetry/metrics.h"
+#include "telemetry/stage_stack.h"
 #include "telemetry/trace.h"
 #include "util/byte_matrix.h"
 #include "util/error.h"
@@ -18,6 +19,10 @@ namespace primacy {
 namespace {
 
 constexpr std::size_t kHighWidth = 2;
+
+/// Per-chunk per-stage durations: 1 µs up to ~1 s, one bucket per decade.
+constexpr std::array<double, 7> kStageSecondsBounds = {
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0};
 
 /// Registry handles for the encode/decode pipelines, resolved once. The
 /// per-stage counters live in one family keyed by a `stage` label so a
@@ -31,6 +36,10 @@ struct PipelineMetrics {
   telemetry::Histogram& encode_chunk_bytes;
   std::array<telemetry::Counter*, telemetry::kStageCount> encode_stage_ns;
   std::array<telemetry::Counter*, telemetry::kStageCount> decode_stage_ns;
+  std::array<telemetry::Histogram*, telemetry::kStageCount>
+      encode_stage_seconds;
+  std::array<telemetry::Histogram*, telemetry::kStageCount>
+      decode_stage_seconds;
 
   static PipelineMetrics& Get() {
     static PipelineMetrics* metrics = [] {
@@ -46,6 +55,8 @@ struct PipelineMetrics {
           registry.GetCounter("primacy_decode_output_bytes_total"),
           registry.GetHistogram("primacy_encode_chunk_bytes", kChunkBytesBounds),
           {},
+          {},
+          {},
           {}};
       for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
         const auto stage = static_cast<telemetry::Stage>(s);
@@ -55,6 +66,10 @@ struct PipelineMetrics {
             &registry.GetCounter("primacy_encode_stage_ns_total", label);
         m->decode_stage_ns[s] =
             &registry.GetCounter("primacy_decode_stage_ns_total", label);
+        m->encode_stage_seconds[s] = &registry.GetHistogram(
+            "primacy_encode_stage_seconds", kStageSecondsBounds, label);
+        m->decode_stage_seconds[s] = &registry.GetHistogram(
+            "primacy_decode_stage_seconds", kStageSecondsBounds, label);
       }
       return m;
     }();
@@ -62,12 +77,17 @@ struct PipelineMetrics {
   }
 };
 
-/// Publishes one chunk's stage laps to the registry counter family.
+/// Publishes one chunk's stage laps to the registry counter family and the
+/// matching per-chunk duration histograms.
 void PublishStageNs(
     const std::array<telemetry::Counter*, telemetry::kStageCount>& counters,
+    const std::array<telemetry::Histogram*, telemetry::kStageCount>& seconds,
     const telemetry::StageBreakdown& breakdown) {
   for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
-    if (breakdown.ns[s] != 0) counters[s]->Increment(breakdown.ns[s]);
+    if (breakdown.ns[s] != 0) {
+      counters[s]->Increment(breakdown.ns[s]);
+      seconds[s]->Observe(static_cast<double>(breakdown.ns[s]) * 1e-9);
+    }
   }
 }
 
@@ -84,6 +104,8 @@ double FrequencyCorrelation(const PairFrequency& a, const PairFrequency& b) {
 }
 
 }  // namespace
+
+std::span<const double> StageSecondsBounds() { return kStageSecondsBounds; }
 
 void AccumulateChunkStats(PrimacyStats& totals, const ChunkRecordStats& chunk) {
   totals.chunks += 1;
@@ -129,11 +151,15 @@ ChunkRecordStats ChunkEncoder::EncodeChunk(ByteSpan chunk, Bytes& out) {
   ChunkRecordStats stats;
   stats.elements = count;
   telemetry::StageClock clock;
+  // Marks the worker's live stage for the sampling profiler; retargeted at
+  // each stage boundary alongside the lap-timer charge.
+  telemetry::StageScope profile(telemetry::Stage::kSplit);
 
   // 1. Big-endian byte significance, then the high/low split.
   const Bytes rows = ToBigEndianRows(chunk, width);
   const SplitBytes split = SplitHighLow(rows, width, kHighWidth);
   clock.Lap(stats.stage, telemetry::Stage::kSplit);
+  profile.Switch(telemetry::Stage::kFrequency);
 
   // 2. Frequency analysis + index selection. Under kReuseWhenCorrelated, a
   // chunk whose frequency vector correlates with the previous chunk's keeps
@@ -168,17 +194,21 @@ ChunkRecordStats ChunkEncoder::EncodeChunk(ByteSpan chunk, Bytes& out) {
   std::swap(prev_freq_->counts, freq_scratch_.counts);
   const IdIndex& index = *prev_index_;
   clock.Lap(stats.stage, telemetry::Stage::kFrequency);
+  profile.Switch(telemetry::Stage::kIdMap);
 
   // 3-4. ID mapping, linearization, solver compression.
   const Bytes id_bytes = MapToIds(split.high, index, options_.linearization);
   clock.Lap(stats.stage, telemetry::Stage::kIdMap);
+  profile.Switch(telemetry::Stage::kSolver);
   const Bytes id_compressed = solver_.Compress(id_bytes);
   clock.Lap(stats.stage, telemetry::Stage::kSolver);
+  profile.Switch(telemetry::Stage::kIsobar);
 
   // 5. ISOBAR on the mantissa matrix.
   const IsobarCompressed mantissa =
       IsobarCompress(split.low, width - kHighWidth, solver_, options_.isobar);
   clock.Lap(stats.stage, telemetry::Stage::kIsobar);
+  profile.Switch(telemetry::Stage::kSerialize);
 
   // 6. Chunk record.
   PutVarint(out, count);
@@ -222,7 +252,8 @@ ChunkRecordStats ChunkEncoder::EncodeChunk(ByteSpan chunk, Bytes& out) {
     metrics.encode_output_bytes.Increment(stats.record_bytes);
     metrics.encode_chunk_bytes.Observe(
         static_cast<double>(stats.record_bytes));
-    PublishStageNs(metrics.encode_stage_ns, stats.stage);
+    PublishStageNs(metrics.encode_stage_ns, metrics.encode_stage_seconds,
+                   stats.stage);
   }
   return stats;
 }
@@ -277,6 +308,7 @@ void ChunkDecoder::DecodeChunkInto(ByteReader& reader, std::uint64_t count,
   telemetry::TraceSpan span("primacy.decode_chunk", "elements", count);
   telemetry::StageBreakdown laps;
   telemetry::StageClock clock;
+  telemetry::StageScope profile(telemetry::Stage::kFrequency);
   const std::uint8_t index_flag = reader.GetU8();
   if (index_flag == 1) {
     index_ = DeserializeIndex(reader.GetBlock());
@@ -291,15 +323,19 @@ void ChunkDecoder::DecodeChunkInto(ByteReader& reader, std::uint64_t count,
   // Index deserialization restores the frequency-ranked ID table, so it is
   // charged to the frequency stage (its encode-side dual).
   clock.Lap(laps, telemetry::Stage::kFrequency);
+  profile.Switch(telemetry::Stage::kSolver);
   const Bytes id_bytes = solver_.Decompress(reader.GetBlock());
   clock.Lap(laps, telemetry::Stage::kSolver);
   if (id_bytes.size() != count * kHighWidth) {
     throw CorruptStreamError("primacy: ID byte count mismatch");
   }
+  profile.Switch(telemetry::Stage::kIdMap);
   const Bytes high = MapFromIds(id_bytes, *index_, linearization_);
   clock.Lap(laps, telemetry::Stage::kIdMap);
+  profile.Switch(telemetry::Stage::kIsobar);
   const Bytes low = IsobarDecompress(reader.GetBlock(), solver_);
   clock.Lap(laps, telemetry::Stage::kIsobar);
+  profile.Switch(telemetry::Stage::kMerge);
   const std::size_t low_width = width_ - kHighWidth;
   if (low.size() != count * low_width) {
     throw CorruptStreamError("primacy: mantissa byte count mismatch");
@@ -340,7 +376,8 @@ void ChunkDecoder::DecodeChunkInto(ByteReader& reader, std::uint64_t count,
     PipelineMetrics& metrics = PipelineMetrics::Get();
     metrics.decode_chunks.Increment();
     metrics.decode_output_bytes.Increment(out.size());
-    PublishStageNs(metrics.decode_stage_ns, laps);
+    PublishStageNs(metrics.decode_stage_ns, metrics.decode_stage_seconds,
+                   laps);
   }
 }
 

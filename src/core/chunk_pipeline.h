@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "bitstream/byte_io.h"
 #include "compress/codec.h"
@@ -18,6 +19,12 @@
 #include "telemetry/stage.h"
 
 namespace primacy {
+
+/// Bucket bounds of the primacy_{encode,decode}_stage_seconds histogram
+/// families. Registry histograms fix their buckets at first registration,
+/// so anyone resolving those series (the service_load bench's percentile
+/// reporter) must pass exactly these bounds.
+std::span<const double> StageSecondsBounds();
 
 /// Accounting for a single encoded chunk.
 struct ChunkRecordStats {

@@ -11,6 +11,7 @@
 #include "core/chunk_pipeline.h"
 #include "core/stream_format.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/checksum.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
@@ -53,6 +54,28 @@ const char* ResultLabel(ServiceStatus status) {
     case ServiceStatus::kShuttingDown: return "shutdown";
   }
   return "unknown";
+}
+
+/// `reason` label on primacy_service_rejections_total, or null for
+/// statuses that are not admission refusals. The label set is closed —
+/// quota, inflight, draining — and pinned by the service test suite.
+const char* RejectReason(ServiceStatus status) {
+  switch (status) {
+    case ServiceStatus::kRejectedQuota: return "quota";
+    case ServiceStatus::kRejectedInflight: return "inflight";
+    case ServiceStatus::kShuttingDown: return "draining";
+    default: return nullptr;
+  }
+}
+
+void AppendJsonField(std::string& out, const char* key, std::uint64_t value,
+                     bool* first) {
+  if (!*first) out += ", ";
+  *first = false;
+  out += '"';
+  out += key;
+  out += "\": ";
+  out += std::to_string(value);
 }
 
 }  // namespace
@@ -229,7 +252,7 @@ CompressionService::~CompressionService() {
   queue_->Stop();    // flush pending items; late pushes self-dispatch
   {
     std::unique_lock<std::mutex> lock(mu_);
-    while (outstanding_batches_ != 0) {
+    while (outstanding_batches_ != 0 || active_submitters_ != 0) {
       cv_.wait(lock);
     }
   }
@@ -359,6 +382,80 @@ TenantStatsSnapshot CompressionService::TenantStats(
   return snapshot;
 }
 
+std::vector<SlowRequestEvent> CompressionService::SlowRequests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {slow_requests_.begin(), slow_requests_.end()};
+}
+
+std::string CompressionService::StatusJson() const {
+  std::vector<std::string> names;
+  std::vector<SlowRequestEvent> slow;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(tenants_.size());
+    for (const auto& [name, tenant] : tenants_) names.push_back(name);
+    slow.assign(slow_requests_.begin(), slow_requests_.end());
+  }
+  std::sort(names.begin(), names.end());
+
+  std::string out = "{\"tenants\": {";
+  bool first_tenant = true;
+  for (const std::string& name : names) {
+    // Tenant snapshots are taken one at a time (TenantStats re-locks): the
+    // document is per-tenant consistent, which is all a status page needs.
+    const TenantStatsSnapshot stats = TenantStats(name);
+    if (!first_tenant) out += ", ";
+    first_tenant = false;
+    out += '"';
+    out += name;  // validated [A-Za-z0-9_.-]+, no JSON escaping needed
+    out += "\": {";
+    bool first = true;
+    AppendJsonField(out, "admitted_requests", stats.admitted_requests, &first);
+    AppendJsonField(out, "admitted_bytes", stats.admitted_bytes, &first);
+    AppendJsonField(out, "rejected_quota", stats.rejected_quota, &first);
+    AppendJsonField(out, "rejected_inflight", stats.rejected_inflight, &first);
+    AppendJsonField(out, "completed", stats.completed, &first);
+    AppendJsonField(out, "cancelled", stats.cancelled, &first);
+    AppendJsonField(out, "failed", stats.failed, &first);
+    AppendJsonField(out, "inflight", stats.inflight, &first);
+    if (stats.quota_available_bytes != ~std::uint64_t{0}) {
+      AppendJsonField(out, "quota_available_bytes",
+                      stats.quota_available_bytes, &first);
+    }
+    AppendJsonField(out, "cache_hits", stats.cache_hits, &first);
+    AppendJsonField(out, "cache_misses", stats.cache_misses, &first);
+    AppendJsonField(out, "memo_hits", stats.memo_hits, &first);
+    AppendJsonField(out, "memo_bytes_used", stats.memo_bytes_used, &first);
+    out += '}';
+  }
+  out += "}, ";
+  out += "\"queue_depth\": ";
+  out += std::to_string(queue_->Depth());
+  out += ", \"slow_requests\": [";
+  bool first_event = true;
+  for (const SlowRequestEvent& event : slow) {
+    if (!first_event) out += ", ";
+    first_event = false;
+    out += "{\"tenant\": \"";
+    out += event.tenant;
+    out += "\", \"type\": \"";
+    out += event.type;
+    out += "\", \"result\": \"";
+    out += ResultLabel(event.status);
+    out += "\", ";
+    bool first = true;
+    AppendJsonField(out, "bytes", event.bytes, &first);
+    AppendJsonField(out, "admit_ns", event.admit_ns, &first);
+    AppendJsonField(out, "latency_ns", event.latency_ns, &first);
+    AppendJsonField(out, "slo_ns", event.slo_ns, &first);
+    AppendJsonField(out, "queue_depth", event.queue_depth, &first);
+    AppendJsonField(out, "tenant_inflight", event.tenant_inflight, &first);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
 internal::Tenant& CompressionService::FindTenant(
     std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -384,12 +481,39 @@ std::future<ServiceResponse> CompressionService::Submit(
                     "tenant=\"" + tenant.config.name + "\",result=\"" +
                         ResultLabel(status) + "\"")
         .Increment();
+    if (const char* reason = RejectReason(status)) {
+      registry
+          .GetCounter("primacy_service_rejections_total",
+                      "tenant=\"" + tenant.config.name + "\",reason=\"" +
+                          reason + "\"")
+          .Increment();
+    }
     ServiceResponse response;
     response.status = status;
     response.retry_after_ns = retry_after_ns;
     promise->set_value(std::move(response));
     return std::move(future);
   };
+
+  // The destructor must not tear the service down under a submitter that is
+  // blocked (or mid-resolve) inside this function: it drains this count
+  // after waking everyone, so every early-return path below finishes with
+  // the service's members still alive.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++active_submitters_;
+  }
+  struct SubmitterGuard {
+    CompressionService* service;
+    ~SubmitterGuard() {
+      // Notify under the lock: the destructor waiting in cv_.wait cannot
+      // observe the decremented count and tear cv_ down until we release
+      // mu_, which happens after the notify.
+      std::lock_guard<std::mutex> lock(service->mu_);
+      --service->active_submitters_;
+      service->cv_.notify_all();
+    }
+  } submitter_guard{this};
 
   std::uint64_t admit_epoch = 0;
   std::uint64_t admit_ns = 0;
@@ -482,6 +606,12 @@ std::future<ServiceResponse> CompressionService::Submit(
         response.error = e.what();
       }
     }
+    const std::uint64_t latency_ns = clock_->NowNs() - admit_ns;
+    const bool slow = options_.slow_request_slo_ns != 0 &&
+                      latency_ns > options_.slow_request_slo_ns;
+    // Queue depth is read before mu_: BatchQueue has its own lock and is
+    // never acquired while holding the service mutex.
+    const std::size_t queue_depth = slow ? queue_->Depth() : 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
       --tenant.inflight;
@@ -499,6 +629,22 @@ std::future<ServiceResponse> CompressionService::Submit(
           ++stats_.failed;
           break;
       }
+      if (slow) {
+        SlowRequestEvent event;
+        event.tenant = tenant.config.name;
+        event.type = type == RequestType::kCompress ? "compress" : "decompress";
+        event.status = response.status;
+        event.bytes = payload.size();
+        event.admit_ns = admit_ns;
+        event.latency_ns = latency_ns;
+        event.slo_ns = options_.slow_request_slo_ns;
+        event.queue_depth = queue_depth;
+        event.tenant_inflight = tenant.inflight;
+        slow_requests_.push_back(std::move(event));
+        while (slow_requests_.size() > options_.slow_request_log_capacity) {
+          slow_requests_.pop_front();
+        }
+      }
     }
     cv_.notify_all();  // completions free in-flight capacity
     tenant.metrics.inflight->Add(-1);
@@ -509,7 +655,16 @@ std::future<ServiceResponse> CompressionService::Submit(
         .Increment();
     reg.GetHistogram("primacy_service_batch_latency_seconds",
                      kLatencySecondsBounds)
-        .Observe(static_cast<double>(clock_->NowNs() - admit_ns) * 1e-9);
+        .Observe(static_cast<double>(latency_ns) * 1e-9);
+    if (slow) {
+      reg.GetCounter("primacy_slow_requests_total",
+                     "tenant=\"" + tenant.config.name + "\"")
+          .Increment();
+      // Instant marker in the trace so the SLO breach is visible next to
+      // the spans that caused it.
+      telemetry::TraceSpan slow_span("primacy.slow_request", "latency_ns",
+                                     latency_ns);
+    }
     promise->set_value(std::move(response));
   });
   return future;

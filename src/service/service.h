@@ -28,6 +28,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -93,6 +94,29 @@ struct ServiceOptions {
   /// Time source; null = the process-wide SystemServiceClock. Not owned;
   /// must outlive the service.
   ServiceClock* clock = nullptr;
+  /// Slow-request watchdog SLO: a request whose admit-to-completion latency
+  /// exceeds this is recorded in the slow-request log and counted in
+  /// primacy_slow_requests_total. 0 disables the watchdog.
+  std::uint64_t slow_request_slo_ns = 0;
+  /// Newest slow-request events retained for SlowRequests()/StatusJson().
+  std::size_t slow_request_log_capacity = 64;
+};
+
+/// One watchdog capture: the context of a request that blew through the
+/// latency SLO, bounded-log'd so a latency incident is diagnosable from
+/// /statusz without trace archaeology.
+struct SlowRequestEvent {
+  std::string tenant;
+  std::string type;  // "compress" | "decompress"
+  ServiceStatus status = ServiceStatus::kError;
+  std::size_t bytes = 0;
+  std::uint64_t admit_ns = 0;
+  std::uint64_t latency_ns = 0;
+  std::uint64_t slo_ns = 0;
+  /// Admission-queue depth and the tenant's in-flight count at completion —
+  /// the first question in any latency incident is "was it queueing?".
+  std::size_t queue_depth = 0;
+  std::size_t tenant_inflight = 0;
 };
 
 /// Service-wide exact counters (functional, kept under the service mutex —
@@ -200,6 +224,15 @@ class CompressionService {
   ServiceStatsSnapshot Stats() const;
   TenantStatsSnapshot TenantStats(std::string_view tenant) const;
 
+  /// The watchdog's bounded slow-request log, oldest first (empty unless
+  /// ServiceOptions::slow_request_slo_ns is set).
+  std::vector<SlowRequestEvent> SlowRequests() const;
+
+  /// Point-in-time service state as a JSON object (per-tenant quota /
+  /// in-flight / cache counters, queue depth, the slow-request log) — the
+  /// fragment the ObservabilityHub serves under /statusz.
+  std::string StatusJson() const;
+
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -226,7 +259,13 @@ class CompressionService {
   std::unordered_map<std::string, std::unique_ptr<internal::Tenant>>
       tenants_;
   ServiceStatsSnapshot stats_;
+  /// Watchdog log, newest at the back, capped at slow_request_log_capacity.
+  std::deque<SlowRequestEvent> slow_requests_;
   std::size_t outstanding_batches_ = 0;
+  /// Threads currently inside Submit (blocked or resolving). The destructor
+  /// drains this to zero after setting stopping_, so a submitter woken into
+  /// the kShuttingDown path never races member teardown.
+  std::size_t active_submitters_ = 0;
   bool stopping_ = false;
 
   /// Reusable codec worker state: checked out per batch slot, returned when

@@ -1,0 +1,192 @@
+#include "telemetry/exporter/http_server.h"
+
+#if PRIMACY_TELEMETRY_ENABLED
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace primacy::telemetry {
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 503: return "Service Unavailable";
+    default: return "OK";
+  }
+}
+
+/// Request target from "GET /path HTTP/1.x"; empty on malformed input.
+std::string ParseRequestPath(const std::string& request) {
+  const std::size_t first = request.find(' ');
+  if (first == std::string::npos) return {};
+  const std::size_t second = request.find(' ', first + 1);
+  if (second == std::string::npos || second == first + 1) return {};
+  std::string path = request.substr(first + 1, second - first - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  return path;
+}
+
+void CloseIfOpen(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+struct HttpServer::Impl {
+  int listen_fd = -1;
+  // Self-pipe: Stop() writes one byte, the accept loop polls the read end
+  // alongside the listen socket and exits — no timed polling.
+  int wake_read_fd = -1;
+  int wake_write_fd = -1;
+  int port = -1;
+  HttpHandler handler;
+  std::thread thread;
+  std::atomic<bool> stopping{false};
+
+  void AcceptLoop();
+  void ServeConnection(int fd) const;
+};
+
+void HttpServer::Impl::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = wake_read_fd;
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (stopping.load(std::memory_order_relaxed) ||
+        (fds[1].revents & POLLIN) != 0) {
+      return;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpServer::Impl::ServeConnection(int fd) const {
+  // Scrape requests are a handful of header lines; cap the head read so a
+  // garbage client cannot grow the buffer unboundedly.
+  std::string request;
+  char buffer[1024];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n <= 0) break;
+    request.append(buffer, static_cast<std::size_t>(n));
+  }
+  const std::string path = ParseRequestPath(request);
+  HttpResponse response;
+  if (path.empty()) {
+    response.status = 400;
+    response.body = "bad request\n";
+  } else {
+    response = handler(path);
+  }
+  char head[192];
+  std::snprintf(head, sizeof head,
+                "HTTP/1.0 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n\r\n",
+                response.status, StatusText(response.status),
+                response.content_type.c_str(), response.body.size());
+  std::string out = head;
+  out += response.body;
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+HttpServer::HttpServer() : impl_(new Impl()) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+bool HttpServer::Start(int port, HttpHandler handler) {
+  Impl& state = *impl_;
+  if (state.listen_fd >= 0 || port < 0 || port > 65535) return false;
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  socklen_t addr_len = sizeof addr;
+  if (::bind(fd, (const sockaddr*)&addr, sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0 ||
+      ::getsockname(fd, (sockaddr*)&addr, &addr_len) != 0) {
+    ::close(fd);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return false;
+  }
+  state.listen_fd = fd;
+  state.wake_read_fd = pipe_fds[0];
+  state.wake_write_fd = pipe_fds[1];
+  state.port = static_cast<int>(ntohs(addr.sin_port));
+  state.handler = std::move(handler);
+  state.stopping.store(false, std::memory_order_relaxed);
+  // Dedicated accept thread, not a pool task: it blocks in poll() for the
+  // server's whole lifetime, which would starve the shared pool (see the
+  // pool-containment allowlist note in tools/primacy_lint).
+  state.thread = std::thread([&state] { state.AcceptLoop(); });
+  return true;
+}
+
+void HttpServer::Stop() {
+  Impl& state = *impl_;
+  if (state.listen_fd < 0) return;
+  state.stopping.store(true, std::memory_order_relaxed);
+  const ssize_t wrote = ::write(state.wake_write_fd, "x", 1);
+  (void)wrote;  // failure means the loop is already gone; join handles it
+  if (state.thread.joinable()) state.thread.join();
+  CloseIfOpen(state.listen_fd);
+  CloseIfOpen(state.wake_read_fd);
+  CloseIfOpen(state.wake_write_fd);
+  state.port = -1;
+  state.handler = nullptr;
+}
+
+int HttpServer::Port() const { return impl_->port; }
+
+}  // namespace primacy::telemetry
+
+#endif  // PRIMACY_TELEMETRY_ENABLED

@@ -90,6 +90,22 @@ std::uint64_t Histogram::CumulativeCount(std::size_t i) const {
   return total;
 }
 
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.cumulative.resize(bounds_.size() + 1);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    snapshot.cumulative[i] = running;
+  }
+  // The +Inf cumulative IS the count by construction; read the atomics in
+  // that order so count never exceeds the buckets' total.
+  snapshot.count = snapshot.cumulative.back();
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
 void Histogram::Reset() {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);

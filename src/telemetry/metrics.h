@@ -11,20 +11,70 @@
 // instrumented code needs no #ifdefs of its own.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "telemetry/stage.h"
 
 #if PRIMACY_TELEMETRY_ENABLED
 #include <atomic>
 #include <memory>
-#include <vector>
 #endif
 
 namespace primacy::telemetry {
+
+/// Point-in-time copy of a Histogram's state. Plain data, exists in every
+/// build (an OFF-build snapshot is empty), so benches and the exporter can
+/// compute per-window percentiles without touching live atomics twice.
+struct HistogramSnapshot {
+  std::vector<double> bounds;  // ascending finite upper bounds
+  /// Cumulative counts; bounds.size() + 1 entries, the last is the +Inf
+  /// bucket and equals `count`.
+  std::vector<std::uint64_t> cumulative;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Bucket-interpolated quantile (same estimate as PromQL's
+  /// histogram_quantile): q in [0, 1]; observations beyond the last finite
+  /// bound clamp to it; 0 when the snapshot is empty.
+  double Quantile(double q) const {
+    if (count == 0 || cumulative.empty()) return 0.0;
+    const double rank =
+        std::min(std::max(q, 0.0), 1.0) * static_cast<double>(count);
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      const std::uint64_t cum = cumulative[i];
+      if (static_cast<double>(cum) >= rank) {
+        const double lower = i == 0 ? 0.0 : bounds[i - 1];
+        const double in_bucket = static_cast<double>(cum - below);
+        if (in_bucket <= 0.0) return bounds[i];
+        const double fraction = (rank - static_cast<double>(below)) / in_bucket;
+        return lower + (bounds[i] - lower) * fraction;
+      }
+      below = cum;
+    }
+    return bounds.empty() ? 0.0 : bounds.back();
+  }
+
+  /// This snapshot minus an `earlier` one of the same histogram: the
+  /// distribution of observations made between the two (per-mode and
+  /// per-scrape-window percentiles).
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& earlier) const {
+    HistogramSnapshot delta = *this;
+    if (earlier.cumulative.size() == cumulative.size()) {
+      for (std::size_t i = 0; i < cumulative.size(); ++i) {
+        delta.cumulative[i] -= earlier.cumulative[i];
+      }
+      delta.count -= earlier.count;
+      delta.sum -= earlier.sum;
+    }
+    return delta;
+  }
+};
 
 #if PRIMACY_TELEMETRY_ENABLED
 
@@ -68,6 +118,9 @@ class Histogram {
   /// Cumulative count of observations <= bounds()[i]; i == bounds().size()
   /// is the +Inf bucket (== Count()).
   std::uint64_t CumulativeCount(std::size_t i) const;
+  /// Consistent-enough copy for percentile math (bucket reads are relaxed;
+  /// a snapshot taken mid-Observe may be off by the in-flight observation).
+  HistogramSnapshot Snapshot() const;
   std::span<const double> bounds() const { return bounds_; }
   void Reset();
 
@@ -128,6 +181,7 @@ class Histogram {
   std::uint64_t Count() const { return 0; }
   double Sum() const { return 0.0; }
   std::uint64_t CumulativeCount(std::size_t) const { return 0; }
+  HistogramSnapshot Snapshot() const { return {}; }
   std::span<const double> bounds() const { return {}; }
   void Reset() {}
 };

@@ -1,0 +1,119 @@
+#include "telemetry/stage_stack.h"
+
+#if PRIMACY_TELEMETRY_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+namespace primacy::telemetry {
+namespace {
+
+struct ThreadStageStack {
+  // The owner thread is the only writer; the sampler reads concurrently.
+  // Every field is a relaxed atomic so concurrent access is defined; the
+  // depth store is release so a sampler that observes depth == d also
+  // observes the frame stores that preceded it on the owner thread.
+  std::array<std::atomic<std::uint8_t>, kStageStackDepth> frames{};
+  std::atomic<std::uint32_t> depth{0};
+  std::uint32_t tid = 0;
+};
+
+struct StackRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadStageStack>> stacks;
+  std::uint32_t next_tid = 1;
+};
+
+StackRegistry& Registry() {
+  // Leaked deliberately: worker thread_locals may outlive static dtors.
+  static StackRegistry* registry = new StackRegistry();
+  return *registry;
+}
+
+ThreadStageStack& LocalStack() {
+  // The shared_ptr in the registry keeps the stack alive after the thread
+  // exits; a dead thread's stack has depth 0 and is skipped by the sampler.
+  thread_local std::shared_ptr<ThreadStageStack> stack = [] {
+    auto fresh = std::make_shared<ThreadStageStack>();
+    StackRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    fresh->tid = registry.next_tid++;
+    registry.stacks.push_back(fresh);
+    return fresh;
+  }();
+  return *stack;
+}
+
+std::atomic<bool>& SamplingFlag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+}  // namespace
+
+bool StageSamplingEnabled() {
+  return SamplingFlag().load(std::memory_order_relaxed);
+}
+
+void SetStageSamplingEnabled(bool enabled) {
+  SamplingFlag().store(enabled, std::memory_order_relaxed);
+}
+
+StageScope::StageScope(Stage stage) : active_(StageSamplingEnabled()) {
+  if (!active_) return;
+  ThreadStageStack& stack = LocalStack();
+  const std::uint32_t depth = stack.depth.load(std::memory_order_relaxed);
+  if (depth < kStageStackDepth) {
+    stack.frames[depth].store(static_cast<std::uint8_t>(stage),
+                              std::memory_order_relaxed);
+  }
+  stack.depth.store(depth + 1, std::memory_order_release);
+}
+
+StageScope::~StageScope() {
+  if (!active_) return;
+  ThreadStageStack& stack = LocalStack();
+  const std::uint32_t depth = stack.depth.load(std::memory_order_relaxed);
+  if (depth != 0) {
+    stack.depth.store(depth - 1, std::memory_order_release);
+  }
+}
+
+void StageScope::Switch(Stage stage) {
+  if (!active_) return;
+  ThreadStageStack& stack = LocalStack();
+  const std::uint32_t depth = stack.depth.load(std::memory_order_relaxed);
+  if (depth != 0 && depth <= kStageStackDepth) {
+    stack.frames[depth - 1].store(static_cast<std::uint8_t>(stage),
+                                  std::memory_order_relaxed);
+  }
+}
+
+std::vector<StageStackSample> SampleStageStacks() {
+  StackRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<StageStackSample> samples;
+  for (const auto& stack : registry.stacks) {
+    const std::uint32_t depth = stack->depth.load(std::memory_order_acquire);
+    if (depth == 0) continue;
+    StageStackSample sample;
+    sample.tid = stack->tid;
+    sample.depth = std::min<std::size_t>(depth, kStageStackDepth);
+    for (std::size_t i = 0; i < sample.depth; ++i) {
+      // Clamp: a torn read during a concurrent push can only yield a valid
+      // (if momentarily stale) stage, never an out-of-range enum.
+      const std::uint8_t raw = std::min<std::uint8_t>(
+          stack->frames[i].load(std::memory_order_relaxed),
+          static_cast<std::uint8_t>(kStageCount - 1));
+      sample.frames[i] = static_cast<Stage>(raw);
+    }
+    samples.push_back(sample);
+  }
+  return samples;
+}
+
+}  // namespace primacy::telemetry
+
+#endif  // PRIMACY_TELEMETRY_ENABLED

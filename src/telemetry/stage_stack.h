@@ -1,0 +1,89 @@
+// Per-thread live stage stacks for the sampling profiler.
+//
+// A StageScope marks "this thread is currently inside stage X" for its
+// lifetime; scopes nest (a service batch slot can hold an outer scope while
+// the chunk pipeline pushes per-stage inner ones), and linear pipelines use
+// Switch() to retarget the innermost frame without re-entering a scope per
+// section. The exporter's sampling pass (SampleStageStacks) walks every
+// registered thread's stack at its own cadence and attributes the sample to
+// the innermost frame — a statistical profile with no per-stage clock reads
+// on the instrumented path.
+//
+// Cost discipline: with sampling disabled (the default) a StageScope is one
+// relaxed atomic load. Enabled, push/pop/switch are one or two relaxed
+// atomic stores into thread-local slots — no locks, no allocation after a
+// thread's first scope. Every shared field is an atomic, so a sample taken
+// mid push/pop reads a torn-but-valid stack (each frame byte is clamped to
+// the stage enum), never undefined behavior.
+//
+// When the build is configured with PRIMACY_TELEMETRY=OFF everything here
+// compiles to an inline no-op, mirroring the rest of src/telemetry.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/stage.h"
+
+namespace primacy::telemetry {
+
+/// Frames retained per thread; deeper nesting keeps counting depth but the
+/// overflow frames are not recorded (samples clamp to this many frames).
+inline constexpr std::size_t kStageStackDepth = 8;
+
+/// One thread's stack at sampling time. Plain data, exists in every build.
+struct StageStackSample {
+  std::uint32_t tid = 0;
+  /// Live frames (clamped to kStageStackDepth), bottom-first.
+  std::size_t depth = 0;
+  std::array<Stage, kStageStackDepth> frames{};
+
+  /// Innermost frame; only meaningful when depth > 0.
+  Stage Top() const { return frames[depth == 0 ? 0 : depth - 1]; }
+};
+
+#if PRIMACY_TELEMETRY_ENABLED
+
+bool StageSamplingEnabled();
+void SetStageSamplingEnabled(bool enabled);
+
+class StageScope {
+ public:
+  explicit StageScope(Stage stage);
+  ~StageScope();
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+  /// Retargets the innermost frame (the one this scope pushed) to `stage`.
+  /// For linear pipelines: one scope per chunk, one Switch per section.
+  void Switch(Stage stage);
+
+ private:
+  bool active_;
+};
+
+/// Snapshot of every registered thread's live stack (threads with empty
+/// stacks are omitted). Takes the registry mutex; sampler-side cost only.
+std::vector<StageStackSample> SampleStageStacks();
+
+#else  // !PRIMACY_TELEMETRY_ENABLED — inline no-op stubs.
+
+inline bool StageSamplingEnabled() { return false; }
+inline void SetStageSamplingEnabled(bool) {}
+
+class StageScope {
+ public:
+  explicit StageScope(Stage) {}
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+  void Switch(Stage) {}
+};
+
+inline std::vector<StageStackSample> SampleStageStacks() { return {}; }
+
+#endif  // PRIMACY_TELEMETRY_ENABLED
+
+}  // namespace primacy::telemetry

@@ -11,6 +11,8 @@
 #include <memory>
 #include <mutex>
 
+#include "telemetry/metrics.h"
+
 namespace primacy::telemetry {
 namespace {
 
@@ -22,12 +24,32 @@ std::uint64_t NowNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count());
 }
 
+/// Ring slot with individually atomic fields: the owner thread overwrites
+/// slots while an exporter may be copying them, so every access must be a
+/// defined (relaxed) atomic op. A concurrently overwritten slot can yield a
+/// copy mixing two events' fields — each field is still an individually
+/// valid value (names are static strings), and the readers below discard
+/// any slot whose index the writer invalidated while they copied.
+struct AtomicTraceEvent {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<const char*> arg_name{nullptr};
+  std::atomic<std::uint64_t> arg_value{0};
+  std::atomic<std::uint64_t> start_ns{0};
+  std::atomic<std::uint64_t> dur_ns{0};
+};
+
 struct ThreadTraceBuffer {
-  std::array<TraceEvent, kTraceRingCapacity> events;
+  std::array<AtomicTraceEvent, kTraceRingCapacity> events;
   // Total events ever pushed; slot = pushed % capacity. The owner thread is
-  // the only writer; the exporter reads under the registry mutex after an
-  // acquire load, which orders it after every slot write it observes.
+  // the only writer; exporters read after an acquire load, which orders
+  // them after every slot write they observe.
   std::atomic<std::uint64_t> pushed{0};
+  // Events consumed (by DrainTraceEvents) or invalidated (by the writer
+  // wrapping over an unconsumed slot). Raised-only; the writer raises it
+  // *before* reusing a slot so exporters can detect mid-copy overwrites.
+  std::atomic<std::uint64_t> drained{0};
+  // Events the writer invalidated before any drain consumed them.
+  std::atomic<std::uint64_t> dropped{0};
   std::uint32_t tid = 0;
 };
 
@@ -66,6 +88,12 @@ std::atomic<bool>& EnabledFlag() {
   return enabled;
 }
 
+Counter& DroppedCounter() {
+  static Counter* counter = &MetricsRegistry::Global().GetCounter(
+      "primacy_trace_dropped_spans_total");
+  return *counter;
+}
+
 /// Registers the PRIMACY_TRACE_OUT exit hook the first time a span fires.
 void EnsureExitFlushRegistered() {
   static const bool registered = [] {
@@ -77,6 +105,63 @@ void EnsureExitFlushRegistered() {
     return true;
   }();
   (void)registered;
+}
+
+/// Copies this buffer's retained events (indices >= `begin`) into `out`,
+/// discarding any entry the writer invalidated while we copied. Returns the
+/// `pushed` value the copy covered. Caller holds the registry mutex.
+std::uint64_t CopyBufferEvents(ThreadTraceBuffer& buffer, std::uint64_t begin,
+                               std::vector<TraceEvent>& out) {
+  const std::uint64_t pushed = buffer.pushed.load(std::memory_order_acquire);
+  const std::uint64_t oldest =
+      pushed > kTraceRingCapacity ? pushed - kTraceRingCapacity : 0;
+  const std::size_t first = out.size();
+  std::vector<std::uint64_t> indices;
+  for (std::uint64_t i = std::max(begin, oldest); i < pushed; ++i) {
+    const AtomicTraceEvent& slot = buffer.events[i % kTraceRingCapacity];
+    TraceEvent event;
+    event.name = slot.name.load(std::memory_order_relaxed);
+    event.arg_name = slot.arg_name.load(std::memory_order_relaxed);
+    event.arg_value = slot.arg_value.load(std::memory_order_relaxed);
+    event.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+    event.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+    event.tid = buffer.tid;
+    if (event.name == nullptr) continue;
+    out.push_back(event);
+    indices.push_back(i);
+  }
+  // Any slot the writer wrapped onto while we copied had its index pushed
+  // below `drained` first (and below pushed-now - capacity); drop those
+  // possibly-torn copies.
+  const std::uint64_t pushed_now =
+      buffer.pushed.load(std::memory_order_acquire);
+  const std::uint64_t safe_floor =
+      std::max(buffer.drained.load(std::memory_order_acquire),
+               pushed_now > kTraceRingCapacity
+                   ? pushed_now - kTraceRingCapacity
+                   : 0);
+  std::size_t kept = first;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] < safe_floor) continue;
+    out[kept++] = out[first + i];
+  }
+  out.resize(kept);
+  return pushed;
+}
+
+/// Raises `counter` to at least `floor` (CAS loop; concurrent raisers may
+/// interleave). Returns how much this call raised it by.
+std::uint64_t RaiseTo(std::atomic<std::uint64_t>& counter,
+                      std::uint64_t floor) {
+  std::uint64_t current = counter.load(std::memory_order_relaxed);
+  while (current < floor) {
+    if (counter.compare_exchange_weak(current, floor,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+      return floor - current;
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -107,13 +192,24 @@ TraceSpan::~TraceSpan() {
   const std::uint64_t end_ns = NowNs();
   ThreadTraceBuffer& buffer = LocalBuffer();
   const std::uint64_t n = buffer.pushed.load(std::memory_order_relaxed);
-  TraceEvent& slot = buffer.events[n % kTraceRingCapacity];
-  slot.name = name_;
-  slot.arg_name = arg_name_;
-  slot.arg_value = arg_value_;
-  slot.start_ns = start_ns_;
-  slot.dur_ns = end_ns - start_ns_;
-  slot.tid = buffer.tid;
+  if (n >= kTraceRingCapacity) {
+    // Wrapping onto slot n % capacity destroys event n - capacity. Raise
+    // the drain cursor past it *before* touching the slot, so a concurrent
+    // exporter discards its possibly-torn copy; whatever the cursor jumped
+    // over was never consumed — count it as dropped.
+    const std::uint64_t lost =
+        RaiseTo(buffer.drained, n + 1 - kTraceRingCapacity);
+    if (lost != 0) {
+      buffer.dropped.fetch_add(lost, std::memory_order_relaxed);
+      DroppedCounter().Increment(lost);
+    }
+  }
+  AtomicTraceEvent& slot = buffer.events[n % kTraceRingCapacity];
+  slot.name.store(name_, std::memory_order_relaxed);
+  slot.arg_name.store(arg_name_, std::memory_order_relaxed);
+  slot.arg_value.store(arg_value_, std::memory_order_relaxed);
+  slot.start_ns.store(start_ns_, std::memory_order_relaxed);
+  slot.dur_ns.store(end_ns - start_ns_, std::memory_order_relaxed);
   buffer.pushed.store(n + 1, std::memory_order_release);
 }
 
@@ -122,19 +218,38 @@ std::vector<TraceEvent> SnapshotTraceEvents() {
   std::lock_guard<std::mutex> lock(registry.mutex);
   std::vector<TraceEvent> events;
   for (const auto& buffer : registry.buffers) {
-    const std::uint64_t pushed =
-        buffer->pushed.load(std::memory_order_acquire);
-    const std::uint64_t kept =
-        std::min<std::uint64_t>(pushed, kTraceRingCapacity);
-    for (std::uint64_t i = pushed - kept; i < pushed; ++i) {
-      events.push_back(buffer->events[i % kTraceRingCapacity]);
-    }
+    CopyBufferEvents(*buffer, 0, events);
   }
   return events;
 }
 
-std::string RenderChromeTrace() {
-  const std::vector<TraceEvent> events = SnapshotTraceEvents();
+std::vector<TraceEvent> DrainTraceEvents() {
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : registry.buffers) {
+    const std::uint64_t begin =
+        buffer->drained.load(std::memory_order_relaxed);
+    const std::uint64_t covered = CopyBufferEvents(*buffer, begin, events);
+    // Consume: later drains start past everything this one covered. The
+    // writer may race this upward too (overflow), which is fine — RaiseTo
+    // only ever moves the cursor forward.
+    RaiseTo(buffer->drained, covered);
+  }
+  return events;
+}
+
+std::uint64_t TraceDroppedSpans() {
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::uint64_t total = 0;
+  for (const auto& buffer : registry.buffers) {
+    total += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::string RenderChromeTraceEvents(const std::vector<TraceEvent>& events) {
   std::string out = "{\"traceEvents\": [\n";
   char line[256];
   for (std::size_t i = 0; i < events.size(); ++i) {
@@ -161,6 +276,10 @@ std::string RenderChromeTrace() {
   return out;
 }
 
+std::string RenderChromeTrace() {
+  return RenderChromeTraceEvents(SnapshotTraceEvents());
+}
+
 bool WriteChromeTrace(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;
@@ -175,6 +294,8 @@ void ClearTraceBuffers() {
   std::lock_guard<std::mutex> lock(registry.mutex);
   for (const auto& buffer : registry.buffers) {
     buffer->pushed.store(0, std::memory_order_release);
+    buffer->drained.store(0, std::memory_order_release);
+    buffer->dropped.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -21,6 +21,15 @@
 // environment, tracing is enabled automatically and the buffers are flushed
 // to <path> at process exit — so any tool or bench can be traced without
 // code changes:  PRIMACY_TRACE_OUT=trace.json ./fig4_end_to_end --quick
+//
+// Continuous export (the ObservabilityHub's periodic flush) uses
+// DrainTraceEvents instead: it consumes events through a per-buffer cursor
+// so each span is exported once, and it is safe to call while writer
+// threads are recording — ring slots are individually atomic, and a slot
+// the writer overwrote mid-read is detected and discarded. A span whose
+// slot is overwritten before any drain consumed it is counted in the
+// primacy_trace_dropped_spans_total counter (TraceDroppedSpans()) instead
+// of vanishing silently.
 #pragma once
 
 #include <cstddef>
@@ -72,14 +81,29 @@ class TraceSpan {
 /// and test hook; snapshot at quiescence for exact results.
 std::vector<TraceEvent> SnapshotTraceEvents();
 
+/// Consumes every event recorded since the previous drain (per-buffer
+/// cursors advance), oldest-first per thread. Safe to call concurrently
+/// with recording threads; serialized against other exporters by the
+/// registry mutex.
+std::vector<TraceEvent> DrainTraceEvents();
+
+/// Spans overwritten by ring wrap before any drain consumed them (the same
+/// total as primacy_trace_dropped_spans_total).
+std::uint64_t TraceDroppedSpans();
+
 /// chrome://tracing JSON ({"traceEvents": [...]}); load in chrome's
 /// about:tracing or https://ui.perfetto.dev.
 std::string RenderChromeTrace();
 
+/// The same JSON for a caller-supplied event list (the hub's rotating
+/// segment writer renders drained batches with this).
+std::string RenderChromeTraceEvents(const std::vector<TraceEvent>& events);
+
 /// Writes RenderChromeTrace() to `path`; returns false on I/O failure.
 bool WriteChromeTrace(const std::string& path);
 
-/// Drops all buffered events (test isolation; call at quiescence).
+/// Drops all buffered events and resets drain cursors and drop counts
+/// (test isolation; call at quiescence).
 void ClearTraceBuffers();
 
 #else  // !PRIMACY_TELEMETRY_ENABLED — inline no-op stubs.
@@ -96,7 +120,12 @@ class TraceSpan {
 };
 
 inline std::vector<TraceEvent> SnapshotTraceEvents() { return {}; }
+inline std::vector<TraceEvent> DrainTraceEvents() { return {}; }
+inline std::uint64_t TraceDroppedSpans() { return 0; }
 inline std::string RenderChromeTrace() {
+  return std::string("{\"traceEvents\": []}\n");
+}
+inline std::string RenderChromeTraceEvents(const std::vector<TraceEvent>&) {
   return std::string("{\"traceEvents\": []}\n");
 }
 inline bool WriteChromeTrace(const std::string&) { return false; }

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -372,6 +375,223 @@ TEST(ServiceTest, TelemetryExportsServiceSeries) {
   EXPECT_NE(rendered.find("primacy_service_batch_fill_ratio"),
             std::string::npos);
 #endif
+}
+
+// Delegates to a VirtualClock but flags the first no-deadline WaitUntil
+// made by one watched thread — the wait a submitter blocked on in-flight
+// capacity performs. (The deadline alone is not enough: the batch flusher
+// also waits without a deadline while idle.) Seeing the flag proves the
+// watched submitter is inside Submit, which makes destroying the service
+// out from under it race-free (the destructor's documented wake-up path).
+class WaitObservingClock final : public ServiceClock {
+ public:
+  explicit WaitObservingClock(VirtualClock* inner) : inner_(inner) {}
+  std::uint64_t NowNs() const override { return inner_->NowNs(); }
+  void RegisterWaiter(std::mutex* mutex,
+                      std::condition_variable* cv) override {
+    inner_->RegisterWaiter(mutex, cv);
+  }
+  void UnregisterWaiter(std::condition_variable* cv) override {
+    inner_->UnregisterWaiter(cv);
+  }
+  void WaitUntil(std::unique_lock<std::mutex>& lock,
+                 std::condition_variable& cv,
+                 std::uint64_t deadline_ns) override {
+    if (deadline_ns == kNoDeadlineNs &&
+        std::this_thread::get_id() == watched_thread.load()) {
+      watched_thread_waiting.store(true, std::memory_order_release);
+    }
+    inner_->WaitUntil(lock, cv, deadline_ns);
+  }
+
+  std::atomic<std::thread::id> watched_thread{};
+  std::atomic<bool> watched_thread_waiting{false};
+
+ private:
+  VirtualClock* inner_;
+};
+
+TEST(ServiceTest, RejectionReasonLabelSetIsPinned) {
+#if PRIMACY_TELEMETRY_ENABLED
+  telemetry::MetricsRegistry::Global().ResetAllForTest();
+#endif
+  VirtualClock virtual_clock;
+  WaitObservingClock clock(&virtual_clock);
+  ServiceOptions options;
+  options.batch = ManualFlushBatching();
+  options.clock = &clock;
+  {
+    auto service = std::make_unique<CompressionService>(options);
+    service->AddTenant({.name = "alpha",
+                        .quota_bytes_per_sec = 1000,
+                        .quota_burst_bytes = 600,
+                        .max_inflight = 1,
+                        .on_pressure = BackpressurePolicy::kReject});
+    service->AddTenant({.name = "blocked",
+                        .max_inflight = 1,
+                        .on_pressure = BackpressurePolicy::kBlock});
+
+    const Bytes payload = MakePayload(64);  // 512 bytes, fits the burst once
+    auto first = service->SubmitCompress("alpha", payload);
+    EXPECT_EQ(service->SubmitCompress("alpha", payload).get().status,
+              ServiceStatus::kRejectedInflight);
+    service->Flush();
+    EXPECT_TRUE(first.get().ok());
+    // Capacity is back but the bucket is not: 88 of 600 burst bytes remain
+    // and virtual time never advances, so this rejection is quota-reasoned.
+    EXPECT_EQ(service->SubmitCompress("alpha", payload).get().status,
+              ServiceStatus::kRejectedQuota);
+
+    // A submitter blocked on in-flight capacity when the service shuts
+    // down resolves kShuttingDown — the "draining" reason.
+    auto held = service->SubmitCompress("blocked", payload);
+    std::future<ServiceResponse> drained;
+    std::thread submitter([&] {
+      clock.watched_thread.store(std::this_thread::get_id());
+      drained = service->SubmitCompress("blocked", payload);
+    });
+    while (!clock.watched_thread_waiting.load(std::memory_order_acquire)) {
+      std::this_thread::yield();  // until the submitter is provably blocked
+    }
+    service.reset();  // wakes the blocked submitter: stopping wins
+    submitter.join();
+    EXPECT_EQ(drained.get().status, ServiceStatus::kShuttingDown);
+    EXPECT_TRUE(held.get().ok());
+  }
+#if PRIMACY_TELEMETRY_ENABLED
+  auto& registry = telemetry::MetricsRegistry::Global();
+  EXPECT_EQ(registry
+                .GetCounter("primacy_service_rejections_total",
+                            "tenant=\"alpha\",reason=\"inflight\"")
+                .Value(),
+            1u);
+  EXPECT_EQ(registry
+                .GetCounter("primacy_service_rejections_total",
+                            "tenant=\"alpha\",reason=\"quota\"")
+                .Value(),
+            1u);
+  EXPECT_EQ(registry
+                .GetCounter("primacy_service_rejections_total",
+                            "tenant=\"blocked\",reason=\"draining\"")
+                .Value(),
+            1u);
+  // The label set is closed: every reason in the exposition is one of the
+  // three values dashboards alert on. Growing it is an interface change.
+  const std::string rendered = registry.RenderPrometheus();
+  std::size_t pos = 0;
+  while ((pos = rendered.find("reason=\"", pos)) != std::string::npos) {
+    pos += std::strlen("reason=\"");
+    const std::size_t end = rendered.find('"', pos);
+    ASSERT_NE(end, std::string::npos);
+    const std::string reason = rendered.substr(pos, end - pos);
+    EXPECT_TRUE(reason == "quota" || reason == "inflight" ||
+                reason == "draining")
+        << "unexpected rejection reason label: " << reason;
+  }
+#endif
+}
+
+TEST(ServiceTest, SlowRequestWatchdogCapturesSloBreaches) {
+#if PRIMACY_TELEMETRY_ENABLED
+  telemetry::MetricsRegistry::Global().ResetAllForTest();
+#endif
+  VirtualClock clock;
+  ServiceOptions options;
+  options.batch = ManualFlushBatching();
+  options.clock = &clock;
+  options.slow_request_slo_ns = 1000;
+  options.slow_request_log_capacity = 2;
+  CompressionService service(options);
+  service.AddTenant({.name = "alpha"});
+
+  const Bytes payload = MakePayload(64);
+  // Queued for five SLOs of virtual time before the flush: a breach.
+  auto slow = service.SubmitCompress("alpha", payload);
+  clock.Advance(5000);
+  service.Flush();
+  ASSERT_TRUE(slow.get().ok());
+  std::vector<SlowRequestEvent> events = service.SlowRequests();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].tenant, "alpha");
+  EXPECT_EQ(events[0].type, "compress");
+  EXPECT_EQ(events[0].status, ServiceStatus::kOk);
+  EXPECT_EQ(events[0].bytes, payload.size());
+  EXPECT_GE(events[0].latency_ns, 5000u);
+  EXPECT_EQ(events[0].slo_ns, 1000u);
+
+  // A request completing within the SLO is not captured.
+  auto fast = service.SubmitCompress("alpha", payload);
+  service.Flush();
+  ASSERT_TRUE(fast.get().ok());
+  EXPECT_EQ(service.SlowRequests().size(), 1u);
+
+  // The log is bounded: three more breaches, capacity two, newest win.
+  for (int i = 0; i < 3; ++i) {
+    auto breach = service.SubmitDecompress("alpha", MakePayload(8));
+    clock.Advance(2000);
+    service.Flush();
+    EXPECT_FALSE(breach.get().ok());  // raw doubles are not a stream
+  }
+  events = service.SlowRequests();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, "decompress");
+  EXPECT_EQ(events[1].type, "decompress");
+  EXPECT_EQ(events[1].status, ServiceStatus::kError);
+
+#if PRIMACY_TELEMETRY_ENABLED
+  EXPECT_EQ(telemetry::MetricsRegistry::Global()
+                .GetCounter("primacy_slow_requests_total",
+                            "tenant=\"alpha\"")
+                .Value(),
+            4u);
+#endif
+}
+
+TEST(ServiceTest, WatchdogDisabledByDefault) {
+  VirtualClock clock;
+  ServiceOptions options;
+  options.batch = ManualFlushBatching();
+  options.clock = &clock;
+  CompressionService service(options);
+  service.AddTenant({.name = "alpha"});
+  auto future = service.SubmitCompress("alpha", MakePayload(64));
+  clock.Advance(1'000'000'000);  // a full second in queue: nobody cares
+  service.Flush();
+  EXPECT_TRUE(future.get().ok());
+  EXPECT_TRUE(service.SlowRequests().empty());
+}
+
+TEST(ServiceTest, StatusJsonRendersTenantsQueueAndSlowRequests) {
+  VirtualClock clock;
+  ServiceOptions options;
+  options.batch = ManualFlushBatching();
+  options.clock = &clock;
+  options.slow_request_slo_ns = 1000;
+  CompressionService service(options);
+  service.AddTenant({.name = "alpha"});
+  service.AddTenant({.name = "beta", .quota_bytes_per_sec = 1000,
+                     .quota_burst_bytes = 4096});
+
+  auto slow = service.SubmitCompress("alpha", MakePayload(64));
+  clock.Advance(5000);
+  service.Flush();
+  ASSERT_TRUE(slow.get().ok());
+
+  const std::string json = service.StatusJson();
+  EXPECT_NE(json.find("\"tenants\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"slow_requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"compress\""), std::string::npos);
+  EXPECT_NE(json.find("\"result\": \"ok\""), std::string::npos);
+  // Unlimited tenants omit the quota field; limited tenants render it.
+  EXPECT_NE(json.find("\"quota_available_bytes\""), std::string::npos);
+  // Structural sanity: balanced braces and brackets.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
 }
 
 TEST(ServiceTest, CompressMemoServesRepeatedPayloadsByteIdentical) {

@@ -1,0 +1,154 @@
+// Per-thread live stage stacks (the sampling profiler's data source):
+// scopes push/pop/switch, samples see the innermost frame, disabled
+// sampling records nothing, and deep nesting clamps instead of corrupting.
+#include "telemetry/stage_stack.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace primacy::telemetry {
+namespace {
+
+#if !PRIMACY_TELEMETRY_ENABLED
+
+TEST(StageStackTest, StubsRecordNothing) {
+  SetStageSamplingEnabled(true);
+  EXPECT_FALSE(StageSamplingEnabled());
+  StageScope scope(Stage::kSolver);
+  scope.Switch(Stage::kMerge);
+  EXPECT_TRUE(SampleStageStacks().empty());
+}
+
+#else
+
+class StageStackTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetStageSamplingEnabled(true); }
+  void TearDown() override { SetStageSamplingEnabled(false); }
+
+  /// This thread's sample, or nullopt if its stack is empty. Other test
+  /// threads in the binary never hold live scopes, so at most one sample
+  /// belongs to us; filtering by depth keeps the lookup robust anyway.
+  static std::vector<StageStackSample> LiveSamples() {
+    std::vector<StageStackSample> live;
+    for (const StageStackSample& sample : SampleStageStacks()) {
+      if (sample.depth > 0) live.push_back(sample);
+    }
+    return live;
+  }
+};
+
+TEST_F(StageStackTest, DisabledSamplingRecordsNothing) {
+  SetStageSamplingEnabled(false);
+  StageScope scope(Stage::kSolver);
+  EXPECT_TRUE(LiveSamples().empty());
+}
+
+TEST_F(StageStackTest, ScopePushesAndPops) {
+  EXPECT_TRUE(LiveSamples().empty());
+  {
+    StageScope scope(Stage::kIdMap);
+    const std::vector<StageStackSample> live = LiveSamples();
+    ASSERT_EQ(live.size(), 1u);
+    EXPECT_EQ(live[0].depth, 1u);
+    EXPECT_EQ(live[0].Top(), Stage::kIdMap);
+  }
+  EXPECT_TRUE(LiveSamples().empty());
+}
+
+TEST_F(StageStackTest, ScopesNestBottomFirst) {
+  StageScope outer(Stage::kSplit);
+  StageScope inner(Stage::kSolver);
+  const std::vector<StageStackSample> live = LiveSamples();
+  ASSERT_EQ(live.size(), 1u);
+  ASSERT_EQ(live[0].depth, 2u);
+  EXPECT_EQ(live[0].frames[0], Stage::kSplit);
+  EXPECT_EQ(live[0].frames[1], Stage::kSolver);
+  EXPECT_EQ(live[0].Top(), Stage::kSolver);
+}
+
+TEST_F(StageStackTest, SwitchRetargetsInnermostFrame) {
+  StageScope outer(Stage::kSplit);
+  StageScope inner(Stage::kFrequency);
+  inner.Switch(Stage::kIsobar);
+  const std::vector<StageStackSample> live = LiveSamples();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].frames[0], Stage::kSplit);  // outer frame untouched
+  EXPECT_EQ(live[0].Top(), Stage::kIsobar);
+}
+
+TEST_F(StageStackTest, DeepNestingClampsToRecordedDepth) {
+  // kStageStackDepth + 2 nested scopes: the overflow frames are not
+  // recorded, and unwinding restores a consistent stack.
+  {
+    StageScope s0(Stage::kSplit);
+    StageScope s1(Stage::kFrequency);
+    StageScope s2(Stage::kIdMap);
+    StageScope s3(Stage::kSolver);
+    StageScope s4(Stage::kIsobar);
+    StageScope s5(Stage::kChecksum);
+    StageScope s6(Stage::kMerge);
+    StageScope s7(Stage::kSerialize);
+    StageScope s8(Stage::kSolver);  // beyond the recorded window
+    StageScope s9(Stage::kMerge);
+    const std::vector<StageStackSample> live = LiveSamples();
+    ASSERT_EQ(live.size(), 1u);
+    EXPECT_EQ(live[0].depth, kStageStackDepth);
+    EXPECT_EQ(live[0].Top(), Stage::kSerialize);
+  }
+  {
+    StageScope again(Stage::kFrequency);
+    const std::vector<StageStackSample> live = LiveSamples();
+    ASSERT_EQ(live.size(), 1u);
+    EXPECT_EQ(live[0].depth, 1u);
+    EXPECT_EQ(live[0].Top(), Stage::kFrequency);
+  }
+}
+
+TEST_F(StageStackTest, SamplesSeeOtherThreadsWithDistinctTids) {
+  StageScope mine(Stage::kSplit);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool scoped = false;
+  bool done = false;
+  std::thread worker([&] {
+    StageScope theirs(Stage::kSolver);
+    std::unique_lock<std::mutex> lock(mu);
+    scoped = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return done; });
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return scoped; });
+  }
+  const std::vector<StageStackSample> live = LiveSamples();
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_NE(live[0].tid, live[1].tid);
+  const bool solver_seen = live[0].Top() == Stage::kSolver ||
+                           live[1].Top() == Stage::kSolver;
+  const bool split_seen = live[0].Top() == Stage::kSplit ||
+                          live[1].Top() == Stage::kSplit;
+  EXPECT_TRUE(solver_seen);
+  EXPECT_TRUE(split_seen);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_all();
+  }
+  worker.join();
+}
+
+TEST_F(StageStackTest, StageNamesCoverTheTaxonomy) {
+  EXPECT_EQ(StageName(Stage::kSplit), "split");
+  EXPECT_EQ(StageName(Stage::kSolver), "solver");
+  EXPECT_EQ(StageName(Stage::kSerialize), "serialize");
+}
+
+#endif  // PRIMACY_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace primacy::telemetry

@@ -91,6 +91,37 @@ TEST_F(TraceTest, ClearTraceBuffersDropsEverything) {
   EXPECT_TRUE(SnapshotTraceEvents().empty());
 }
 
+TEST_F(TraceTest, DrainConsumesEachEventExactlyOnce) {
+  { TraceSpan span("trace_test.drain_a"); }
+  { TraceSpan span("trace_test.drain_b"); }
+  const std::vector<TraceEvent> first = DrainTraceEvents();
+  ASSERT_EQ(first.size(), 2u);
+  // A second drain with no new spans yields nothing — the exporter's
+  // periodic flush never re-writes events into a later segment.
+  EXPECT_TRUE(DrainTraceEvents().empty());
+  { TraceSpan span("trace_test.drain_c"); }
+  const std::vector<TraceEvent> second = DrainTraceEvents();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_STREQ(second[0].name, "trace_test.drain_c");
+  // Nominal operation — the rings were never overrun — drops nothing.
+  EXPECT_EQ(TraceDroppedSpans(), 0u);
+}
+
+TEST_F(TraceTest, OverwrittenUnconsumedEventsCountAsDropped) {
+  // Fill the ring one full lap past capacity without draining: the lapped
+  // events were never consumed, so they are drops, not silent evictions.
+  for (std::size_t i = 0; i < kTraceRingCapacity + 100; ++i) {
+    TraceSpan span("trace_test.drop", "i", i);
+  }
+  const std::vector<TraceEvent> events = DrainTraceEvents();
+  EXPECT_EQ(events.size(), kTraceRingCapacity);
+  EXPECT_EQ(TraceDroppedSpans(), 100u);
+  // Draining resumes the no-drop regime.
+  { TraceSpan span("trace_test.after_drop"); }
+  EXPECT_EQ(DrainTraceEvents().size(), 1u);
+  EXPECT_EQ(TraceDroppedSpans(), 100u);  // cumulative, not re-counted
+}
+
 #endif  // PRIMACY_TELEMETRY_ENABLED
 
 }  // namespace

@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition format (version 0.0.4).
+
+Usage:
+    check_promtext.py <file>        validate a scrape saved to a file
+    check_promtext.py -             validate stdin (curl .../metrics | ...)
+    check_promtext.py --self-test   run the built-in fixture suite
+
+Checks the subset of the format the PRIMACY exporter emits (and that a
+real Prometheus server would reject violations of):
+
+  * every line is a comment, blank, or a `name{labels} value` sample
+  * metric and label names are legal, label values are properly quoted
+  * sample values parse as floats (+Inf/-Inf/NaN included)
+  * at most one `# TYPE` per family, declared before the family's samples
+  * no duplicate (name, labels) series
+  * histogram families expose only _bucket/_sum/_count series, every
+    bucket set ends at le="+Inf", and bucket counts are non-decreasing
+
+Exit status: 0 valid, 1 invalid (problems on stderr), 2 usage error.
+Stdlib only: runs anywhere CI has a python3, registered as a ctest with
+self-test fixtures (cmake/StaticAnalysis.cmake).
+"""
+
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPE_KINDS = {"counter", "gauge", "histogram", "summary", "untyped"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_labels(body, line_no, problems):
+    """Parses a label body (no braces) into a sorted tuple of pairs."""
+    pairs = []
+    i = 0
+    while i < len(body):
+        eq = body.find("=", i)
+        if eq < 0:
+            problems.append(f"line {line_no}: label without '=': {body[i:]!r}")
+            return None
+        name = body[i:eq]
+        if not LABEL_NAME_RE.match(name):
+            problems.append(f"line {line_no}: bad label name {name!r}")
+            return None
+        if eq + 1 >= len(body) or body[eq + 1] != '"':
+            problems.append(f"line {line_no}: unquoted value for {name!r}")
+            return None
+        j = eq + 2
+        value = []
+        while j < len(body):
+            c = body[j]
+            if c == "\\":
+                if j + 1 >= len(body) or body[j + 1] not in '\\"n':
+                    problems.append(
+                        f"line {line_no}: bad escape in value of {name!r}")
+                    return None
+                value.append(body[j:j + 2])
+                j += 2
+            elif c == '"':
+                break
+            else:
+                value.append(c)
+                j += 1
+        else:
+            problems.append(f"line {line_no}: unterminated value for {name!r}")
+            return None
+        pairs.append((name, "".join(value)))
+        i = j + 1
+        if i < len(body):
+            if body[i] != ",":
+                problems.append(
+                    f"line {line_no}: expected ',' between labels, got "
+                    f"{body[i]!r}")
+                return None
+            i += 1
+    return tuple(sorted(pairs))
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "Nan", "NaN"):
+        return float(text.replace("Nan", "nan").replace("NaN", "nan")
+                     .replace("Inf", "inf"))
+    return float(text)  # raises ValueError on garbage
+
+
+def family_of(name, histogram_families):
+    """Histogram series name -> family name, else the name itself."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in histogram_families:
+            return name[: -len(suffix)]
+    return name
+
+
+def check_exposition(text):
+    """Returns a list of problem strings; empty means valid."""
+    problems = []
+    types = {}            # family -> kind
+    families_seen = set() # families with at least one sample
+    series_seen = set()   # (name, labels)
+    buckets = {}          # (family, labels-without-le) -> [(le, count, line)]
+
+    for line_no, line in enumerate(text.split("\n"), start=1):
+        if line == "":
+            continue
+        if line != line.rstrip():
+            problems.append(f"line {line_no}: trailing whitespace")
+            line = line.rstrip()
+        if line.startswith("#"):
+            fields = line.split()
+            if len(fields) >= 2 and fields[1] in ("TYPE", "HELP"):
+                if len(fields) < (4 if fields[1] == "TYPE" else 3):
+                    problems.append(f"line {line_no}: malformed # {fields[1]}")
+                    continue
+                name = fields[2]
+                if not METRIC_NAME_RE.match(name):
+                    problems.append(
+                        f"line {line_no}: bad metric name in # {fields[1]}: "
+                        f"{name!r}")
+                    continue
+                if fields[1] == "TYPE":
+                    kind = fields[3]
+                    if kind not in TYPE_KINDS:
+                        problems.append(
+                            f"line {line_no}: unknown type {kind!r}")
+                    if name in types:
+                        problems.append(
+                            f"line {line_no}: duplicate # TYPE for {name}")
+                    if name in families_seen:
+                        problems.append(
+                            f"line {line_no}: # TYPE for {name} after its "
+                            "samples")
+                    types[name] = kind
+            continue
+
+        # Sample: name[{labels}] value [timestamp]
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)"
+                         r"(\s+-?\d+)?$", line)
+        if not match:
+            problems.append(f"line {line_no}: unparseable sample: {line!r}")
+            continue
+        name, _, label_body, value_text = match.group(1, 2, 3, 4)
+        labels = ()
+        if label_body is not None:
+            labels = parse_labels(label_body, line_no, problems)
+            if labels is None:
+                continue
+        try:
+            parse_value(value_text)
+        except ValueError:
+            problems.append(f"line {line_no}: bad value {value_text!r}")
+            continue
+
+        if (name, labels) in series_seen:
+            problems.append(f"line {line_no}: duplicate series {name}"
+                            f"{dict(labels)}")
+        series_seen.add((name, labels))
+
+        histogram_families = {n for n, k in types.items() if k == "histogram"}
+        family = family_of(name, histogram_families)
+        families_seen.add(family)
+        if family in histogram_families:
+            if name == family:
+                problems.append(
+                    f"line {line_no}: histogram {family} exposes a bare "
+                    "series (expected _bucket/_sum/_count)")
+            if name == family + "_bucket":
+                les = [v for k, v in labels if k == "le"]
+                if len(les) != 1:
+                    problems.append(
+                        f"line {line_no}: _bucket without exactly one le "
+                        "label")
+                    continue
+                rest = tuple(p for p in labels if p[0] != "le")
+                try:
+                    le = parse_value(les[0])
+                except ValueError:
+                    problems.append(f"line {line_no}: bad le {les[0]!r}")
+                    continue
+                buckets.setdefault((family, rest), []).append(
+                    (le, float(value_text), line_no))
+
+    for (family, rest), entries in buckets.items():
+        entries.sort()
+        if entries[-1][0] != float("inf"):
+            problems.append(
+                f"histogram {family}{dict(rest)}: no le=\"+Inf\" bucket")
+        counts = [count for _, count, _ in entries]
+        if counts != sorted(counts):
+            problems.append(
+                f"histogram {family}{dict(rest)}: bucket counts decrease "
+                "(not cumulative)")
+    return problems
+
+
+GOOD_FIXTURES = [
+    # The exporter's own shapes: counters with/without labels, a gauge,
+    # a labeled histogram.
+    """# TYPE primacy_encode_chunks_total counter
+primacy_encode_chunks_total 42
+# TYPE primacy_service_requests_total counter
+primacy_service_requests_total{result="ok",tenant="a"} 10
+primacy_service_requests_total{result="rejected_quota",tenant="a"} 2
+# TYPE primacy_service_queue_depth gauge
+primacy_service_queue_depth 0
+# TYPE primacy_encode_stage_seconds histogram
+primacy_encode_stage_seconds_bucket{le="0.001",stage="solver"} 5
+primacy_encode_stage_seconds_bucket{le="+Inf",stage="solver"} 7
+primacy_encode_stage_seconds_sum{stage="solver"} 0.0123
+primacy_encode_stage_seconds_count{stage="solver"} 7
+""",
+    # Escapes, HELP, floats, empty exposition.
+    """# HELP odd_metric values with escapes
+# TYPE odd_metric gauge
+odd_metric{path="C:\\\\tmp",msg="say \\"hi\\"\\n"} -1.5e-3
+""",
+    "",
+]
+
+BAD_FIXTURES = [
+    ("9starts_with_digit 1\n", "unparseable"),
+    ("ok_metric{l=unquoted} 1\n", "unquoted"),
+    ("ok_metric not_a_number\n", "bad value"),
+    ("dup 1\ndup 2\n", "duplicate series"),
+    ("# TYPE m counter\n# TYPE m counter\nm 1\n", "duplicate # TYPE"),
+    ("m 1\n# TYPE m counter\n", "after its samples"),
+    ("# TYPE m weird\nm 1\n", "unknown type"),
+    ("# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+     "+Inf"),
+    ("# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n",
+     "decrease"),
+    ("# TYPE h histogram\nh 3\n", "bare series"),
+]
+
+
+def self_test():
+    failures = []
+    for i, fixture in enumerate(GOOD_FIXTURES):
+        problems = check_exposition(fixture)
+        if problems:
+            failures.append(f"good fixture {i} rejected: {problems}")
+    for i, (fixture, expect) in enumerate(BAD_FIXTURES):
+        problems = check_exposition(fixture)
+        if not problems:
+            failures.append(f"bad fixture {i} accepted (expected {expect!r})")
+        elif not any(expect in p for p in problems):
+            failures.append(
+                f"bad fixture {i}: expected a problem matching {expect!r}, "
+                f"got {problems}")
+    for failure in failures:
+        print(f"check_promtext self-test: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"check_promtext self-test: ok ({len(GOOD_FIXTURES)} good, "
+              f"{len(BAD_FIXTURES)} bad fixtures)")
+    return 1 if failures else 0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if argv[1] == "--self-test":
+        return self_test()
+    if argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(argv[1], "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"check_promtext: {error}", file=sys.stderr)
+            return 2
+    problems = check_exposition(text)
+    for problem in problems:
+        print(f"check_promtext: {problem}", file=sys.stderr)
+    if not problems:
+        lines = sum(1 for l in text.split("\n")
+                    if l and not l.startswith("#"))
+        print(f"check_promtext: ok ({lines} samples)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
