@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "telemetry/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace primacy {
@@ -109,21 +111,25 @@ struct CacheEntry {
   std::uint64_t stream_id = 0;
   std::uint64_t chunk_index = 0;
   Bytes data;
-  /// Outstanding Handles; guarded by the owning shard's mutex. A pinned
-  /// entry is never evicted (and std::list nodes never move), so
+  /// Outstanding Handles; guarded by the OWNING SHARD's mutex (a cross-
+  /// object guard the analysis cannot express — entries live inside the
+  /// shard's list, so every access already sits in a shard.mutex section).
+  /// A pinned entry is never evicted (and std::list nodes never move), so
   /// Handle::data() stays valid without holding the lock.
   std::uint32_t pins = 0;
 };
 
 struct CacheShard {
-  mutable std::mutex mutex;
+  mutable primacy::Mutex mutex;
   /// front = most recently used. Erasure skips pinned entries.
-  std::list<CacheEntry> lru;
+  std::list<CacheEntry> lru PRIMACY_GUARDED_BY(mutex);
   std::unordered_map<CacheKey, std::list<CacheEntry>::iterator, CacheKeyHash>
-      index;
-  std::size_t bytes = 0;
-  CacheStatsSnapshot stats;           // counters live under `mutex`
-  CacheShardMetrics* metrics = nullptr;  // null when telemetry is off
+      index PRIMACY_GUARDED_BY(mutex);
+  std::size_t bytes PRIMACY_GUARDED_BY(mutex) = 0;
+  CacheStatsSnapshot stats PRIMACY_GUARDED_BY(mutex);
+  // Resolved once at construction, then immutable (null when telemetry is
+  // off); the Counter/Gauge sinks themselves are atomics.
+  CacheShardMetrics* metrics = nullptr;
 };
 
 }  // namespace internal
@@ -132,7 +138,7 @@ ByteSpan DecodedBlockCache::Handle::data() const { return entry_->data; }
 
 void DecodedBlockCache::Handle::Release() {
   if (entry_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(shard_->mutex);
+  primacy::MutexLock lock(shard_->mutex);
   --entry_->pins;
   entry_ = nullptr;
   shard_ = nullptr;
@@ -157,7 +163,7 @@ DecodedBlockCache::~DecodedBlockCache() {
   // resident bytes so concurrent caches keep aggregating correctly.
   if constexpr (telemetry::kEnabled) {
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      primacy::MutexLock lock(shard->mutex);
       shard->metrics->bytes.Add(-static_cast<std::int64_t>(shard->bytes));
     }
   }
@@ -174,7 +180,7 @@ internal::CacheShard& DecodedBlockCache::ShardFor(
 DecodedBlockCache::Handle DecodedBlockCache::Lookup(std::uint64_t stream_id,
                                                     std::uint64_t chunk_index) {
   internal::CacheShard& shard = ShardFor(stream_id, chunk_index);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  primacy::MutexLock lock(shard.mutex);
   const auto it = shard.index.find({stream_id, chunk_index});
   const bool hit = it != shard.index.end();
   if constexpr (telemetry::kEnabled) {
@@ -195,7 +201,7 @@ bool DecodedBlockCache::Insert(std::uint64_t stream_id,
                                std::uint64_t chunk_index, Bytes data) {
   internal::CacheShard& shard = ShardFor(stream_id, chunk_index);
   WallTimer fill_timer;
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  primacy::MutexLock lock(shard.mutex);
   if (data.size() > shard_budget_ ||
       shard.index.count({stream_id, chunk_index}) != 0) {
     ++shard.stats.rejected;
@@ -243,13 +249,13 @@ bool DecodedBlockCache::Insert(std::uint64_t stream_id,
 bool DecodedBlockCache::Contains(std::uint64_t stream_id,
                                  std::uint64_t chunk_index) const {
   const internal::CacheShard& shard = ShardFor(stream_id, chunk_index);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  primacy::MutexLock lock(shard.mutex);
   return shard.index.count({stream_id, chunk_index}) != 0;
 }
 
 void DecodedBlockCache::Clear() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    primacy::MutexLock lock(shard->mutex);
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       if (it->pins > 0) {
         ++it;
@@ -268,7 +274,7 @@ void DecodedBlockCache::Clear() {
 CacheStatsSnapshot DecodedBlockCache::Stats() const {
   CacheStatsSnapshot totals;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    primacy::MutexLock lock(shard->mutex);
     totals.hits += shard->stats.hits;
     totals.misses += shard->stats.misses;
     totals.insertions += shard->stats.insertions;

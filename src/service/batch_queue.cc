@@ -32,7 +32,7 @@ void BatchQueue::Push(std::size_t bytes,
   if (!work) {
     throw InvalidArgumentError("BatchQueue: null work item");
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  primacy::MutexLock lock(mu_);
   pending_.push_back(Item{next_sequence_++, bytes, clock_->NowNs(),
                           std::move(work)});
   pending_bytes_ += bytes;
@@ -40,46 +40,46 @@ void BatchQueue::Push(std::size_t bytes,
     // Late push racing Stop: never strand an accepted item — it flushes
     // right now as a drain batch instead of waiting for a flusher that is
     // already gone.
-    CutAndDispatch(lock, FlushTrigger::kDrain);
+    CutAndDispatch(FlushTrigger::kDrain);
     return;
   }
   if (options_.flush_timeout_ns == 0) {
-    CutAndDispatch(lock, FlushTrigger::kTimeout);
+    CutAndDispatch(FlushTrigger::kTimeout);
     return;
   }
   if (options_.flush_bytes != 0 && pending_bytes_ >= options_.flush_bytes) {
-    CutAndDispatch(lock, FlushTrigger::kSize);
+    CutAndDispatch(FlushTrigger::kSize);
     return;
   }
   if (options_.flush_requests != 0 &&
       pending_.size() >= options_.flush_requests) {
-    CutAndDispatch(lock, FlushTrigger::kCount);
+    CutAndDispatch(FlushTrigger::kCount);
     return;
   }
   if (pending_.size() == 1) {
     // First item of a fresh batch: wake the flusher so it arms this batch's
     // timeout deadline.
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 
 void BatchQueue::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  primacy::MutexLock lock(mu_);
   if (!pending_.empty()) {
-    CutAndDispatch(lock, FlushTrigger::kDrain);
+    CutAndDispatch(FlushTrigger::kDrain);
   }
 }
 
 void BatchQueue::Stop() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    primacy::MutexLock lock(mu_);
     if (!stopping_) {
       stopping_ = true;
       if (!pending_.empty()) {
-        CutAndDispatch(lock, FlushTrigger::kDrain);
+        CutAndDispatch(FlushTrigger::kDrain);
       }
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   if (flusher_.joinable()) {
     flusher_.join();
@@ -87,17 +87,16 @@ void BatchQueue::Stop() {
 }
 
 BatchQueue::Stats BatchQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  primacy::MutexLock lock(mu_);
   return stats_;
 }
 
 std::size_t BatchQueue::Depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  primacy::MutexLock lock(mu_);
   return pending_.size();
 }
 
-void BatchQueue::CutAndDispatch(std::unique_lock<std::mutex>& lock,
-                                FlushTrigger trigger) {
+void BatchQueue::CutAndDispatch(FlushTrigger trigger) {
   Batch batch;
   batch.trigger = trigger;
   batch.bytes = pending_bytes_;
@@ -113,28 +112,30 @@ void BatchQueue::CutAndDispatch(std::unique_lock<std::mutex>& lock,
   }
   ++stats_.batches;
   stats_.items += batch.items.size();
-  lock.unlock();
+  // The dispatcher runs outside the queue lock (it may block on the pool);
+  // mu_ is re-held before returning, as the REQUIRES contract demands.
+  mu_.Unlock();
   dispatcher_(std::move(batch));
-  lock.lock();
+  mu_.Lock();
 }
 
 void BatchQueue::FlusherLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  primacy::MutexLock lock(mu_);
   for (;;) {
     if (stopping_) return;
     if (pending_.empty() || options_.flush_timeout_ns == 0) {
       // Nothing to time out (push self-flushes when the timeout is zero);
       // park until a push or Stop wakes us.
-      clock_->WaitUntil(lock, cv_, kNoDeadlineNs);
+      clock_->WaitUntil(mu_, cv_, kNoDeadlineNs);
       continue;
     }
     const std::uint64_t deadline =
         pending_.front().enqueue_ns + options_.flush_timeout_ns;
     if (clock_->NowNs() >= deadline) {
-      CutAndDispatch(lock, FlushTrigger::kTimeout);
+      CutAndDispatch(FlushTrigger::kTimeout);
       continue;
     }
-    clock_->WaitUntil(lock, cv_, deadline);
+    clock_->WaitUntil(mu_, cv_, deadline);
   }
 }
 

@@ -22,15 +22,15 @@
 // everything else goes through CompressionService.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "service/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace primacy::service {
 
@@ -113,24 +113,26 @@ class BatchQueue {
   std::size_t Depth() const;
 
  private:
-  /// Cuts the whole pending list into a Batch under `lock`, releases the
-  /// lock, and dispatches. The lock is reacquired before returning.
-  void CutAndDispatch(std::unique_lock<std::mutex>& lock,
-                      FlushTrigger trigger);
+  /// Cuts the whole pending list into a Batch under mu_, releases the
+  /// lock to dispatch, and reacquires it before returning (legal under the
+  /// REQUIRES contract: the capability is held again at exit).
+  void CutAndDispatch(FlushTrigger trigger) PRIMACY_REQUIRES(mu_);
 
-  void FlusherLoop();
+  void FlusherLoop() PRIMACY_EXCLUDES(mu_);
 
   const BatchOptions options_;
   ServiceClock* const clock_;
   const Dispatcher dispatcher_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Item> pending_;
-  std::size_t pending_bytes_ = 0;
-  std::uint64_t next_sequence_ = 0;
-  Stats stats_;
-  bool stopping_ = false;
+  mutable primacy::Mutex mu_;
+  // Paired with mu_: wakes the flusher (new first item, Stop) and is
+  // clock-registered so VirtualClock::Advance can fire timeouts.
+  primacy::CondVar cv_;
+  std::vector<Item> pending_ PRIMACY_GUARDED_BY(mu_);
+  std::size_t pending_bytes_ PRIMACY_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_sequence_ PRIMACY_GUARDED_BY(mu_) = 0;
+  Stats stats_ PRIMACY_GUARDED_BY(mu_);
+  bool stopping_ PRIMACY_GUARDED_BY(mu_) = false;
   std::thread flusher_;
 };
 

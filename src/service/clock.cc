@@ -31,37 +31,33 @@ std::uint64_t SystemServiceClock::NowNs() const {
           .count());
 }
 
-void SystemServiceClock::WaitUntil(std::unique_lock<std::mutex>& lock,
-                                   std::condition_variable& cv,
+void SystemServiceClock::WaitUntil(primacy::Mutex& mu, primacy::CondVar& cv,
                                    std::uint64_t deadline_ns) {
   if (deadline_ns == kNoDeadlineNs) {
-    cv.wait(lock);
+    cv.Wait(mu);
     return;
   }
-  cv.wait_until(lock,
-                ProcessEpoch() + std::chrono::nanoseconds(deadline_ns));
+  cv.WaitUntil(mu, ProcessEpoch() + std::chrono::nanoseconds(deadline_ns));
 }
 
-void VirtualClock::RegisterWaiter(std::mutex* mutex,
-                                  std::condition_variable* cv) {
+void VirtualClock::RegisterWaiter(primacy::Mutex* mutex, primacy::CondVar* cv) {
   PRIMACY_CHECK(mutex != nullptr && cv != nullptr);
-  std::lock_guard<std::mutex> guard(mu_);
+  primacy::MutexLock guard(mu_);
   waiters_.emplace_back(mutex, cv);
 }
 
-void VirtualClock::UnregisterWaiter(std::condition_variable* cv) {
-  std::lock_guard<std::mutex> guard(mu_);
+void VirtualClock::UnregisterWaiter(primacy::CondVar* cv) {
+  primacy::MutexLock guard(mu_);
   std::erase_if(waiters_, [cv](const auto& w) { return w.second == cv; });
 }
 
-void VirtualClock::WaitUntil(std::unique_lock<std::mutex>& lock,
-                             std::condition_variable& cv,
+void VirtualClock::WaitUntil(primacy::Mutex& mu, primacy::CondVar& cv,
                              std::uint64_t deadline_ns) {
-  // The caller holds `lock` from this check until cv.wait releases it, and
+  // The caller holds `mu` from this check until cv.Wait releases it, and
   // Advance locks the same mutex before notifying, so either the new time
   // is visible here or the notify arrives after the wait begins.
   if (NowNs() >= deadline_ns) return;
-  cv.wait(lock);
+  cv.Wait(mu);
 }
 
 std::uint64_t VirtualClock::Advance(std::uint64_t delta_ns) {
@@ -88,10 +84,10 @@ void VirtualClock::NotifyAllWaiters() {
   // that acquires mu_ while holding a waiter's mutex would be a
   // Register/Unregister call made under that mutex, which the registration
   // contract forbids (WaitUntil itself never touches mu_).
-  std::lock_guard<std::mutex> guard(mu_);
+  primacy::MutexLock guard(mu_);
   for (auto& [mutex, cv] : waiters_) {
-    std::lock_guard<std::mutex> waiter_guard(*mutex);
-    cv->notify_all();
+    primacy::MutexLock waiter_guard(*mutex);
+    cv->NotifyAll();
   }
 }
 

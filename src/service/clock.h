@@ -13,18 +13,24 @@
 // maps WaitUntil onto condition_variable::wait_until. VirtualClock keeps
 // the registered pairs and, on Advance, locks each pair's mutex and
 // notifies its condvar — locking the mutex first is what makes the handoff
-// race-free: a waiter checks NowNs() and enters cv.wait() while holding
+// race-free: a waiter checks NowNs() and enters cv.Wait() while holding
 // its own mutex, so Advance either observes the new time before the waiter
 // checks it, or blocks on the mutex until the waiter is actually waiting
 // and the notify cannot be lost.
+//
+// All waits go through primacy::Mutex/primacy::CondVar (util/mutex.h) so
+// Clang Thread Safety Analysis can prove the protocol: WaitUntil REQUIRES
+// the caller's mutex, and misuse of the clock seam is a compile error under
+// -DPRIMACY_THREAD_SAFETY=ON.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace primacy::service {
 
@@ -42,19 +48,19 @@ class ServiceClock {
   /// Declares that `cv` (guarded by `mutex`) will be passed to WaitUntil.
   /// Both must stay valid until UnregisterWaiter; registration must not be
   /// called while holding `mutex` (VirtualClock::Advance acquires it).
-  virtual void RegisterWaiter(std::mutex* mutex, std::condition_variable* cv) {
+  virtual void RegisterWaiter(primacy::Mutex* mutex, primacy::CondVar* cv) {
     (void)mutex;
     (void)cv;
   }
-  virtual void UnregisterWaiter(std::condition_variable* cv) { (void)cv; }
+  virtual void UnregisterWaiter(primacy::CondVar* cv) { (void)cv; }
 
   /// Blocks on `cv` until the clock reaches `deadline_ns`, the cv is
   /// notified, or spuriously — callers always re-check their predicate and
-  /// the clock in a loop. `lock` must hold a mutex registered with
-  /// RegisterWaiter (system clocks don't care, virtual clocks do).
-  virtual void WaitUntil(std::unique_lock<std::mutex>& lock,
-                         std::condition_variable& cv,
-                         std::uint64_t deadline_ns) = 0;
+  /// the clock in a loop. `mu` must be held by the caller and registered
+  /// with RegisterWaiter (system clocks don't care, virtual clocks do); it
+  /// is released for the duration of the wait and re-held on return.
+  virtual void WaitUntil(primacy::Mutex& mu, primacy::CondVar& cv,
+                         std::uint64_t deadline_ns) PRIMACY_REQUIRES(mu) = 0;
 };
 
 /// Wall-clock implementation over std::chrono::steady_clock. All instances
@@ -66,9 +72,8 @@ class SystemServiceClock final : public ServiceClock {
   static SystemServiceClock& Instance();
 
   std::uint64_t NowNs() const override;
-  void WaitUntil(std::unique_lock<std::mutex>& lock,
-                 std::condition_variable& cv,
-                 std::uint64_t deadline_ns) override;
+  void WaitUntil(primacy::Mutex& mu, primacy::CondVar& cv,
+                 std::uint64_t deadline_ns) override PRIMACY_REQUIRES(mu);
 };
 
 /// Test clock: time moves only when Advance/AdvanceTo is called. Thread-safe
@@ -83,27 +88,29 @@ class VirtualClock final : public ServiceClock {
     return now_ns_.load(std::memory_order_acquire);
   }
 
-  void RegisterWaiter(std::mutex* mutex, std::condition_variable* cv) override;
-  void UnregisterWaiter(std::condition_variable* cv) override;
-  void WaitUntil(std::unique_lock<std::mutex>& lock,
-                 std::condition_variable& cv,
-                 std::uint64_t deadline_ns) override;
+  void RegisterWaiter(primacy::Mutex* mutex, primacy::CondVar* cv) override
+      PRIMACY_EXCLUDES(mu_);
+  void UnregisterWaiter(primacy::CondVar* cv) override PRIMACY_EXCLUDES(mu_);
+  void WaitUntil(primacy::Mutex& mu, primacy::CondVar& cv,
+                 std::uint64_t deadline_ns) override PRIMACY_REQUIRES(mu);
 
   /// Moves time forward by `delta_ns` and wakes every registered waiter
-  /// (each re-checks its own deadline). Returns the new now.
-  std::uint64_t Advance(std::uint64_t delta_ns);
+  /// (each re-checks its own deadline). Returns the new now. Must not be
+  /// called while holding any registered waiter's mutex.
+  std::uint64_t Advance(std::uint64_t delta_ns) PRIMACY_EXCLUDES(mu_);
 
   /// Moves time forward to `now_ns` (no-op if time is already past it).
-  void AdvanceTo(std::uint64_t now_ns);
+  void AdvanceTo(std::uint64_t now_ns) PRIMACY_EXCLUDES(mu_);
 
  private:
-  void NotifyAllWaiters();
+  void NotifyAllWaiters() PRIMACY_EXCLUDES(mu_);
 
   std::atomic<std::uint64_t> now_ns_;
   // Guards the waiter list (not the time — that is the atomic above, so
   // NowNs never touches a lock on the hot path).
-  mutable std::mutex mu_;
-  std::vector<std::pair<std::mutex*, std::condition_variable*>> waiters_;
+  mutable primacy::Mutex mu_;
+  std::vector<std::pair<primacy::Mutex*, primacy::CondVar*>> waiters_
+      PRIMACY_GUARDED_BY(mu_);
 };
 
 }  // namespace primacy::service

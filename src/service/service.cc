@@ -108,6 +108,12 @@ struct Tenant {
 
   const TenantConfig config;
   const std::uint64_t id;
+  // bucket, inflight, cancel_epoch, and stats are guarded by the OWNING
+  // SERVICE's mu_, not a tenant-local lock — admission decisions read
+  // several tenants' state under one critical section. The analysis cannot
+  // express a guard living in another object (GUARDED_BY needs a member or
+  // global expression), so the contract is documented here and every access
+  // in service.cc sits inside a CompressionService mu_ section.
   TokenBucket bucket;
   std::size_t inflight = 0;
   /// Bumped by DrainTenant; a request whose admission epoch is older
@@ -122,16 +128,20 @@ struct Tenant {
   /// Compress-result memo (TenantConfig::memo_bytes). Guarded by its own
   /// mutex because batch workers consult it while holding no service locks;
   /// eviction is an O(n) oldest-scan, fine at hot-working-set sizes.
-  std::mutex memo_mu;
-  std::unordered_map<std::uint64_t, MemoEntry> memo;
-  std::uint64_t memo_tick = 0;
-  std::size_t memo_bytes_used = 0;
-  std::uint64_t memo_hits = 0;
+  /// Lock order: the service's mu_ may be held when taking memo_mu
+  /// (TenantStats), never the reverse.
+  primacy::Mutex memo_mu;
+  std::unordered_map<std::uint64_t, MemoEntry> memo
+      PRIMACY_GUARDED_BY(memo_mu);
+  std::uint64_t memo_tick PRIMACY_GUARDED_BY(memo_mu) = 0;
+  std::size_t memo_bytes_used PRIMACY_GUARDED_BY(memo_mu) = 0;
+  std::uint64_t memo_hits PRIMACY_GUARDED_BY(memo_mu) = 0;
 
-  bool MemoLookup(ByteSpan payload, Bytes& stream_out) {
+  bool MemoLookup(ByteSpan payload, Bytes& stream_out)
+      PRIMACY_EXCLUDES(memo_mu) {
     if (config.memo_bytes == 0) return false;
     const std::uint64_t key = Xxh64(payload);
-    std::lock_guard<std::mutex> lock(memo_mu);
+    primacy::MutexLock lock(memo_mu);
     const auto it = memo.find(key);
     if (it == memo.end() || it->second.input.size() != payload.size() ||
         !std::equal(payload.begin(), payload.end(),
@@ -145,12 +155,13 @@ struct Tenant {
     return true;
   }
 
-  void MemoInsert(ByteSpan payload, const Bytes& stream) {
+  void MemoInsert(ByteSpan payload, const Bytes& stream)
+      PRIMACY_EXCLUDES(memo_mu) {
     if (config.memo_bytes == 0) return;
     const std::size_t charge = payload.size() + stream.size() + 64;
     if (charge > config.memo_bytes) return;  // would never fit
     const std::uint64_t key = Xxh64(payload);
-    std::lock_guard<std::mutex> lock(memo_mu);
+    primacy::MutexLock lock(memo_mu);
     const auto it = memo.find(key);
     if (it != memo.end()) {
       // Same hash: refresh (same payload) or replace (collision) in place.
@@ -245,15 +256,15 @@ CompressionService::CompressionService(ServiceOptions options)
 
 CompressionService::~CompressionService() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    primacy::MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();  // blocked submitters resolve kShuttingDown
-  queue_->Stop();    // flush pending items; late pushes self-dispatch
+  cv_.NotifyAll();  // blocked submitters resolve kShuttingDown
+  queue_->Stop();   // flush pending items; late pushes self-dispatch
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    primacy::MutexLock lock(mu_);
     while (outstanding_batches_ != 0 || active_submitters_ != 0) {
-      cv_.wait(lock);
+      cv_.Wait(mu_);
     }
   }
   clock_->UnregisterWaiter(&cv_);
@@ -270,7 +281,7 @@ void CompressionService::AddTenant(const TenantConfig& config) {
     throw InvalidArgumentError(
         "CompressionService: cache_share must be in [0, 1]");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  primacy::MutexLock lock(mu_);
   if (tenants_.contains(config.name)) {
     throw InvalidArgumentError("CompressionService: duplicate tenant '" +
                                config.name + "'");
@@ -336,7 +347,7 @@ std::size_t CompressionService::DrainTenant(std::string_view tenant_name) {
   internal::Tenant& tenant = FindTenant(tenant_name);
   std::size_t inflight = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    primacy::MutexLock lock(mu_);
     ++tenant.cancel_epoch;
     inflight = tenant.inflight;
   }
@@ -351,7 +362,7 @@ void CompressionService::Flush() { queue_->Drain(); }
 ServiceStatsSnapshot CompressionService::Stats() const {
   ServiceStatsSnapshot snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    primacy::MutexLock lock(mu_);
     snapshot = stats_;
   }
   snapshot.batch = queue_->stats();
@@ -361,7 +372,7 @@ ServiceStatsSnapshot CompressionService::Stats() const {
 TenantStatsSnapshot CompressionService::TenantStats(
     std::string_view tenant_name) const {
   internal::Tenant& tenant = FindTenant(tenant_name);
-  std::lock_guard<std::mutex> lock(mu_);
+  primacy::MutexLock lock(mu_);
   // Refresh the bucket so the snapshot reflects time that has passed since
   // the last admission attempt (logical constness: accounting only).
   tenant.bucket.Refill(clock_->NowNs());
@@ -375,7 +386,7 @@ TenantStatsSnapshot CompressionService::TenantStats(
     snapshot.cache_misses = cache.misses;
   }
   {
-    std::lock_guard<std::mutex> memo_lock(tenant.memo_mu);
+    primacy::MutexLock memo_lock(tenant.memo_mu);
     snapshot.memo_hits = tenant.memo_hits;
     snapshot.memo_bytes_used = tenant.memo_bytes_used;
   }
@@ -383,7 +394,7 @@ TenantStatsSnapshot CompressionService::TenantStats(
 }
 
 std::vector<SlowRequestEvent> CompressionService::SlowRequests() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  primacy::MutexLock lock(mu_);
   return {slow_requests_.begin(), slow_requests_.end()};
 }
 
@@ -391,7 +402,7 @@ std::string CompressionService::StatusJson() const {
   std::vector<std::string> names;
   std::vector<SlowRequestEvent> slow;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    primacy::MutexLock lock(mu_);
     names.reserve(tenants_.size());
     for (const auto& [name, tenant] : tenants_) names.push_back(name);
     slow.assign(slow_requests_.begin(), slow_requests_.end());
@@ -458,7 +469,7 @@ std::string CompressionService::StatusJson() const {
 
 internal::Tenant& CompressionService::FindTenant(
     std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  primacy::MutexLock lock(mu_);
   const auto it = tenants_.find(std::string(name));
   if (it == tenants_.end()) {
     throw InvalidArgumentError("CompressionService: unknown tenant '" +
@@ -500,76 +511,81 @@ std::future<ServiceResponse> CompressionService::Submit(
   // after waking everyone, so every early-return path below finishes with
   // the service's members still alive.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    primacy::MutexLock lock(mu_);
     ++active_submitters_;
   }
   struct SubmitterGuard {
     CompressionService* service;
     ~SubmitterGuard() {
-      // Notify under the lock: the destructor waiting in cv_.wait cannot
+      // Notify under the lock: the destructor waiting in cv_.Wait cannot
       // observe the decremented count and tear cv_ down until we release
       // mu_, which happens after the notify.
-      std::lock_guard<std::mutex> lock(service->mu_);
+      primacy::MutexLock lock(service->mu_);
       --service->active_submitters_;
-      service->cv_.notify_all();
+      service->cv_.NotifyAll();
     }
   } submitter_guard{this};
 
   std::uint64_t admit_epoch = 0;
   std::uint64_t admit_ns = 0;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    for (;;) {
-      if (stopping_) {
-        lock.unlock();
-        return resolve_now(ServiceStatus::kShuttingDown, 0);
-      }
-      tenant.bucket.Refill(clock_->NowNs());
-      if (tenant.config.max_inflight != 0 &&
-          tenant.inflight >= tenant.config.max_inflight) {
-        if (tenant.config.on_pressure == BackpressurePolicy::kReject) {
-          ++tenant.stats.rejected_inflight;
-          tenant.stats.rejected_bytes += bytes;
-          ++stats_.rejected_inflight;
-          stats_.rejected_bytes += bytes;
-          tenant.metrics.rejected_bytes->Increment(bytes);
-          lock.unlock();
-          return resolve_now(ServiceStatus::kRejectedInflight,
-                             InflightRetryHintNs(options_.batch));
-        }
-        // kBlock: capacity frees on a completion, which notifies cv_.
-        clock_->WaitUntil(lock, cv_, kNoDeadlineNs);
-        continue;
-      }
-      if (!tenant.bucket.TryCharge(bytes)) {
-        const std::uint64_t retry = tenant.bucket.RetryAfterNs(bytes);
-        const bool oversized =
-            !tenant.bucket.unlimited() && bytes > tenant.bucket.burst();
-        if (tenant.config.on_pressure == BackpressurePolicy::kReject ||
-            oversized) {
-          // Oversized requests (payload > burst) can never be admitted, so
-          // they reject under both policies rather than blocking forever.
-          ++tenant.stats.rejected_quota;
-          tenant.stats.rejected_bytes += bytes;
-          ++stats_.rejected_quota;
-          stats_.rejected_bytes += bytes;
-          tenant.metrics.rejected_bytes->Increment(bytes);
-          lock.unlock();
-          return resolve_now(ServiceStatus::kRejectedQuota, retry);
-        }
-        clock_->WaitUntil(lock, cv_, clock_->NowNs() + retry);
-        continue;
-      }
-      break;
+  // Manual Lock/Unlock (not a scoped MutexLock): the loop has three
+  // distinct exits — reject paths that must resolve the promise outside
+  // the lock, blocking waits that release it inside WaitUntil, and the
+  // admission fallthrough — and the analysis tracks the capability through
+  // each branch. Nothing in the locked region throws (bucket arithmetic,
+  // integer stats, atomic counters).
+  mu_.Lock();
+  for (;;) {
+    if (stopping_) {
+      mu_.Unlock();
+      return resolve_now(ServiceStatus::kShuttingDown, 0);
     }
-    admit_epoch = tenant.cancel_epoch;
-    admit_ns = clock_->NowNs();
-    ++tenant.inflight;
-    ++tenant.stats.admitted_requests;
-    tenant.stats.admitted_bytes += bytes;
-    ++stats_.admitted_requests;
-    stats_.admitted_bytes += bytes;
+    tenant.bucket.Refill(clock_->NowNs());
+    if (tenant.config.max_inflight != 0 &&
+        tenant.inflight >= tenant.config.max_inflight) {
+      if (tenant.config.on_pressure == BackpressurePolicy::kReject) {
+        ++tenant.stats.rejected_inflight;
+        tenant.stats.rejected_bytes += bytes;
+        ++stats_.rejected_inflight;
+        stats_.rejected_bytes += bytes;
+        tenant.metrics.rejected_bytes->Increment(bytes);
+        mu_.Unlock();
+        return resolve_now(ServiceStatus::kRejectedInflight,
+                           InflightRetryHintNs(options_.batch));
+      }
+      // kBlock: capacity frees on a completion, which notifies cv_.
+      clock_->WaitUntil(mu_, cv_, kNoDeadlineNs);
+      continue;
+    }
+    if (!tenant.bucket.TryCharge(bytes)) {
+      const std::uint64_t retry = tenant.bucket.RetryAfterNs(bytes);
+      const bool oversized =
+          !tenant.bucket.unlimited() && bytes > tenant.bucket.burst();
+      if (tenant.config.on_pressure == BackpressurePolicy::kReject ||
+          oversized) {
+        // Oversized requests (payload > burst) can never be admitted, so
+        // they reject under both policies rather than blocking forever.
+        ++tenant.stats.rejected_quota;
+        tenant.stats.rejected_bytes += bytes;
+        ++stats_.rejected_quota;
+        stats_.rejected_bytes += bytes;
+        tenant.metrics.rejected_bytes->Increment(bytes);
+        mu_.Unlock();
+        return resolve_now(ServiceStatus::kRejectedQuota, retry);
+      }
+      clock_->WaitUntil(mu_, cv_, clock_->NowNs() + retry);
+      continue;
+    }
+    break;
   }
+  admit_epoch = tenant.cancel_epoch;
+  admit_ns = clock_->NowNs();
+  ++tenant.inflight;
+  ++tenant.stats.admitted_requests;
+  tenant.stats.admitted_bytes += bytes;
+  ++stats_.admitted_requests;
+  stats_.admitted_bytes += bytes;
+  mu_.Unlock();
   tenant.metrics.admitted_bytes->Increment(bytes);
   tenant.metrics.inflight->Add(1);
   registry.GetGauge("primacy_service_queue_depth").Add(1);
@@ -582,7 +598,7 @@ std::future<ServiceResponse> CompressionService::Submit(
     ServiceResponse response;
     bool cancelled = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      primacy::MutexLock lock(mu_);
       cancelled = tenant.cancel_epoch != admit_epoch;
     }
     if (cancelled) {
@@ -613,7 +629,7 @@ std::future<ServiceResponse> CompressionService::Submit(
     // never acquired while holding the service mutex.
     const std::size_t queue_depth = slow ? queue_->Depth() : 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      primacy::MutexLock lock(mu_);
       --tenant.inflight;
       switch (response.status) {
         case ServiceStatus::kOk:
@@ -646,7 +662,7 @@ std::future<ServiceResponse> CompressionService::Submit(
         }
       }
     }
-    cv_.notify_all();  // completions free in-flight capacity
+    cv_.NotifyAll();  // completions free in-flight capacity
     tenant.metrics.inflight->Add(-1);
     auto& reg = telemetry::MetricsRegistry::Global();
     reg.GetCounter("primacy_service_requests_total",
@@ -708,7 +724,7 @@ void CompressionService::DispatchBatch(BatchQueue::Batch&& batch) {
       .Observe(fill);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    primacy::MutexLock lock(mu_);
     ++outstanding_batches_;
   }
   auto shared = std::make_shared<BatchQueue::Batch>(std::move(batch));
@@ -721,13 +737,13 @@ void CompressionService::DispatchBatch(BatchQueue::Batch&& batch) {
       // outstanding count must still drop or the destructor deadlocks.
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      primacy::MutexLock lock(mu_);
       --outstanding_batches_;
       // Notify while still holding mu_: the destructor destroys cv_ the
       // moment it observes outstanding_batches_ == 0, and it can only
       // observe that after this lock drops — so the notify is guaranteed
       // to finish on a live condition variable.
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
   });
 }
@@ -770,7 +786,7 @@ void CompressionService::ExecuteBatch(BatchQueue::Batch& batch) {
 
 CodecContext* CompressionService::CheckOutContext() {
   {
-    std::lock_guard<std::mutex> lock(context_mu_);
+    primacy::MutexLock lock(context_mu_);
     if (!free_contexts_.empty()) {
       CodecContext* context = free_contexts_.back();
       free_contexts_.pop_back();
@@ -781,13 +797,13 @@ CodecContext* CompressionService::CheckOutContext() {
   // count is bounded by peak concurrent batch slots, which the pool bounds.
   auto context = std::make_unique<CodecContext>(options_.codec);
   CodecContext* raw = context.get();
-  std::lock_guard<std::mutex> lock(context_mu_);
+  primacy::MutexLock lock(context_mu_);
   contexts_.push_back(std::move(context));
   return raw;
 }
 
 void CompressionService::ReturnContext(CodecContext* context) {
-  std::lock_guard<std::mutex> lock(context_mu_);
+  primacy::MutexLock lock(context_mu_);
   free_contexts_.push_back(context);
 }
 

@@ -25,13 +25,11 @@
 // driven deterministically by a VirtualClock in tests, with no real sleeps.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -42,6 +40,8 @@
 #include "service/clock.h"
 #include "service/tenant.h"
 #include "util/bytes.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace primacy::service {
 
@@ -240,40 +240,48 @@ class CompressionService {
 
   std::future<ServiceResponse> Submit(RequestType type,
                                       std::string_view tenant_name,
-                                      Bytes payload);
-  internal::Tenant& FindTenant(std::string_view name) const;
-  void DispatchBatch(BatchQueue::Batch&& batch);
+                                      Bytes payload) PRIMACY_EXCLUDES(mu_);
+  internal::Tenant& FindTenant(std::string_view name) const
+      PRIMACY_EXCLUDES(mu_);
+  void DispatchBatch(BatchQueue::Batch&& batch) PRIMACY_EXCLUDES(mu_);
   void ExecuteBatch(BatchQueue::Batch& batch);
 
-  CodecContext* CheckOutContext();
-  void ReturnContext(CodecContext* context);
+  CodecContext* CheckOutContext() PRIMACY_EXCLUDES(context_mu_);
+  void ReturnContext(CodecContext* context) PRIMACY_EXCLUDES(context_mu_);
 
   ServiceOptions options_;
   ServiceClock* clock_;  // options_.clock or the system clock
 
-  mutable std::mutex mu_;
-  /// Wakes blocked submitters (quota refill via clock Advance, completions)
-  /// and the destructor's outstanding-batch wait. Registered with the
-  /// clock so VirtualClock::Advance can wake timed quota waits.
-  std::condition_variable cv_;
-  std::unordered_map<std::string, std::unique_ptr<internal::Tenant>>
-      tenants_;
-  ServiceStatsSnapshot stats_;
+  /// Service-wide admission/completion lock. Also guards, cross-object, the
+  /// admission state inside each internal::Tenant (bucket, inflight,
+  /// cancel_epoch, stats) — see the Tenant definition in service.cc. Lock
+  /// order: mu_ before a tenant's memo_mu; BatchQueue's internal lock is
+  /// never taken while mu_ is held.
+  mutable primacy::Mutex mu_;
+  /// Paired with mu_. Wakes blocked submitters (quota refill via clock
+  /// Advance, completions) and the destructor's outstanding-batch wait.
+  /// Registered with the clock so VirtualClock::Advance can wake timed
+  /// quota waits.
+  primacy::CondVar cv_;
+  std::unordered_map<std::string, std::unique_ptr<internal::Tenant>> tenants_
+      PRIMACY_GUARDED_BY(mu_);
+  ServiceStatsSnapshot stats_ PRIMACY_GUARDED_BY(mu_);
   /// Watchdog log, newest at the back, capped at slow_request_log_capacity.
-  std::deque<SlowRequestEvent> slow_requests_;
-  std::size_t outstanding_batches_ = 0;
+  std::deque<SlowRequestEvent> slow_requests_ PRIMACY_GUARDED_BY(mu_);
+  std::size_t outstanding_batches_ PRIMACY_GUARDED_BY(mu_) = 0;
   /// Threads currently inside Submit (blocked or resolving). The destructor
   /// drains this to zero after setting stopping_, so a submitter woken into
   /// the kShuttingDown path never races member teardown.
-  std::size_t active_submitters_ = 0;
-  bool stopping_ = false;
+  std::size_t active_submitters_ PRIMACY_GUARDED_BY(mu_) = 0;
+  bool stopping_ PRIMACY_GUARDED_BY(mu_) = false;
 
   /// Reusable codec worker state: checked out per batch slot, returned when
   /// the slot finishes, so encoder scratch and solver instances persist
   /// across batches instead of being rebuilt per request.
-  std::mutex context_mu_;
-  std::vector<std::unique_ptr<CodecContext>> contexts_;
-  std::vector<CodecContext*> free_contexts_;
+  primacy::Mutex context_mu_;
+  std::vector<std::unique_ptr<CodecContext>> contexts_
+      PRIMACY_GUARDED_BY(context_mu_);
+  std::vector<CodecContext*> free_contexts_ PRIMACY_GUARDED_BY(context_mu_);
 
   /// Declared last: the queue's flusher may touch everything above.
   std::unique_ptr<BatchQueue> queue_;

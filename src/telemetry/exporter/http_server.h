@@ -12,6 +12,12 @@
 // (ObservabilityHub::HandleRequest), which is also callable directly in
 // tests without any socket.
 //
+// Lock discipline: this class holds no mutex at all. The only shared state
+// is an atomic stopping flag plus the self-pipe; Start()/Stop() order with
+// the accept thread through thread creation/join. Nothing here appears in
+// the thread-safety-annotation layer (util/thread_annotations.h) because
+// there is no capability to annotate.
+//
 // Compiles to an inline no-op under PRIMACY_TELEMETRY=OFF: Start() reports
 // failure and no socket ever opens, so the endpoint is simply absent.
 #pragma once

@@ -6,12 +6,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -19,6 +17,8 @@
 #include "telemetry/metrics.h"
 #include "telemetry/stage_stack.h"
 #include "telemetry/trace.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace primacy::telemetry {
 namespace {
@@ -68,36 +68,46 @@ struct ObservabilityHub::Impl {
   const ObservabilityHubOptions options;
   service::ServiceClock* const clock;
 
-  std::mutex mu;
-  // Registered with the clock; only the exporter thread waits on it.
-  std::condition_variable cv;
-  // Progress/shutdown announcements to API callers (WaitForTicks,
-  // WaitForShutdownRequest); never used with clock->WaitUntil.
-  std::condition_variable state_cv;
+  // One lock for all hub state: the exporter thread, Start/Stop, and the
+  // HTTP handlers all contend on it briefly; the hot scrape path (/metrics)
+  // never takes it. Lock order: mu before the metrics-registry and
+  // trace-registry internal locks (FlushTraceLocked / SamplePassLocked call
+  // into them under mu); never the reverse.
+  primacy::Mutex mu;
+  // Paired with mu. Registered with the clock; only the exporter thread
+  // waits on it.
+  primacy::CondVar cv;
+  // Paired with mu. Progress/shutdown announcements to API callers
+  // (WaitForTicks, WaitForShutdownRequest); never used with clock->WaitUntil.
+  primacy::CondVar state_cv;
 
-  bool started = false;
-  bool stop = false;
-  bool shutdown_requested = false;
-  bool tracing_was_enabled = false;
-  bool sampling_was_enabled = false;
+  bool started PRIMACY_GUARDED_BY(mu) = false;
+  bool stop PRIMACY_GUARDED_BY(mu) = false;
+  bool shutdown_requested PRIMACY_GUARDED_BY(mu) = false;
+  bool tracing_was_enabled PRIMACY_GUARDED_BY(mu) = false;
+  bool sampling_was_enabled PRIMACY_GUARDED_BY(mu) = false;
 
-  std::function<bool()> ready_check;
-  std::vector<std::pair<std::string, StatusSource>> status_sources;
+  std::function<bool()> ready_check PRIMACY_GUARDED_BY(mu);
+  std::vector<std::pair<std::string, StatusSource>> status_sources
+      PRIMACY_GUARDED_BY(mu);
 
-  ObservabilityHubStats stats;
+  ObservabilityHubStats stats PRIMACY_GUARDED_BY(mu);
 
   // Open trace segment: everything flushed into it so far (the file is
   // rewritten whole on each flush so it is always complete JSON).
-  std::vector<TraceEvent> segment_events;
-  std::size_t segment_index = 0;
-  bool segment_open = false;
-  std::deque<std::string> segment_paths;  // on-disk, oldest first
+  std::vector<TraceEvent> segment_events PRIMACY_GUARDED_BY(mu);
+  std::size_t segment_index PRIMACY_GUARDED_BY(mu) = 0;
+  bool segment_open PRIMACY_GUARDED_BY(mu) = false;
+  // On-disk segment files, oldest first.
+  std::deque<std::string> segment_paths PRIMACY_GUARDED_BY(mu);
 
-  std::map<std::string, std::uint64_t> collapsed;  // "split;solver" -> samples
-  std::array<Counter*, kStageCount> profile_counters{};
+  // "split;solver" -> samples
+  std::map<std::string, std::uint64_t> collapsed PRIMACY_GUARDED_BY(mu);
+  std::array<Counter*, kStageCount> profile_counters PRIMACY_GUARDED_BY(mu) =
+      {};
 
-  std::uint64_t next_flush_ns = service::kNoDeadlineNs;
-  std::uint64_t next_sample_ns = service::kNoDeadlineNs;
+  std::uint64_t next_flush_ns PRIMACY_GUARDED_BY(mu) = service::kNoDeadlineNs;
+  std::uint64_t next_sample_ns PRIMACY_GUARDED_BY(mu) = service::kNoDeadlineNs;
 
   std::thread thread;
   HttpServer http;
@@ -111,15 +121,15 @@ struct ObservabilityHub::Impl {
            std::to_string(index) + ".json";
   }
 
-  void Run();
-  void FlushTraceLocked();
-  void SamplePassLocked();
-  std::string RenderStatusz();
-  std::string RenderCollapsedLocked() const;
+  void Run() PRIMACY_EXCLUDES(mu);
+  void FlushTraceLocked() PRIMACY_REQUIRES(mu);
+  void SamplePassLocked() PRIMACY_REQUIRES(mu);
+  std::string RenderStatusz() PRIMACY_EXCLUDES(mu);
+  std::string RenderCollapsedLocked() const PRIMACY_REQUIRES(mu);
 };
 
 void ObservabilityHub::Impl::Run() {
-  std::unique_lock<std::mutex> lock(mu);
+  primacy::MutexLock lock(mu);
   while (!stop) {
     const std::uint64_t now = clock->NowNs();
     bool worked = false;
@@ -135,7 +145,7 @@ void ObservabilityHub::Impl::Run() {
     }
     if (worked) {
       ++stats.ticks;
-      state_cv.notify_all();
+      state_cv.NotifyAll();
     }
     std::uint64_t deadline = service::kNoDeadlineNs;
     if (FlushConfigured()) deadline = std::min(deadline, next_flush_ns);
@@ -143,7 +153,7 @@ void ObservabilityHub::Impl::Run() {
       deadline = std::min(deadline, next_sample_ns);
     }
     if (stop) break;
-    clock->WaitUntil(lock, cv, deadline);
+    clock->WaitUntil(mu, cv, deadline);
   }
 }
 
@@ -208,7 +218,7 @@ std::string ObservabilityHub::Impl::RenderStatusz() {
   std::vector<std::string> segments;
   std::vector<std::pair<std::string, StatusSource>> sources;
   {
-    std::lock_guard<std::mutex> lock(mu);
+    primacy::MutexLock lock(mu);
     snapshot = stats;
     segments.assign(segment_paths.begin(), segment_paths.end());
     sources = status_sources;
@@ -253,29 +263,26 @@ ObservabilityHub::~ObservabilityHub() { Stop(); }
 void ObservabilityHub::Start() {
   Impl& state = *impl_;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    primacy::MutexLock lock(state.mu);
     if (state.started) return;
     state.started = true;
     state.stop = false;
     state.shutdown_requested = false;
-  }
-  if (state.FlushConfigured()) {
-    ::mkdir(state.options.trace_dir.c_str(), 0755);  // EEXIST is fine
-    state.tracing_was_enabled = TracingEnabled();
-    SetTracingEnabled(true);
-  }
-  if (state.options.profile_interval_ns != 0) {
-    state.sampling_was_enabled = StageSamplingEnabled();
-    SetStageSamplingEnabled(true);
-    for (std::size_t i = 0; i < kStageCount; ++i) {
-      const std::string labels =
-          "stage=\"" + std::string(StageName(static_cast<Stage>(i))) + "\"";
-      state.profile_counters[i] = &MetricsRegistry::Global().GetCounter(
-          "primacy_profile_samples_total", labels);
+    if (state.FlushConfigured()) {
+      ::mkdir(state.options.trace_dir.c_str(), 0755);  // EEXIST is fine
+      state.tracing_was_enabled = TracingEnabled();
+      SetTracingEnabled(true);
     }
-  }
-  {
-    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.options.profile_interval_ns != 0) {
+      state.sampling_was_enabled = StageSamplingEnabled();
+      SetStageSamplingEnabled(true);
+      for (std::size_t i = 0; i < kStageCount; ++i) {
+        const std::string labels =
+            "stage=\"" + std::string(StageName(static_cast<Stage>(i))) + "\"";
+        state.profile_counters[i] = &MetricsRegistry::Global().GetCounter(
+            "primacy_profile_samples_total", labels);
+      }
+    }
     const std::uint64_t now = state.clock->NowNs();
     state.next_flush_ns = now + state.options.trace_flush_interval_ns;
     state.next_sample_ns = now + state.options.profile_interval_ns;
@@ -298,39 +305,39 @@ void ObservabilityHub::Start() {
 void ObservabilityHub::Stop() {
   Impl& state = *impl_;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    primacy::MutexLock lock(state.mu);
     if (!state.started) return;
     state.stop = true;
-    state.cv.notify_all();
-    state.state_cv.notify_all();
+    state.cv.NotifyAll();
+    state.state_cv.NotifyAll();
   }
   if (state.thread.joinable()) state.thread.join();
   state.http.Stop();
   state.clock->UnregisterWaiter(&state.cv);
-  // Stop collecting before the final flush so the drain below is complete.
-  if (state.options.profile_interval_ns != 0) {
-    SetStageSamplingEnabled(state.sampling_was_enabled);
-  }
-  if (state.FlushConfigured()) {
-    SetTracingEnabled(state.tracing_was_enabled);
-  }
   {
-    std::lock_guard<std::mutex> lock(state.mu);
-    if (state.FlushConfigured()) state.FlushTraceLocked();
+    primacy::MutexLock lock(state.mu);
+    // Stop collecting before the final flush so the drain below is complete.
+    if (state.options.profile_interval_ns != 0) {
+      SetStageSamplingEnabled(state.sampling_was_enabled);
+    }
+    if (state.FlushConfigured()) {
+      SetTracingEnabled(state.tracing_was_enabled);
+      state.FlushTraceLocked();
+    }
     state.started = false;
-    state.state_cv.notify_all();
+    state.state_cv.NotifyAll();
   }
 }
 
 int ObservabilityHub::HttpPort() const { return impl_->http.Port(); }
 
 void ObservabilityHub::AddStatusSource(std::string name, StatusSource source) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  primacy::MutexLock lock(impl_->mu);
   impl_->status_sources.emplace_back(std::move(name), std::move(source));
 }
 
 void ObservabilityHub::SetReadyCheck(std::function<bool()> check) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  primacy::MutexLock lock(impl_->mu);
   impl_->ready_check = std::move(check);
 }
 
@@ -345,7 +352,7 @@ HttpResponse ObservabilityHub::HandleRequest(const std::string& path) {
   } else if (path == "/readyz") {
     std::function<bool()> check;
     {
-      std::lock_guard<std::mutex> lock(state.mu);
+      primacy::MutexLock lock(state.mu);
       check = state.ready_check;
     }
     if (!check || check()) {
@@ -361,9 +368,9 @@ HttpResponse ObservabilityHub::HandleRequest(const std::string& path) {
     response.body = RenderCollapsedStacks();
   } else if (path == "/quitquitquit" && state.options.enable_quit_endpoint) {
     {
-      std::lock_guard<std::mutex> lock(state.mu);
+      primacy::MutexLock lock(state.mu);
       state.shutdown_requested = true;
-      state.state_cv.notify_all();
+      state.state_cv.NotifyAll();
     }
     response.body = "shutting down\n";
   } else {
@@ -374,34 +381,34 @@ HttpResponse ObservabilityHub::HandleRequest(const std::string& path) {
 }
 
 ObservabilityHubStats ObservabilityHub::GetStats() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  primacy::MutexLock lock(impl_->mu);
   return impl_->stats;
 }
 
 void ObservabilityHub::WaitForTicks(std::uint64_t ticks) {
   Impl& state = *impl_;
-  std::unique_lock<std::mutex> lock(state.mu);
-  state.state_cv.wait(lock, [&state, ticks] {
-    return state.stop || !state.started || state.stats.ticks >= ticks;
-  });
+  primacy::MutexLock lock(state.mu);
+  while (!(state.stop || !state.started || state.stats.ticks >= ticks)) {
+    state.state_cv.Wait(state.mu);
+  }
 }
 
 std::string ObservabilityHub::RenderCollapsedStacks() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  primacy::MutexLock lock(impl_->mu);
   return impl_->RenderCollapsedLocked();
 }
 
 bool ObservabilityHub::ShutdownRequested() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  primacy::MutexLock lock(impl_->mu);
   return impl_->shutdown_requested;
 }
 
 void ObservabilityHub::WaitForShutdownRequest() {
   Impl& state = *impl_;
-  std::unique_lock<std::mutex> lock(state.mu);
-  state.state_cv.wait(lock, [&state] {
-    return state.stop || !state.started || state.shutdown_requested;
-  });
+  primacy::MutexLock lock(state.mu);
+  while (!(state.stop || !state.started || state.shutdown_requested)) {
+    state.state_cv.Wait(state.mu);
+  }
 }
 
 ObservabilityHub* MaybeStartHubFromEnv() {

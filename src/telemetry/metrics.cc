@@ -5,7 +5,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace primacy::telemetry {
 namespace {
@@ -125,12 +127,14 @@ struct MetricsRegistry::Impl {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mutex;
+  /// Registry lock. Leaf in every lock order: Get*/Render never call out
+  /// while holding it, so it can safely be taken under the hub's mutex.
+  mutable primacy::Mutex mutex;
   // Keyed by name + '\xff' + labels; \xff cannot appear in a metric name.
-  std::map<std::string, Entry> entries;
+  std::map<std::string, Entry> entries PRIMACY_GUARDED_BY(mutex);
 
   Entry& Resolve(std::string_view name, std::string_view labels,
-                 MetricKind kind) {
+                 MetricKind kind) PRIMACY_REQUIRES(mutex) {
     std::string key;
     key.reserve(name.size() + labels.size() + 1);
     key.append(name);
@@ -161,7 +165,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 Counter& MetricsRegistry::GetCounter(std::string_view name,
                                      std::string_view labels) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  primacy::MutexLock lock(state.mutex);
   Impl::Entry& entry = state.Resolve(name, labels, MetricKind::kCounter);
   if (!entry.counter) entry.counter = std::make_unique<Counter>();
   return *entry.counter;
@@ -170,7 +174,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name,
 Gauge& MetricsRegistry::GetGauge(std::string_view name,
                                  std::string_view labels) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  primacy::MutexLock lock(state.mutex);
   Impl::Entry& entry = state.Resolve(name, labels, MetricKind::kGauge);
   if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
   return *entry.gauge;
@@ -180,7 +184,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name,
                                          std::span<const double> bounds,
                                          std::string_view labels) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  primacy::MutexLock lock(state.mutex);
   Impl::Entry& entry = state.Resolve(name, labels, MetricKind::kHistogram);
   if (!entry.histogram) entry.histogram = std::make_unique<Histogram>(bounds);
   return *entry.histogram;
@@ -188,7 +192,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name,
 
 std::string MetricsRegistry::RenderPrometheus() const {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  primacy::MutexLock lock(state.mutex);
   std::string out;
   // The map iterates in key order, i.e. grouped by name then labels; emit
   // one # TYPE line per family.
@@ -225,7 +229,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
 
 void MetricsRegistry::ResetAllForTest() {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  primacy::MutexLock lock(state.mutex);
   for (auto& [key, entry] : state.entries) {
     if (entry.counter) entry.counter->Reset();
     if (entry.gauge) entry.gauge->Reset();

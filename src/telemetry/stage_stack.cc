@@ -5,7 +5,9 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace primacy::telemetry {
 namespace {
@@ -21,9 +23,13 @@ struct ThreadStageStack {
 };
 
 struct StackRegistry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<ThreadStageStack>> stacks;
-  std::uint32_t next_tid = 1;
+  /// Guards the stack list and tid assignment only — the per-thread stacks
+  /// themselves are sampled lock-free via their atomics. Leaf lock: nothing
+  /// else is acquired while it is held.
+  primacy::Mutex mutex;
+  std::vector<std::shared_ptr<ThreadStageStack>> stacks
+      PRIMACY_GUARDED_BY(mutex);
+  std::uint32_t next_tid PRIMACY_GUARDED_BY(mutex) = 1;
 };
 
 StackRegistry& Registry() {
@@ -38,7 +44,7 @@ ThreadStageStack& LocalStack() {
   thread_local std::shared_ptr<ThreadStageStack> stack = [] {
     auto fresh = std::make_shared<ThreadStageStack>();
     StackRegistry& registry = Registry();
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    primacy::MutexLock lock(registry.mutex);
     fresh->tid = registry.next_tid++;
     registry.stacks.push_back(fresh);
     return fresh;
@@ -93,7 +99,7 @@ void StageScope::Switch(Stage stage) {
 
 std::vector<StageStackSample> SampleStageStacks() {
   StackRegistry& registry = Registry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  primacy::MutexLock lock(registry.mutex);
   std::vector<StageStackSample> samples;
   for (const auto& stack : registry.stacks) {
     const std::uint32_t depth = stack->depth.load(std::memory_order_acquire);

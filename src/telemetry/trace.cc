@@ -9,9 +9,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 
 #include "telemetry/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace primacy::telemetry {
 namespace {
@@ -54,9 +55,13 @@ struct ThreadTraceBuffer {
 };
 
 struct BufferRegistry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
-  std::uint32_t next_tid = 1;
+  /// Guards the buffer list and tid assignment only — never the ring
+  /// contents, which stay lock-free (the hot path must not take a lock).
+  /// Leaf lock: nothing else is acquired while it is held.
+  primacy::Mutex mutex;
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers
+      PRIMACY_GUARDED_BY(mutex);
+  std::uint32_t next_tid PRIMACY_GUARDED_BY(mutex) = 1;
 };
 
 BufferRegistry& Registry() {
@@ -70,7 +75,7 @@ ThreadTraceBuffer& LocalBuffer() {
   thread_local std::shared_ptr<ThreadTraceBuffer> buffer = [] {
     auto fresh = std::make_shared<ThreadTraceBuffer>();
     BufferRegistry& registry = Registry();
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    primacy::MutexLock lock(registry.mutex);
     fresh->tid = registry.next_tid++;
     registry.buffers.push_back(fresh);
     return fresh;
@@ -109,9 +114,12 @@ void EnsureExitFlushRegistered() {
 
 /// Copies this buffer's retained events (indices >= `begin`) into `out`,
 /// discarding any entry the writer invalidated while we copied. Returns the
-/// `pushed` value the copy covered. Caller holds the registry mutex.
-std::uint64_t CopyBufferEvents(ThreadTraceBuffer& buffer, std::uint64_t begin,
-                               std::vector<TraceEvent>& out) {
+/// `pushed` value the copy covered. Holding the registry mutex keeps the
+/// buffer list stable while we walk a buffer it owns.
+std::uint64_t CopyBufferEvents(BufferRegistry& registry,
+                               ThreadTraceBuffer& buffer, std::uint64_t begin,
+                               std::vector<TraceEvent>& out)
+    PRIMACY_REQUIRES(registry.mutex) {
   const std::uint64_t pushed = buffer.pushed.load(std::memory_order_acquire);
   const std::uint64_t oldest =
       pushed > kTraceRingCapacity ? pushed - kTraceRingCapacity : 0;
@@ -215,22 +223,22 @@ TraceSpan::~TraceSpan() {
 
 std::vector<TraceEvent> SnapshotTraceEvents() {
   BufferRegistry& registry = Registry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  primacy::MutexLock lock(registry.mutex);
   std::vector<TraceEvent> events;
   for (const auto& buffer : registry.buffers) {
-    CopyBufferEvents(*buffer, 0, events);
+    CopyBufferEvents(registry, *buffer, 0, events);
   }
   return events;
 }
 
 std::vector<TraceEvent> DrainTraceEvents() {
   BufferRegistry& registry = Registry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  primacy::MutexLock lock(registry.mutex);
   std::vector<TraceEvent> events;
   for (const auto& buffer : registry.buffers) {
     const std::uint64_t begin =
         buffer->drained.load(std::memory_order_relaxed);
-    const std::uint64_t covered = CopyBufferEvents(*buffer, begin, events);
+    const std::uint64_t covered = CopyBufferEvents(registry, *buffer, begin, events);
     // Consume: later drains start past everything this one covered. The
     // writer may race this upward too (overflow), which is fine — RaiseTo
     // only ever moves the cursor forward.
@@ -241,7 +249,7 @@ std::vector<TraceEvent> DrainTraceEvents() {
 
 std::uint64_t TraceDroppedSpans() {
   BufferRegistry& registry = Registry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  primacy::MutexLock lock(registry.mutex);
   std::uint64_t total = 0;
   for (const auto& buffer : registry.buffers) {
     total += buffer->dropped.load(std::memory_order_relaxed);
@@ -291,7 +299,7 @@ bool WriteChromeTrace(const std::string& path) {
 
 void ClearTraceBuffers() {
   BufferRegistry& registry = Registry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  primacy::MutexLock lock(registry.mutex);
   for (const auto& buffer : registry.buffers) {
     buffer->pushed.store(0, std::memory_order_release);
     buffer->drained.store(0, std::memory_order_release);

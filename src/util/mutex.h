@@ -1,0 +1,103 @@
+// Annotated mutex / condition-variable shims over the std types.
+//
+// These exist so Clang Thread Safety Analysis can see locking: std::mutex
+// itself carries no capability attributes, so `GUARDED_BY(std_mu)` would
+// never be checkable. primacy::Mutex is a zero-overhead wrapper (one
+// std::mutex member, all methods inline) that is a TSA capability;
+// primacy::MutexLock is the annotated scoped lock; primacy::CondVar waits on
+// a primacy::Mutex while keeping the analysis informed that the lock is
+// released during the wait and re-held after.
+//
+// Usage rules (enforced by the `mutex-annotation-coverage` lint rule):
+//  - Long-lived class members use primacy::Mutex / primacy::CondVar, never
+//    raw std::mutex / std::condition_variable (function-local statics used
+//    purely as leaked-singleton construction guards are exempt).
+//  - Every CondVar member's declaration names, in a comment on the preceding
+//    lines, which Mutex it pairs with.
+#ifndef PRIMACY_UTIL_MUTEX_H_
+#define PRIMACY_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace primacy {
+
+class CondVar;
+
+// A std::mutex that is a Clang TSA capability.
+class PRIMACY_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PRIMACY_ACQUIRE() { mu_.lock(); }
+  void Unlock() PRIMACY_RELEASE() { mu_.unlock(); }
+  bool TryLock() PRIMACY_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Documentation/analysis seam: callers use this where a runtime "is the
+  // lock held?" assertion would go. std::mutex cannot check ownership, so
+  // this is a no-op at runtime, but it tells the analysis the capability is
+  // held from here on.
+  void AssertHeld() const PRIMACY_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII scoped lock holding a primacy::Mutex for the enclosing scope.
+class PRIMACY_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PRIMACY_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() PRIMACY_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable paired with primacy::Mutex. Wait/WaitUntil require the
+// mutex held; the analysis understands the lock is released for the duration
+// of the wait and re-held on return (the std::unique_lock adopt/release
+// dance below never actually unlocks outside the wait itself).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, blocks until notified, and re-acquires `mu`
+  // before returning. Callers are responsible for the usual predicate loop:
+  // spurious wakeups are possible.
+  void Wait(Mutex& mu) PRIMACY_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  // As Wait, but also returns once `deadline` passes. Returns true if the
+  // wait timed out, false if it was (possibly spuriously) notified.
+  bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      PRIMACY_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status == std::cv_status::timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace primacy
+
+#endif  // PRIMACY_UTIL_MUTEX_H_

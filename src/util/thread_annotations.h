@@ -1,0 +1,91 @@
+// Portable wrappers for Clang Thread Safety Analysis attributes.
+//
+// The macros expand to `__attribute__((...))` under Clang and to nothing
+// elsewhere, so annotated code compiles identically under GCC/MSVC while
+// Clang builds (the `PRIMACY_THREAD_SAFETY=ON` flavor, and the thread-safety
+// CI job) prove lock discipline at compile time with
+// `-Wthread-safety -Wthread-safety-beta` promoted to errors.
+//
+// Conventions (see docs/STATIC_ANALYSIS.md "Lock discipline"):
+//  - Every mutex-protected member is declared with
+//    `PRIMACY_GUARDED_BY(mu_)` next to the mutex that guards it.
+//  - Internal helpers that assume a lock is already held are annotated
+//    `PRIMACY_REQUIRES(mu_)` instead of relying on naming conventions
+//    ("...Locked") alone.
+//  - Functions that must NOT be called with a lock held (because they
+//    acquire it themselves, or call out under no lock) use
+//    `PRIMACY_EXCLUDES(mu_)`.
+//  - Attributes live on the first declaration only (the header); out-of-line
+//    definitions do not repeat them. On virtual overrides the attribute is
+//    placed after `override`.
+#ifndef PRIMACY_UTIL_THREAD_ANNOTATIONS_H_
+#define PRIMACY_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define PRIMACY_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PRIMACY_THREAD_ANNOTATION(x)
+#endif
+
+// Marks a class as a capability (lockable). The string names the capability
+// kind in diagnostics, e.g. PRIMACY_CAPABILITY("mutex").
+#define PRIMACY_CAPABILITY(x) PRIMACY_THREAD_ANNOTATION(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases a
+// capability (e.g. primacy::MutexLock).
+#define PRIMACY_SCOPED_CAPABILITY PRIMACY_THREAD_ANNOTATION(scoped_lockable)
+
+// Declares that a data member is protected by the given capability: reads
+// require the capability held (shared or exclusive), writes require it
+// exclusively.
+#define PRIMACY_GUARDED_BY(x) PRIMACY_THREAD_ANNOTATION(guarded_by(x))
+
+// Like PRIMACY_GUARDED_BY, but for pointer members whose *pointee* is
+// protected by the capability (the pointer itself may be read freely).
+#define PRIMACY_PT_GUARDED_BY(x) PRIMACY_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Documents required acquisition order between capabilities.
+#define PRIMACY_ACQUIRED_BEFORE(...) \
+  PRIMACY_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PRIMACY_ACQUIRED_AFTER(...) \
+  PRIMACY_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// The calling thread must hold the given capabilities on entry, and still
+// holds them on exit. (Temporarily releasing and re-acquiring inside the
+// function is legal.)
+#define PRIMACY_REQUIRES(...) \
+  PRIMACY_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// The function acquires the capability and holds it on exit.
+#define PRIMACY_ACQUIRE(...) \
+  PRIMACY_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+// The function releases the capability (which must be held on entry).
+#define PRIMACY_RELEASE(...) \
+  PRIMACY_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// The function tries to acquire the capability; the first argument is the
+// return value on success.
+#define PRIMACY_TRY_ACQUIRE(...) \
+  PRIMACY_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// The calling thread must NOT hold the given capabilities (typically because
+// the function acquires them itself; guards against self-deadlock).
+#define PRIMACY_EXCLUDES(...) \
+  PRIMACY_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Tells the analysis to assume the capability is held (runtime-checked
+// assertion seam, e.g. Mutex::AssertHeld).
+#define PRIMACY_ASSERT_CAPABILITY(x) \
+  PRIMACY_THREAD_ANNOTATION(assert_capability(x))
+
+// The function returns a reference to the given capability.
+#define PRIMACY_RETURN_CAPABILITY(x) \
+  PRIMACY_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disables analysis for one function. Every use must carry a
+// comment explaining why the analysis cannot express the pattern.
+#define PRIMACY_NO_THREAD_SAFETY_ANALYSIS \
+  PRIMACY_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // PRIMACY_UTIL_THREAD_ANNOTATIONS_H_

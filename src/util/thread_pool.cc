@@ -92,10 +92,10 @@ ThreadPool::ThreadPool(std::size_t num_threads, std::string_view name)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    primacy::MutexLock lock(mutex_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& worker : workers_) worker.join();
   if constexpr (telemetry::kEnabled) {
     metrics_->workers.Add(-static_cast<std::int64_t>(workers_.size()));
@@ -120,18 +120,18 @@ void ThreadPool::Enqueue(std::function<void()> task) {
     };
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    primacy::MutexLock lock(mutex_);
     tasks_.emplace(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      primacy::MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) cv_.Wait(mutex_);
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -164,7 +164,7 @@ void ThreadPool::ParallelFor(std::size_t count,
 bool ThreadPool::RunOneTask() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    primacy::MutexLock lock(mutex_);
     if (tasks_.empty()) return false;
     task = std::move(tasks_.front());
     tasks_.pop();

@@ -7,16 +7,17 @@
 // queue overhead.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace primacy {
 
@@ -76,23 +77,24 @@ class ThreadPool {
                         const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PRIMACY_EXCLUDES(mutex_);
 
   /// Queues one type-erased task, wrapping it with telemetry accounting
   /// (queue depth, enqueue-to-start wait, run time) when compiled in.
-  void Enqueue(std::function<void()> task);
+  void Enqueue(std::function<void()> task) PRIMACY_EXCLUDES(mutex_);
 
   /// Pops and runs one queued task on the calling thread; false if the
   /// queue was empty.
-  bool RunOneTask();
+  bool RunOneTask() PRIMACY_EXCLUDES(mutex_);
 
   std::string name_;
   internal::PoolMetrics* metrics_ = nullptr;  // per-name, process-lifetime
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  mutable primacy::Mutex mutex_;
+  // Paired with mutex_: workers park here until a task arrives or shutdown.
+  primacy::CondVar cv_;
+  std::queue<std::function<void()>> tasks_ PRIMACY_GUARDED_BY(mutex_);
+  bool stopping_ PRIMACY_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide pool, lazily built with hardware-concurrency workers on

@@ -387,21 +387,19 @@ class WaitObservingClock final : public ServiceClock {
  public:
   explicit WaitObservingClock(VirtualClock* inner) : inner_(inner) {}
   std::uint64_t NowNs() const override { return inner_->NowNs(); }
-  void RegisterWaiter(std::mutex* mutex,
-                      std::condition_variable* cv) override {
+  void RegisterWaiter(primacy::Mutex* mutex, primacy::CondVar* cv) override {
     inner_->RegisterWaiter(mutex, cv);
   }
-  void UnregisterWaiter(std::condition_variable* cv) override {
+  void UnregisterWaiter(primacy::CondVar* cv) override {
     inner_->UnregisterWaiter(cv);
   }
-  void WaitUntil(std::unique_lock<std::mutex>& lock,
-                 std::condition_variable& cv,
-                 std::uint64_t deadline_ns) override {
+  void WaitUntil(primacy::Mutex& mu, primacy::CondVar& cv,
+                 std::uint64_t deadline_ns) override PRIMACY_REQUIRES(mu) {
     if (deadline_ns == kNoDeadlineNs &&
         std::this_thread::get_id() == watched_thread.load()) {
       watched_thread_waiting.store(true, std::memory_order_release);
     }
-    inner_->WaitUntil(lock, cv, deadline_ns);
+    inner_->WaitUntil(mu, cv, deadline_ns);
   }
 
   std::atomic<std::thread::id> watched_thread{};

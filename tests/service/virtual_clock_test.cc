@@ -6,11 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace primacy::service {
 namespace {
@@ -32,26 +32,129 @@ TEST(ServiceVirtualClock, AdvanceToNeverMovesBackwards) {
 
 TEST(ServiceVirtualClock, WaitUntilPastDeadlineReturnsWithoutBlocking) {
   VirtualClock clock(10);
-  std::mutex mu;
-  std::condition_variable cv;
+  primacy::Mutex mu;
+  primacy::CondVar cv;
   clock.RegisterWaiter(&mu, &cv);
-  std::unique_lock<std::mutex> lock(mu);
-  clock.WaitUntil(lock, cv, 10);  // deadline == now: no wait
-  clock.WaitUntil(lock, cv, 5);   // deadline in the past: no wait
-  lock.unlock();
+  {
+    primacy::MutexLock lock(mu);
+    clock.WaitUntil(mu, cv, 10);  // deadline == now: no wait
+    clock.WaitUntil(mu, cv, 5);   // deadline in the past: no wait
+  }
   clock.UnregisterWaiter(&cv);
+}
+
+// A zero-length Advance is a legal no-op: time stays put and a wait whose
+// deadline equals the unmoved now returns without blocking (nobody will
+// ever notify, so returning IS the assertion).
+TEST(ServiceVirtualClock, ZeroDurationAdvanceAndWaitAtNow) {
+  VirtualClock clock(500);
+  primacy::Mutex mu;
+  primacy::CondVar cv;
+  clock.RegisterWaiter(&mu, &cv);
+  EXPECT_EQ(clock.Advance(0), 500u);
+  EXPECT_EQ(clock.NowNs(), 500u);
+  {
+    primacy::MutexLock lock(mu);
+    clock.WaitUntil(mu, cv, 500);
+  }
+  EXPECT_EQ(clock.NowNs(), 500u);
+  clock.UnregisterWaiter(&cv);
+}
+
+// Deadlines that expired before the wait even started must return on the
+// calling thread with no notify involved — if WaitUntil parked, this test
+// would hang forever (there is no other thread).
+TEST(ServiceVirtualClock, AlreadyPastDeadlineNeverBlocks) {
+  VirtualClock clock;
+  clock.AdvanceTo(10'000);
+  primacy::Mutex mu;
+  primacy::CondVar cv;
+  clock.RegisterWaiter(&mu, &cv);
+  {
+    primacy::MutexLock lock(mu);
+    clock.WaitUntil(mu, cv, 9'999);  // just expired
+    clock.WaitUntil(mu, cv, 1);      // long expired
+    clock.WaitUntil(mu, cv, 0);      // the epoch itself
+  }
+  EXPECT_EQ(clock.NowNs(), 10'000u);
+  clock.UnregisterWaiter(&cv);
+}
+
+// Two waiters parked on the SAME virtual deadline: one Advance must wake
+// both (each observes now == deadline), and the test pins a deterministic
+// completion order with a gate — B re-parks on its condvar until A has
+// recorded itself — so the asserted order never depends on scheduling.
+TEST(ServiceVirtualClock, TwoWaitersSameDeadlineOrderingPinned) {
+  VirtualClock clock;
+  constexpr std::uint64_t kDeadline = 100;
+  struct Waiter {
+    primacy::Mutex mu;
+    primacy::CondVar cv;
+  };
+  Waiter a;
+  Waiter b;
+  clock.RegisterWaiter(&a.mu, &a.cv);
+  clock.RegisterWaiter(&b.mu, &b.cv);
+
+  primacy::Mutex order_mu;
+  std::vector<char> order;          // appended under order_mu
+  std::uint64_t a_woke_at = 0;      // written once by A before the gate opens
+  std::uint64_t b_woke_at = 0;      // written once by B after joining
+  bool a_recorded = false;          // B's gate; guarded by b.mu
+
+  std::thread ta([&] {
+    primacy::MutexLock lock(a.mu);
+    while (clock.NowNs() < kDeadline) {
+      clock.WaitUntil(a.mu, a.cv, kDeadline);
+    }
+    a_woke_at = clock.NowNs();
+    {
+      primacy::MutexLock order_lock(order_mu);
+      order.push_back('a');
+    }
+    {
+      primacy::MutexLock gate_lock(b.mu);
+      a_recorded = true;
+    }
+    b.cv.NotifyAll();
+  });
+  std::thread tb([&] {
+    primacy::MutexLock lock(b.mu);
+    while (clock.NowNs() < kDeadline) {
+      clock.WaitUntil(b.mu, b.cv, kDeadline);
+    }
+    b_woke_at = clock.NowNs();
+    // Gate: park (no deadline, pure notify wait) until A has recorded, so
+    // the order below is pinned without busy-waiting.
+    while (!a_recorded) {
+      clock.WaitUntil(b.mu, b.cv, kNoDeadlineNs);
+    }
+    primacy::MutexLock order_lock(order_mu);
+    order.push_back('b');
+  });
+
+  clock.Advance(kDeadline);
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a_woke_at, kDeadline);
+  EXPECT_EQ(b_woke_at, kDeadline);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'a');
+  EXPECT_EQ(order[1], 'b');
+  clock.UnregisterWaiter(&a.cv);
+  clock.UnregisterWaiter(&b.cv);
 }
 
 TEST(ServiceVirtualClock, AdvanceWakesWaiterExactlyAtDeadline) {
   VirtualClock clock;
-  std::mutex mu;
-  std::condition_variable cv;
+  primacy::Mutex mu;
+  primacy::CondVar cv;
   clock.RegisterWaiter(&mu, &cv);
   std::atomic<std::uint64_t> woken_at{0};
   std::thread waiter([&] {
-    std::unique_lock<std::mutex> lock(mu);
+    primacy::MutexLock lock(mu);
     while (clock.NowNs() < 1000) {
-      clock.WaitUntil(lock, cv, 1000);
+      clock.WaitUntil(mu, cv, 1000);
     }
     woken_at.store(clock.NowNs());
   });
@@ -70,8 +173,8 @@ TEST(ServiceVirtualClock, ManyWaitersAllObserveTheirDeadlines) {
   constexpr std::size_t kWaiters = 8;
   constexpr std::uint64_t kStep = 100;
   struct Waiter {
-    std::mutex mu;
-    std::condition_variable cv;
+    primacy::Mutex mu;
+    primacy::CondVar cv;
   };
   std::vector<std::unique_ptr<Waiter>> waiters;
   for (std::size_t i = 0; i < kWaiters; ++i) {
@@ -84,9 +187,9 @@ TEST(ServiceVirtualClock, ManyWaitersAllObserveTheirDeadlines) {
     threads.emplace_back([&, i] {
       const std::uint64_t deadline = (i + 1) * kStep;
       Waiter& w = *waiters[i];
-      std::unique_lock<std::mutex> lock(w.mu);
+      primacy::MutexLock lock(w.mu);
       while (clock.NowNs() < deadline) {
-        clock.WaitUntil(lock, w.cv, deadline);
+        clock.WaitUntil(w.mu, w.cv, deadline);
       }
       woken_at[i] = clock.NowNs();
     });
@@ -103,25 +206,25 @@ TEST(ServiceVirtualClock, ManyWaitersAllObserveTheirDeadlines) {
 
 TEST(ServiceVirtualClock, NoDeadlineWaitIgnoresTimeAndWakesOnNotify) {
   VirtualClock clock;
-  std::mutex mu;
-  std::condition_variable cv;
+  primacy::Mutex mu;
+  primacy::CondVar cv;
   clock.RegisterWaiter(&mu, &cv);
   bool ready = false;
   std::atomic<bool> woke{false};
   std::thread waiter([&] {
-    std::unique_lock<std::mutex> lock(mu);
+    primacy::MutexLock lock(mu);
     while (!ready) {
-      clock.WaitUntil(lock, cv, kNoDeadlineNs);
+      clock.WaitUntil(mu, cv, kNoDeadlineNs);
     }
     woke.store(true);
   });
   // Advancing wakes the waiter spuriously; its predicate loop re-waits.
   clock.Advance(1'000'000);
   {
-    std::lock_guard<std::mutex> lock(mu);
+    primacy::MutexLock lock(mu);
     ready = true;
   }
-  cv.notify_all();
+  cv.NotifyAll();
   waiter.join();
   EXPECT_TRUE(woke.load());
   clock.UnregisterWaiter(&cv);
@@ -132,10 +235,10 @@ TEST(ServiceSystemClock, MonotonicAndPastDeadlineReturns) {
   const std::uint64_t a = clock.NowNs();
   const std::uint64_t b = clock.NowNs();
   EXPECT_LE(a, b);
-  std::mutex mu;
-  std::condition_variable cv;
-  std::unique_lock<std::mutex> lock(mu);
-  clock.WaitUntil(lock, cv, 0);  // epoch is long past: returns immediately
+  primacy::Mutex mu;
+  primacy::CondVar cv;
+  primacy::MutexLock lock(mu);
+  clock.WaitUntil(mu, cv, 0);  // epoch is long past: returns immediately
 }
 
 }  // namespace

@@ -12,7 +12,10 @@ real Prometheus server would reject violations of):
   * every line is a comment, blank, or a `name{labels} value` sample
   * metric and label names are legal, label values are properly quoted
   * sample values parse as floats (+Inf/-Inf/NaN included)
-  * at most one `# TYPE` per family, declared before the family's samples
+  * at most one `# TYPE` per family, declared before the family's samples —
+    including suffix collisions: a histogram family owns its
+    _bucket/_sum/_count names, so `# TYPE h histogram` plus
+    `# TYPE h_count counter` is the same duplicate in disguise
   * no duplicate (name, labels) series
   * histogram families expose only _bucket/_sum/_count series, every
     bucket set ends at le="+Inf", and bucket counts are non-decreasing
@@ -127,6 +130,26 @@ def check_exposition(text):
                     if name in types:
                         problems.append(
                             f"line {line_no}: duplicate # TYPE for {name}")
+                    # A histogram family owns its _bucket/_sum/_count
+                    # names; re-declaring one of them as a standalone
+                    # family (in either order) is the duplicate-TYPE error
+                    # in disguise, and the resulting exposition is
+                    # ambiguous to a real scraper.
+                    for suffix in HISTOGRAM_SUFFIXES:
+                        if (name.endswith(suffix) and
+                                types.get(name[: -len(suffix)]) ==
+                                "histogram"):
+                            problems.append(
+                                f"line {line_no}: duplicate # TYPE: {name} "
+                                "collides with histogram family "
+                                f"{name[: -len(suffix)]} (which already "
+                                f"owns {name})")
+                        if kind == "histogram" and name + suffix in types:
+                            problems.append(
+                                f"line {line_no}: duplicate # TYPE: "
+                                f"histogram {name} owns {name}{suffix}, "
+                                "which is already declared as its own "
+                                "family")
                     if name in families_seen:
                         problems.append(
                             f"line {line_no}: # TYPE for {name} after its "
@@ -224,6 +247,11 @@ BAD_FIXTURES = [
     ("ok_metric not_a_number\n", "bad value"),
     ("dup 1\ndup 2\n", "duplicate series"),
     ("# TYPE m counter\n# TYPE m counter\nm 1\n", "duplicate # TYPE"),
+    ("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n"
+     "# TYPE h_count counter\nh_count 2\n", "collides with histogram"),
+    ("# TYPE h_count counter\nh_count 1\n# TYPE h histogram\n"
+     "h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+     "already declared as its own family"),
     ("m 1\n# TYPE m counter\n", "after its samples"),
     ("# TYPE m weird\nm 1\n", "unknown type"),
     ("# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
