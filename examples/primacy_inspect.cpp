@@ -42,6 +42,7 @@
 #include "datasets/datasets.h"
 #include "telemetry/exporter/observability_hub.h"
 #include "telemetry/metrics.h"
+#include "transport/shutdown_signal.h"
 #include "util/error.h"
 
 namespace {
@@ -239,7 +240,8 @@ int CacheStats(const char* path, bool use_cache) {
 /// Serves the observability endpoints over a continuously-running demo
 /// roundtrip workload, so a scrape (or a person with curl) sees live
 /// counters, stage histograms, and profiler samples. Stops on
-/// GET /quitquitquit.
+/// GET /quitquitquit, SIGINT, or SIGTERM — all three run the same
+/// finish-the-round-then-stop drain path.
 int Serve(int port) {
   using namespace primacy;
   if (!telemetry::kEnabled) {
@@ -247,6 +249,13 @@ int Serve(int port) {
                  "error: built with PRIMACY_TELEMETRY=OFF; there is no "
                  "endpoint to serve\n");
     return 2;
+  }
+  auto& shutdown_signal = transport::ShutdownSignal::Instance();
+  std::string signal_error;
+  if (!shutdown_signal.Install(&signal_error)) {
+    std::fprintf(stderr, "error: signal handler install failed: %s\n",
+                 signal_error.c_str());
+    return 1;
   }
   telemetry::ObservabilityHubOptions hub_options;
   hub_options.http_port = port;
@@ -272,13 +281,14 @@ int Serve(int port) {
   const PrimacyCompressor compressor(options);
   const PrimacyDecompressor decompressor(options);
   std::uint64_t rounds = 0;
-  while (!hub.ShutdownRequested()) {
+  while (!hub.ShutdownRequested() && !shutdown_signal.Requested()) {
     const Bytes stream = compressor.Compress(values);
     decompressor.Decompress(stream);
     ++rounds;
   }
   hub.Stop();
-  std::printf("shutdown requested after %llu roundtrips\n",
+  std::printf("shutdown requested (%s) after %llu roundtrips\n",
+              shutdown_signal.Requested() ? "signal" : "/quitquitquit",
               static_cast<unsigned long long>(rounds));
   return 0;
 }

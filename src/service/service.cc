@@ -329,6 +329,13 @@ std::future<ServiceResponse> CompressionService::SubmitDecompress(
   return Submit(RequestType::kDecompress, tenant, std::move(stream));
 }
 
+std::future<ServiceResponse> CompressionService::SubmitDecompressRange(
+    std::string_view tenant, Bytes stream, std::uint64_t first_element,
+    std::uint64_t element_count) {
+  return Submit(RequestType::kDecompressRange, tenant, std::move(stream),
+                first_element, element_count);
+}
+
 UploadSession CompressionService::BeginUpload(std::string_view tenant,
                                               UploadSink sink) {
   FindTenant(tenant);  // unknown tenants fail at session open, not Finish
@@ -479,7 +486,8 @@ internal::Tenant& CompressionService::FindTenant(
 }
 
 std::future<ServiceResponse> CompressionService::Submit(
-    RequestType type, std::string_view tenant_name, Bytes payload) {
+    RequestType type, std::string_view tenant_name, Bytes payload,
+    std::uint64_t first_element, std::uint64_t element_count) {
   internal::Tenant& tenant = FindTenant(tenant_name);
   auto promise = std::make_shared<std::promise<ServiceResponse>>();
   std::future<ServiceResponse> future = promise->get_future();
@@ -593,6 +601,7 @@ std::future<ServiceResponse> CompressionService::Submit(
       .Add(static_cast<std::int64_t>(bytes));
 
   queue_->Push(bytes, [this, &tenant, admit_epoch, admit_ns, type,
+                       first_element, element_count,
                        payload = std::move(payload),
                        promise](CodecContext& context) mutable {
     ServiceResponse response;
@@ -611,6 +620,10 @@ std::future<ServiceResponse> CompressionService::Submit(
                 context.compressor.CompressBytesWith(context.encoder, payload);
             tenant.MemoInsert(payload, response.payload);
           }
+        } else if (type == RequestType::kDecompressRange) {
+          response.payload =
+              context.DecompressorFor(tenant, options_.codec)
+                  .DecompressBytesRange(payload, first_element, element_count);
         } else {
           response.payload =
               context.DecompressorFor(tenant, options_.codec)
@@ -648,7 +661,10 @@ std::future<ServiceResponse> CompressionService::Submit(
       if (slow) {
         SlowRequestEvent event;
         event.tenant = tenant.config.name;
-        event.type = type == RequestType::kCompress ? "compress" : "decompress";
+        event.type = type == RequestType::kCompress        ? "compress"
+                     : type == RequestType::kDecompressRange
+                         ? "decompress_range"
+                         : "decompress";
         event.status = response.status;
         event.bytes = payload.size();
         event.admit_ns = admit_ns;

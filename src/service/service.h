@@ -207,6 +207,13 @@ class CompressionService {
   std::future<ServiceResponse> SubmitDecompress(std::string_view tenant,
                                                 Bytes stream);
 
+  /// As SubmitDecompress, but decodes only elements
+  /// [first_element, first_element + element_count) of the stream — the
+  /// random-access path the transport layer exposes as DecompressRange.
+  std::future<ServiceResponse> SubmitDecompressRange(
+      std::string_view tenant, Bytes stream, std::uint64_t first_element,
+      std::uint64_t element_count);
+
   /// Opens a streamed-upload session; sink must be seekable (see
   /// UploadSession).
   UploadSession BeginUpload(std::string_view tenant, UploadSink sink);
@@ -236,11 +243,20 @@ class CompressionService {
   const ServiceOptions& options() const { return options_; }
 
  private:
-  enum class RequestType : std::uint8_t { kCompress, kDecompress };
+  enum class RequestType : std::uint8_t {
+    kCompress,
+    kDecompress,
+    kDecompressRange,
+  };
 
+  /// `first_element`/`element_count` are meaningful only for
+  /// kDecompressRange.
   std::future<ServiceResponse> Submit(RequestType type,
                                       std::string_view tenant_name,
-                                      Bytes payload) PRIMACY_EXCLUDES(mu_);
+                                      Bytes payload,
+                                      std::uint64_t first_element = 0,
+                                      std::uint64_t element_count = 0)
+      PRIMACY_EXCLUDES(mu_);
   internal::Tenant& FindTenant(std::string_view name) const
       PRIMACY_EXCLUDES(mu_);
   void DispatchBatch(BatchQueue::Batch&& batch) PRIMACY_EXCLUDES(mu_);

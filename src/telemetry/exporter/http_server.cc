@@ -2,21 +2,24 @@
 
 #if PRIMACY_TELEMETRY_ENABLED
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <atomic>
-#include <cerrno>
 #include <cstdio>
-#include <cstring>
+#include <string>
 #include <thread>
 #include <utility>
 
+#include "service/clock.h"
+#include "transport/socket_io.h"
+#include "util/bytes.h"
+
 namespace primacy::telemetry {
 namespace {
+
+// Per-connection I/O budgets. A scrape is a handful of header lines and a
+// metrics page; a peer that cannot finish either side in 5 seconds is
+// wedged, and a wedged scraper must not pin the accept loop forever.
+constexpr std::uint64_t kReadDeadlineNs = 5'000'000'000ull;
+constexpr std::uint64_t kWriteDeadlineNs = 5'000'000'000ull;
 
 const char* StatusText(int status) {
   switch (status) {
@@ -40,21 +43,13 @@ std::string ParseRequestPath(const std::string& request) {
   return path;
 }
 
-void CloseIfOpen(int& fd) {
-  if (fd >= 0) {
-    ::close(fd);
-    fd = -1;
-  }
-}
-
 }  // namespace
 
 struct HttpServer::Impl {
-  int listen_fd = -1;
-  // Self-pipe: Stop() writes one byte, the accept loop polls the read end
+  transport::UniqueFd listen_fd;
+  // Self-pipe: Stop() wakes it, the accept loop polls the read end
   // alongside the listen socket and exits — no timed polling.
-  int wake_read_fd = -1;
-  int wake_write_fd = -1;
+  transport::WakePipe wake;
   int port = -1;
   HttpHandler handler;
   std::thread thread;
@@ -66,39 +61,36 @@ struct HttpServer::Impl {
 
 void HttpServer::Impl::AcceptLoop() {
   for (;;) {
-    pollfd fds[2];
-    fds[0].fd = listen_fd;
-    fds[0].events = POLLIN;
-    fds[0].revents = 0;
-    fds[1].fd = wake_read_fd;
-    fds[1].events = POLLIN;
-    fds[1].revents = 0;
-    if (::poll(fds, 2, -1) < 0) {
-      if (errno == EINTR) continue;
+    int conn = -1;
+    const transport::IoStatus status =
+        transport::AcceptWithWake(listen_fd.get(), wake.read_fd(), &conn);
+    if (status != transport::IoStatus::kOk ||
+        stopping.load(std::memory_order_relaxed)) {
+      if (conn >= 0) transport::UniqueFd closer(conn);
       return;
     }
-    if (stopping.load(std::memory_order_relaxed) ||
-        (fds[1].revents & POLLIN) != 0) {
-      return;
-    }
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int conn = ::accept(listen_fd, nullptr, nullptr);
-    if (conn < 0) continue;
-    ServeConnection(conn);
-    ::close(conn);
+    transport::UniqueFd conn_fd(conn);
+    ServeConnection(conn_fd.get());
   }
 }
 
 void HttpServer::Impl::ServeConnection(int fd) const {
+  auto& clock = service::SystemServiceClock::Instance();
   // Scrape requests are a handful of header lines; cap the head read so a
-  // garbage client cannot grow the buffer unboundedly.
+  // garbage client cannot grow the buffer unboundedly. RecvSome retries
+  // EINTR and polls under the read deadline, so a stalled peer times out
+  // instead of wedging the accept loop.
+  const transport::IoDeadline read_deadline =
+      transport::IoDeadline::After(clock, kReadDeadlineNs);
   std::string request;
-  char buffer[1024];
+  std::byte buffer[1024];
   while (request.size() < 16 * 1024 &&
          request.find("\r\n\r\n") == std::string::npos) {
-    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
-    if (n <= 0) break;
-    request.append(buffer, static_cast<std::size_t>(n));
+    std::size_t received = 0;
+    const transport::IoStatus status = transport::RecvSome(
+        fd, MutableByteSpan(buffer), &received, read_deadline);
+    if (status != transport::IoStatus::kOk) break;
+    request.append(StringFromBytes(ByteSpan(buffer, received)));
   }
   const std::string path = ParseRequestPath(request);
   HttpResponse response;
@@ -118,13 +110,11 @@ void HttpServer::Impl::ServeConnection(int fd) const {
                 response.content_type.c_str(), response.body.size());
   std::string out = head;
   out += response.body;
-  std::size_t sent = 0;
-  while (sent < out.size()) {
-    const ssize_t n =
-        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) break;
-    sent += static_cast<std::size_t>(n);
-  }
+  // SendAll retries EINTR-interrupted and short writes and applies the
+  // per-connection write deadline — a /metrics page is many kilobytes, and
+  // the old single-pass loop could silently truncate it on a slow reader.
+  transport::SendAll(fd, AsBytes(std::span<const char>(out.data(), out.size())),
+                     transport::IoDeadline::After(clock, kWriteDeadlineNs));
 }
 
 HttpServer::HttpServer() : impl_(new Impl()) {}
@@ -133,35 +123,16 @@ HttpServer::~HttpServer() { Stop(); }
 
 bool HttpServer::Start(int port, HttpHandler handler) {
   Impl& state = *impl_;
-  if (state.listen_fd >= 0 || port < 0 || port > 65535) return false;
-  int pipe_fds[2] = {-1, -1};
-  if (::pipe(pipe_fds) != 0) return false;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (state.listen_fd.valid() || port < 0 || port > 65535) return false;
+  if (!state.wake.Open(nullptr)) return false;
+  int bound_port = -1;
+  const int fd = transport::ListenTcpLoopback(port, &bound_port, nullptr);
   if (fd < 0) {
-    ::close(pipe_fds[0]);
-    ::close(pipe_fds[1]);
+    state.wake.Close();
     return false;
   }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof addr);
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  socklen_t addr_len = sizeof addr;
-  if (::bind(fd, (const sockaddr*)&addr, sizeof addr) != 0 ||
-      ::listen(fd, 16) != 0 ||
-      ::getsockname(fd, (sockaddr*)&addr, &addr_len) != 0) {
-    ::close(fd);
-    ::close(pipe_fds[0]);
-    ::close(pipe_fds[1]);
-    return false;
-  }
-  state.listen_fd = fd;
-  state.wake_read_fd = pipe_fds[0];
-  state.wake_write_fd = pipe_fds[1];
-  state.port = static_cast<int>(ntohs(addr.sin_port));
+  state.listen_fd.Reset(fd);
+  state.port = bound_port;
   state.handler = std::move(handler);
   state.stopping.store(false, std::memory_order_relaxed);
   // Dedicated accept thread, not a pool task: it blocks in poll() for the
@@ -173,14 +144,12 @@ bool HttpServer::Start(int port, HttpHandler handler) {
 
 void HttpServer::Stop() {
   Impl& state = *impl_;
-  if (state.listen_fd < 0) return;
+  if (!state.listen_fd.valid()) return;
   state.stopping.store(true, std::memory_order_relaxed);
-  const ssize_t wrote = ::write(state.wake_write_fd, "x", 1);
-  (void)wrote;  // failure means the loop is already gone; join handles it
+  state.wake.Wake();
   if (state.thread.joinable()) state.thread.join();
-  CloseIfOpen(state.listen_fd);
-  CloseIfOpen(state.wake_read_fd);
-  CloseIfOpen(state.wake_write_fd);
+  state.listen_fd.Reset();
+  state.wake.Close();
   state.port = -1;
   state.handler = nullptr;
 }

@@ -1,0 +1,88 @@
+#include "transport/shutdown_signal.h"
+
+#include <csignal>
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+
+#include "transport/socket_io.h"
+
+namespace primacy::transport {
+namespace {
+
+// Handler-visible state. Plain statics (not members) because a signal
+// handler can only touch async-signal-safe globals; the write fd is stored
+// in an atomic int so the handler never races Install.
+std::atomic<bool> g_requested{false};
+std::atomic<int> g_wake_write_fd{-1};
+
+extern "C" void HandleShutdownSignal(int /*signum*/) {
+  g_requested.store(true, std::memory_order_release);
+  const int fd = g_wake_write_fd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    const char byte = 's';
+    // write() is async-signal-safe; a full pipe already holds a wake.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+// Leaked: signal handlers reference the pipe for process lifetime.
+WakePipe* g_pipe = nullptr;
+
+}  // namespace
+
+ShutdownSignal& ShutdownSignal::Instance() {
+  static ShutdownSignal instance;
+  return instance;
+}
+
+bool ShutdownSignal::Install(std::string* error) {
+  if (g_pipe != nullptr) return true;
+  auto pipe = new WakePipe();
+  if (!pipe->Open(error)) {
+    delete pipe;
+    return false;
+  }
+  g_wake_write_fd.store(pipe->write_fd(), std::memory_order_release);
+  g_pipe = pipe;
+  struct sigaction action {};
+  action.sa_handler = &HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART: unrelated blocking syscalls resume; loops notice the
+  // shutdown through the pipe (poll) or Requested(), not through EINTR.
+  action.sa_flags = SA_RESTART;
+  if (::sigaction(SIGINT, &action, nullptr) != 0 ||
+      ::sigaction(SIGTERM, &action, nullptr) != 0) {
+    if (error) *error = "sigaction failed";
+    return false;
+  }
+  return true;
+}
+
+bool ShutdownSignal::Requested() const {
+  return g_requested.load(std::memory_order_acquire);
+}
+
+int ShutdownSignal::wake_fd() const {
+  return g_pipe != nullptr ? g_pipe->read_fd() : -1;
+}
+
+bool ShutdownSignal::WaitRequested(std::uint64_t timeout_ns) {
+  if (Requested() || g_pipe == nullptr) return Requested();
+  struct pollfd entry {};
+  entry.fd = g_pipe->read_fd();
+  entry.events = POLLIN;
+  const int timeout_ms =
+      static_cast<int>(timeout_ns / 1'000'000ull > 1'000'000ull
+                           ? 1'000'000ull
+                           : timeout_ns / 1'000'000ull);
+  // The wake byte is deliberately left in the pipe: Requested() is the
+  // source of truth and other pollers of wake_fd() should also wake.
+  (void)::poll(&entry, 1, timeout_ms);
+  return Requested();
+}
+
+void ShutdownSignal::Trigger() { HandleShutdownSignal(0); }
+
+}  // namespace primacy::transport

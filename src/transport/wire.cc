@@ -1,0 +1,262 @@
+#include "transport/wire.h"
+
+#include <string>
+
+#include "bitstream/byte_io.h"
+#include "util/checksum.h"
+#include "util/error.h"
+
+namespace primacy::transport {
+namespace {
+
+/// Bytes in the frozen header prefix: magic(4) + version(2) + kind(1) +
+/// request id(8).
+constexpr std::size_t kHeaderBytes = 15;
+/// Trailing XXH64 checksum. Like the header, its position is frozen across
+/// protocol versions so integrity can be checked before interpreting a
+/// frame from any peer.
+constexpr std::size_t kChecksumBytes = 8;
+
+ByteSpan StringSpan(const std::string& text) {
+  return AsBytes(std::span<const char>(text.data(), text.size()));
+}
+
+/// Writes the frozen header prefix shared by every frame kind.
+void AppendFrameHeader(Bytes& out, FrameKind kind, std::uint64_t request_id) {
+  PutU32(out, kWireMagic);
+  PutU16(out, kProtocolVersion);
+  PutU8(out, static_cast<std::uint8_t>(kind));
+  PutU64(out, request_id);
+}
+
+/// Appends the trailing XXH64 over everything already in `out`.
+void AppendFrameChecksum(Bytes& out) {
+  PutU64(out, Xxh64(ByteSpan(out)));
+}
+
+/// Reads the frozen header prefix; validates magic then version. Returns
+/// {kind byte, request id} — kind is validated by the caller so version
+/// skew (which must surface the request id) is diagnosed first.
+struct FrameHeader {
+  std::uint8_t kind = 0;
+  std::uint64_t request_id = 0;
+};
+
+FrameHeader ParseFrameHeader(ByteReader& reader) {
+  const std::uint32_t magic = reader.GetU32();
+  const std::uint16_t version = reader.GetU16();
+  FrameHeader header;
+  header.kind = reader.GetU8();
+  header.request_id = reader.GetU64();
+  if (magic != kWireMagic) {
+    throw WireFormatError("transport frame: bad magic");
+  }
+  if (version != kProtocolVersion) {
+    throw VersionSkewError(
+        "transport frame: protocol version " + std::to_string(version) +
+            " not supported (this build speaks " +
+            std::to_string(kProtocolVersion) + ")",
+        version, header.request_id);
+  }
+  return header;
+}
+
+Op CheckedOp(std::uint8_t raw) {
+  switch (static_cast<Op>(raw)) {
+    case Op::kCompress:
+    case Op::kDecompress:
+    case Op::kDecompressRange:
+    case Op::kPing:
+    case Op::kStats:
+      return static_cast<Op>(raw);
+  }
+  throw WireFormatError("transport frame: unknown op " + std::to_string(raw));
+}
+
+WireStatus CheckedStatus(std::uint8_t raw) {
+  switch (static_cast<WireStatus>(raw)) {
+    case WireStatus::kOk:
+    case WireStatus::kRejectedQuota:
+    case WireStatus::kRejectedInflight:
+    case WireStatus::kCancelled:
+    case WireStatus::kError:
+    case WireStatus::kShuttingDown:
+    case WireStatus::kBadFrame:
+    case WireStatus::kVersionSkew:
+    case WireStatus::kTooManyConnections:
+    case WireStatus::kUnknownOp:
+      return static_cast<WireStatus>(raw);
+  }
+  throw WireFormatError("transport frame: unknown status " +
+                        std::to_string(raw));
+}
+
+}  // namespace
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "ok";
+    case WireStatus::kRejectedQuota:
+      return "rejected_quota";
+    case WireStatus::kRejectedInflight:
+      return "rejected_inflight";
+    case WireStatus::kCancelled:
+      return "cancelled";
+    case WireStatus::kError:
+      return "error";
+    case WireStatus::kShuttingDown:
+      return "shutting_down";
+    case WireStatus::kBadFrame:
+      return "bad_frame";
+    case WireStatus::kVersionSkew:
+      return "version_skew";
+    case WireStatus::kTooManyConnections:
+      return "too_many_connections";
+    case WireStatus::kUnknownOp:
+      return "unknown_op";
+  }
+  return "unknown";
+}
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kCompress:
+      return "compress";
+    case Op::kDecompress:
+      return "decompress";
+    case Op::kDecompressRange:
+      return "decompress_range";
+    case Op::kPing:
+      return "ping";
+    case Op::kStats:
+      return "stats";
+  }
+  return "unknown";
+}
+
+WireStatus FromServiceStatus(service::ServiceStatus status) {
+  switch (status) {
+    case service::ServiceStatus::kOk:
+      return WireStatus::kOk;
+    case service::ServiceStatus::kRejectedQuota:
+      return WireStatus::kRejectedQuota;
+    case service::ServiceStatus::kRejectedInflight:
+      return WireStatus::kRejectedInflight;
+    case service::ServiceStatus::kCancelled:
+      return WireStatus::kCancelled;
+    case service::ServiceStatus::kError:
+      return WireStatus::kError;
+    case service::ServiceStatus::kShuttingDown:
+      return WireStatus::kShuttingDown;
+  }
+  return WireStatus::kError;
+}
+
+Bytes EncodeRequestFrame(const RequestFrame& frame) {
+  Bytes out;
+  AppendFrameHeader(out, FrameKind::kRequest, frame.request_id);
+  PutU8(out, static_cast<std::uint8_t>(frame.op));
+  PutBlock(out, StringSpan(frame.tenant));
+  PutBlock(out, ByteSpan(frame.options));
+  PutVarint(out, frame.first_element);
+  PutVarint(out, frame.element_count);
+  PutBlock(out, ByteSpan(frame.payload));
+  AppendFrameChecksum(out);
+  return out;
+}
+
+Bytes EncodeResponseFrame(const ResponseFrame& frame) {
+  Bytes out;
+  AppendFrameHeader(out, FrameKind::kResponse, frame.request_id);
+  PutU8(out, static_cast<std::uint8_t>(frame.op));
+  PutBlock(out, ByteSpan(frame.payload));
+  AppendFrameChecksum(out);
+  return out;
+}
+
+Bytes EncodeErrorFrame(const ErrorFrame& frame) {
+  Bytes out;
+  AppendFrameHeader(out, FrameKind::kError, frame.request_id);
+  PutU8(out, static_cast<std::uint8_t>(frame.op));
+  PutU8(out, static_cast<std::uint8_t>(frame.status));
+  PutU64(out, frame.retry_after_ns);
+  PutBlock(out, StringSpan(frame.message));
+  AppendFrameChecksum(out);
+  return out;
+}
+
+DecodedFrame DecodeFrame(ByteSpan frame) {
+  if (frame.size() < kHeaderBytes + kChecksumBytes) {
+    throw WireFormatError("transport frame: truncated (" +
+                          std::to_string(frame.size()) + " bytes)");
+  }
+  if (frame.size() > kMaxFrameBytes) {
+    throw WireFormatError("transport frame: oversized (" +
+                          std::to_string(frame.size()) + " bytes)");
+  }
+  // Integrity first: a frame whose checksum does not match is never
+  // interpreted, whatever its claimed version.
+  const std::size_t body_size = frame.size() - kChecksumBytes;
+  ByteReader tail(frame.subspan(body_size));
+  const std::uint64_t expected = tail.GetU64();
+  const std::uint64_t computed = Xxh64(frame.first(body_size));
+  if (expected != computed) {
+    throw WireFormatError("transport frame: checksum mismatch");
+  }
+  ByteReader reader(frame.first(body_size));
+  try {
+    const FrameHeader header = ParseFrameHeader(reader);
+    DecodedFrame decoded;
+    switch (static_cast<FrameKind>(header.kind)) {
+      case FrameKind::kRequest: {
+        decoded.kind = FrameKind::kRequest;
+        RequestFrame& req = decoded.request;
+        req.request_id = header.request_id;
+        req.op = CheckedOp(reader.GetU8());
+        req.tenant = StringFromBytes(reader.GetBlock());
+        req.options = ToBytes(reader.GetBlock());
+        req.first_element = reader.GetVarint();
+        req.element_count = reader.GetVarint();
+        req.payload = ToBytes(reader.GetBlock());
+        break;
+      }
+      case FrameKind::kResponse: {
+        decoded.kind = FrameKind::kResponse;
+        ResponseFrame& resp = decoded.response;
+        resp.request_id = header.request_id;
+        resp.op = CheckedOp(reader.GetU8());
+        resp.payload = ToBytes(reader.GetBlock());
+        break;
+      }
+      case FrameKind::kError: {
+        decoded.kind = FrameKind::kError;
+        ErrorFrame& err = decoded.error;
+        err.request_id = header.request_id;
+        err.op = CheckedOp(reader.GetU8());
+        err.status = CheckedStatus(reader.GetU8());
+        err.retry_after_ns = reader.GetU64();
+        err.message = StringFromBytes(reader.GetBlock());
+        break;
+      }
+      default:
+        throw WireFormatError("transport frame: unknown kind " +
+                              std::to_string(header.kind));
+    }
+    if (!reader.AtEnd()) {
+      throw WireFormatError("transport frame: " +
+                            std::to_string(reader.Remaining()) +
+                            " trailing bytes after body");
+    }
+    return decoded;
+  } catch (const WireFormatError&) {
+    throw;
+  } catch (const CorruptStreamError& e) {
+    // ByteReader truncation inside the body: re-brand with wire context so
+    // DecodeFrame's contract (WireFormatError or VersionSkewError only)
+    // holds.
+    throw WireFormatError(std::string("transport frame: ") + e.what());
+  }
+}
+
+}  // namespace primacy::transport

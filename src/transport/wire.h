@@ -1,0 +1,168 @@
+// Versioned, length-prefixed wire protocol for the PRIMACY daemon boundary.
+//
+// A frame on the socket is a u32 little-endian length followed by that many
+// frame bytes. The frame body is built from the same Put*/Get* vocabulary as
+// the codec containers (bitstream/byte_io.h) and is checksummed with XXH64 so
+// a torn or corrupted frame is detected before any payload is interpreted:
+//
+//   [u32 magic 'PRMW'][u16 protocol version][u8 kind][u64 request id]
+//   [kind-specific body][u64 XXH64 of all preceding frame bytes]
+//
+// The four header fields are the *frozen prefix*: their layout is identical
+// in every protocol version, so a server that receives a frame from a newer
+// client can still recover the request id and answer with a kVersionSkew
+// error frame instead of hanging up silently. Everything after the header
+// may change between versions.
+//
+// Request bodies carry an op code, tenant name, an opaque options blob
+// (reserved — decoded but currently unused, so older servers tolerate newer
+// clients that populate it), an element range (meaningful for
+// kDecompressRange, zero otherwise), and the payload. Error frames carry the
+// compression service's status codes plus `retry_after_ns` so clients can
+// implement informed backoff (docs/TRANSPORT.md has the full tables).
+//
+// Encoding never fails; decoding throws WireFormatError (a CorruptStreamError
+// subclass: truncation, bad magic, checksum mismatch, trailing garbage) or
+// VersionSkewError (valid frozen prefix, unsupported version).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/service.h"
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace primacy::transport {
+
+/// First four frame bytes, little-endian "PRMW" (PRimacy MiddleWare).
+inline constexpr std::uint32_t kWireMagic = 0x574D5250u;
+
+/// Current protocol version. Bump on any layout change past the frozen
+/// header prefix; decode rejects every other value with VersionSkewError.
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Upper bound on a single frame (length prefix excluded). Frames are
+/// rejected before allocation when the length prefix exceeds this, so a
+/// corrupt length cannot make the server allocate gigabytes.
+inline constexpr std::uint32_t kMaxFrameBytes = 256u * 1024u * 1024u;
+
+/// Frame discriminator (header `kind` byte).
+enum class FrameKind : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kError = 3,
+};
+
+/// Operation selector carried by request frames and echoed by replies.
+enum class Op : std::uint8_t {
+  kCompress = 0,
+  kDecompress = 1,
+  kDecompressRange = 2,
+  kPing = 3,
+  kStats = 4,
+};
+
+/// Wire status codes. The first block mirrors service::ServiceStatus
+/// one-to-one; the second block is transport-layer conditions that have no
+/// in-process equivalent. Values are pinned — they are wire format.
+enum class WireStatus : std::uint8_t {
+  kOk = 0,
+  kRejectedQuota = 1,
+  kRejectedInflight = 2,
+  kCancelled = 3,
+  kError = 4,
+  kShuttingDown = 5,
+  // Transport-layer statuses.
+  kBadFrame = 32,
+  kVersionSkew = 33,
+  kTooManyConnections = 34,
+  kUnknownOp = 35,
+};
+
+/// Human-readable status name ("ok", "rejected_quota", ...). Unknown values
+/// map to "unknown".
+const char* WireStatusName(WireStatus status);
+
+/// Op name ("compress", "decompress", "decompress_range", "ping", "stats").
+const char* OpName(Op op);
+
+/// service::ServiceStatus -> wire status (bijective on the service block).
+WireStatus FromServiceStatus(service::ServiceStatus status);
+
+/// Decode failure: bad magic, truncation, checksum mismatch, unknown kind
+/// or op, trailing garbage. The peer's frame cannot be trusted.
+class WireFormatError : public CorruptStreamError {
+ public:
+  explicit WireFormatError(const std::string& message)
+      : CorruptStreamError(message) {}
+};
+
+/// The frozen prefix parsed but the protocol version is unsupported. Carries
+/// the request id so servers can answer with a kVersionSkew error frame.
+class VersionSkewError : public WireFormatError {
+ public:
+  VersionSkewError(const std::string& message, std::uint16_t peer_version,
+                   std::uint64_t request_id)
+      : WireFormatError(message),
+        peer_version_(peer_version),
+        request_id_(request_id) {}
+
+  std::uint16_t peer_version() const { return peer_version_; }
+  std::uint64_t request_id() const { return request_id_; }
+
+ private:
+  std::uint16_t peer_version_;
+  std::uint64_t request_id_;
+};
+
+/// Client -> server.
+struct RequestFrame {
+  std::uint64_t request_id = 0;
+  Op op = Op::kPing;
+  std::string tenant;
+  /// Opaque forward-compatibility blob; empty today.
+  Bytes options;
+  /// Element range for kDecompressRange; zero for every other op.
+  std::uint64_t first_element = 0;
+  std::uint64_t element_count = 0;
+  Bytes payload;
+};
+
+/// Server -> client success reply.
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  Op op = Op::kPing;
+  Bytes payload;
+};
+
+/// Server -> client failure reply. `retry_after_ns` is nonzero when the
+/// server asserts the request was not executed and suggests a wait.
+struct ErrorFrame {
+  std::uint64_t request_id = 0;
+  Op op = Op::kPing;
+  WireStatus status = WireStatus::kError;
+  std::uint64_t retry_after_ns = 0;
+  std::string message;
+};
+
+/// A decoded frame: `kind` selects which member is populated.
+struct DecodedFrame {
+  FrameKind kind = FrameKind::kRequest;
+  RequestFrame request;
+  ResponseFrame response;
+  ErrorFrame error;
+};
+
+/// Encoders produce a complete frame body (header..checksum) with no length
+/// prefix; framing (the u32 length) is applied by the socket layer.
+Bytes EncodeRequestFrame(const RequestFrame& frame);
+Bytes EncodeResponseFrame(const ResponseFrame& frame);
+Bytes EncodeErrorFrame(const ErrorFrame& frame);
+
+/// Decodes one complete frame body (length prefix already stripped).
+/// Verifies magic, version, checksum, and exact consumption; throws
+/// WireFormatError / VersionSkewError on any violation.
+DecodedFrame DecodeFrame(ByteSpan frame);
+
+}  // namespace primacy::transport

@@ -1,0 +1,267 @@
+// Wire-protocol unit tests: golden byte-exact frames (the corpus that
+// freezes protocol version 1), encode/decode roundtrips, and the negative
+// sweeps — every truncation and every byte corruption of a valid frame
+// must be rejected, and version skew must be diagnosed with the request id
+// intact (the server needs it to address the error frame).
+#include "transport/wire.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bitstream/byte_io.h"
+#include "util/bytes.h"
+#include "util/checksum.h"
+
+namespace primacy::transport {
+namespace {
+
+std::string ToHex(ByteSpan bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::byte b : bytes) {
+    const auto v = static_cast<unsigned>(b);
+    out.push_back(kDigits[v >> 4]);
+    out.push_back(kDigits[v & 0xF]);
+  }
+  return out;
+}
+
+Bytes FromHex(const std::string& hex) {
+  Bytes out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<std::byte>(
+        std::stoul(hex.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+RequestFrame GoldenRequest() {
+  RequestFrame req;
+  req.request_id = 0x1122334455667788ull;
+  req.op = Op::kDecompressRange;
+  req.tenant = "plasma";
+  req.first_element = 300;
+  req.element_count = 7;
+  req.payload = {std::byte{0xDE}, std::byte{0xAD}, std::byte{0xBE},
+                 std::byte{0xEF}};
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// Golden corpus. These hex strings ARE protocol version 1: if one of these
+// expectations fails, the change is a wire format break — bump
+// kProtocolVersion rather than editing the constants.
+
+TEST(TransportWireGolden, RequestFrameBytesArePinned) {
+  EXPECT_EQ(ToHex(EncodeRequestFrame(GoldenRequest())),
+            "50524d5701000188776655443322110206706c61736d6100ac020704deadbeef"
+            "a98487a48c897639");
+}
+
+TEST(TransportWireGolden, PingFrameBytesArePinned) {
+  RequestFrame ping;
+  ping.request_id = 1;
+  ping.op = Op::kPing;
+  EXPECT_EQ(ToHex(EncodeRequestFrame(ping)),
+            "50524d5701000101000000000000000300000000009d011f2d8eb737aa");
+}
+
+TEST(TransportWireGolden, ResponseFrameBytesArePinned) {
+  ResponseFrame resp;
+  resp.request_id = 0x1122334455667788ull;
+  resp.op = Op::kDecompressRange;
+  resp.payload = {std::byte{0x01}, std::byte{0x02}, std::byte{0x03}};
+  EXPECT_EQ(ToHex(EncodeResponseFrame(resp)),
+            "50524d57010002887766554433221102030102037958f4f7346ce813");
+}
+
+TEST(TransportWireGolden, ErrorFrameBytesArePinned) {
+  ErrorFrame err;
+  err.request_id = 42;
+  err.op = Op::kCompress;
+  err.status = WireStatus::kRejectedQuota;
+  err.retry_after_ns = 2'500'000'000ull;
+  err.message = "quota";
+  EXPECT_EQ(ToHex(EncodeErrorFrame(err)),
+            "50524d570100032a00000000000000000100f90295000000000571756f7461"
+            "7bf0907fb84b5708");
+}
+
+TEST(TransportWireGolden, GoldenFrameStartsWithMagicAndVersion) {
+  const Bytes frame = EncodeRequestFrame(GoldenRequest());
+  ByteReader reader{ByteSpan(frame)};
+  EXPECT_EQ(reader.GetU32(), kWireMagic);
+  EXPECT_EQ(reader.GetU16(), kProtocolVersion);
+}
+
+// ---------------------------------------------------------------------------
+// Roundtrips.
+
+TEST(TransportWire, RequestRoundtrips) {
+  const RequestFrame req = GoldenRequest();
+  const Bytes frame = EncodeRequestFrame(req);
+  const DecodedFrame decoded = DecodeFrame(ByteSpan(frame));
+  ASSERT_EQ(decoded.kind, FrameKind::kRequest);
+  EXPECT_EQ(decoded.request.request_id, req.request_id);
+  EXPECT_EQ(decoded.request.op, req.op);
+  EXPECT_EQ(decoded.request.tenant, req.tenant);
+  EXPECT_EQ(decoded.request.first_element, req.first_element);
+  EXPECT_EQ(decoded.request.element_count, req.element_count);
+  EXPECT_EQ(decoded.request.payload, req.payload);
+}
+
+TEST(TransportWire, ResponseRoundtrips) {
+  ResponseFrame resp;
+  resp.request_id = 7;
+  resp.op = Op::kCompress;
+  resp.payload = BytesFromString("compressed bytes");
+  const DecodedFrame decoded =
+      DecodeFrame(ByteSpan(EncodeResponseFrame(resp)));
+  ASSERT_EQ(decoded.kind, FrameKind::kResponse);
+  EXPECT_EQ(decoded.response.request_id, 7u);
+  EXPECT_EQ(decoded.response.op, Op::kCompress);
+  EXPECT_EQ(decoded.response.payload, resp.payload);
+}
+
+TEST(TransportWire, ErrorRoundtrips) {
+  ErrorFrame err;
+  err.request_id = 9;
+  err.op = Op::kDecompress;
+  err.status = WireStatus::kShuttingDown;
+  err.retry_after_ns = 123;
+  err.message = "draining";
+  const DecodedFrame decoded = DecodeFrame(ByteSpan(EncodeErrorFrame(err)));
+  ASSERT_EQ(decoded.kind, FrameKind::kError);
+  EXPECT_EQ(decoded.error.request_id, 9u);
+  EXPECT_EQ(decoded.error.status, WireStatus::kShuttingDown);
+  EXPECT_EQ(decoded.error.retry_after_ns, 123u);
+  EXPECT_EQ(decoded.error.message, "draining");
+}
+
+TEST(TransportWire, EmptyPayloadRequestRoundtrips) {
+  RequestFrame req;
+  req.request_id = 0;
+  req.op = Op::kPing;
+  const DecodedFrame decoded = DecodeFrame(ByteSpan(EncodeRequestFrame(req)));
+  ASSERT_EQ(decoded.kind, FrameKind::kRequest);
+  EXPECT_TRUE(decoded.request.payload.empty());
+  EXPECT_TRUE(decoded.request.tenant.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Negative sweeps.
+
+TEST(TransportWireNegative, EveryTruncationIsRejected) {
+  const Bytes frame = EncodeRequestFrame(GoldenRequest());
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_THROW(DecodeFrame(ByteSpan(frame.data(), len)), WireFormatError)
+        << "prefix of " << len << " bytes decoded without error";
+  }
+}
+
+TEST(TransportWireNegative, EveryByteCorruptionIsRejected) {
+  const Bytes frame = EncodeRequestFrame(GoldenRequest());
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    Bytes corrupt = frame;
+    corrupt[i] ^= std::byte{0x40};
+    // The trailing XXH64 covers every preceding byte, so any single-byte
+    // change — header, body, or the checksum itself — must be caught.
+    EXPECT_THROW(DecodeFrame(ByteSpan(corrupt)), WireFormatError)
+        << "flip at offset " << i << " decoded without error";
+  }
+}
+
+/// A frame from a future protocol version, hand-built against the frozen
+/// prefix: magic, version, kind, request id, arbitrary body, trailing
+/// XXH64. The decoder must surface the peer version AND the request id so
+/// the server can answer with an addressed kVersionSkew error frame.
+TEST(TransportWireNegative, VersionSkewCarriesPeerVersionAndRequestId) {
+  Bytes frame;
+  PutU32(frame, kWireMagic);
+  PutU16(frame, kProtocolVersion + 1);
+  PutU8(frame, 1);  // kRequest
+  PutU64(frame, 0xABCDull);
+  PutU8(frame, 99);  // future-version body the decoder cannot know
+  PutU64(frame, Xxh64(ByteSpan(frame)));
+  try {
+    DecodeFrame(ByteSpan(frame));
+    FAIL() << "version skew was not diagnosed";
+  } catch (const VersionSkewError& e) {
+    EXPECT_EQ(e.peer_version(), kProtocolVersion + 1);
+    EXPECT_EQ(e.request_id(), 0xABCDull);
+  }
+}
+
+TEST(TransportWireNegative, BadMagicIsRejectedBeforeVersion) {
+  // Wrong magic + wrong version: magic must win (a non-PRIMACY peer is not
+  // a version-skewed PRIMACY peer).
+  Bytes frame;
+  PutU32(frame, 0xDEADBEEFu);
+  PutU16(frame, kProtocolVersion + 7);
+  PutU8(frame, 1);
+  PutU64(frame, 1);
+  PutU64(frame, Xxh64(ByteSpan(frame)));
+  EXPECT_THROW(
+      {
+        try {
+          DecodeFrame(ByteSpan(frame));
+        } catch (const VersionSkewError&) {
+          FAIL() << "bad magic misdiagnosed as version skew";
+        }
+      },
+      WireFormatError);
+}
+
+TEST(TransportWireNegative, UnknownFrameKindIsRejected) {
+  Bytes frame;
+  PutU32(frame, kWireMagic);
+  PutU16(frame, kProtocolVersion);
+  PutU8(frame, 9);  // no such kind
+  PutU64(frame, 1);
+  PutU64(frame, Xxh64(ByteSpan(frame)));
+  EXPECT_THROW(DecodeFrame(ByteSpan(frame)), WireFormatError);
+}
+
+TEST(TransportWireNegative, UnknownOpIsRejected) {
+  Bytes frame;
+  PutU32(frame, kWireMagic);
+  PutU16(frame, kProtocolVersion);
+  PutU8(frame, 2);  // kResponse
+  PutU64(frame, 1);
+  PutU8(frame, 250);  // no such op
+  PutBlock(frame, ByteSpan());
+  PutU64(frame, Xxh64(ByteSpan(frame)));
+  EXPECT_THROW(DecodeFrame(ByteSpan(frame)), WireFormatError);
+}
+
+TEST(TransportWireNegative, TrailingGarbageIsRejected) {
+  RequestFrame ping;
+  ping.request_id = 5;
+  ping.op = Op::kPing;
+  Bytes frame = EncodeRequestFrame(ping);
+  // Splice extra bytes between body and checksum, then fix the checksum so
+  // only the trailing-garbage check can reject it.
+  frame.resize(frame.size() - 8);
+  PutU8(frame, 0);
+  PutU64(frame, Xxh64(ByteSpan(frame)));
+  EXPECT_THROW(DecodeFrame(ByteSpan(frame)), WireFormatError);
+}
+
+TEST(TransportWireNegative, StatusNamesCoverTransportBlock) {
+  EXPECT_STREQ(WireStatusName(WireStatus::kBadFrame), "bad_frame");
+  EXPECT_STREQ(WireStatusName(WireStatus::kVersionSkew), "version_skew");
+  EXPECT_STREQ(WireStatusName(WireStatus::kTooManyConnections),
+               "too_many_connections");
+  EXPECT_STREQ(WireStatusName(WireStatus::kUnknownOp), "unknown_op");
+}
+
+TEST(TransportWire, HexHelperRoundtrips) {
+  const Bytes frame = EncodeRequestFrame(GoldenRequest());
+  EXPECT_EQ(FromHex(ToHex(ByteSpan(frame))), frame);
+}
+
+}  // namespace
+}  // namespace primacy::transport

@@ -1,0 +1,170 @@
+// primacy_client: one-shot CLI for a running primacyd.
+//
+//   primacy_client --socket /run/primacy.sock compress   < in  > out
+//   primacy_client --socket /run/primacy.sock decompress < out > in
+//   primacy_client --socket /run/primacy.sock --first 0 --count 100 range
+//   primacy_client --socket /run/primacy.sock ping
+//   primacy_client --socket /run/primacy.sock stats
+//
+// Payloads default to stdin/stdout (binary-safe); --in/--out use files.
+// Exit 0 on success; on failure prints the wire status, the server's
+// message, and the attempt count (so quota rejections are debuggable from
+// a shell).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+
+#include "transport/client.h"
+#include "transport/wire.h"
+#include "util/bytes.h"
+
+namespace {
+
+using namespace primacy;
+
+constexpr const char* kUsage =
+    R"(usage: primacy_client --socket PATH [options] <op>
+
+ops: compress | decompress | range | ping | stats
+
+options:
+  --socket PATH   daemon socket path (required)
+  --tenant NAME   tenant to bill the request to (default "default")
+  --in FILE       request payload file (default: stdin)
+  --out FILE      response payload file (default: stdout)
+  --first N       first element for `range`
+  --count N       element count for `range`
+  --attempts N    retry budget including the first try (default 4)
+)";
+
+Bytes ReadPayload(const std::string& path) {
+  if (path.empty()) {
+    std::string raw((std::istreambuf_iterator<char>(std::cin)),
+                    std::istreambuf_iterator<char>());
+    return BytesFromString(raw);
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "primacy_client: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::string raw((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return BytesFromString(raw);
+}
+
+void WritePayload(const std::string& path, ByteSpan payload) {
+  const std::string raw = StringFromBytes(payload);
+  if (path.empty()) {
+    std::fwrite(raw.data(), 1, raw.size(), stdout);
+    return;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(raw.data(), static_cast<std::streamsize>(raw.size()));
+  if (!out) {
+    std::fprintf(stderr, "primacy_client: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string tenant = "default";
+  std::string in_path;
+  std::string out_path;
+  std::uint64_t first_element = 0;
+  std::uint64_t element_count = 0;
+  std::size_t attempts = 4;
+  std::string op;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "primacy_client: %s needs a value\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--tenant") {
+      tenant = next();
+    } else if (arg == "--in") {
+      in_path = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--first") {
+      first_element = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--count") {
+      element_count = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--attempts") {
+      attempts = static_cast<std::size_t>(
+          std::strtoull(next().c_str(), nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-' && op.empty()) {
+      op = arg;
+    } else {
+      std::fprintf(stderr, "primacy_client: unknown argument '%s'\n%s",
+                   arg.c_str(), kUsage);
+      return 2;
+    }
+  }
+  if (socket_path.empty() || op.empty()) {
+    std::fprintf(stderr, "primacy_client: --socket and an op are required\n%s",
+                 kUsage);
+    return 2;
+  }
+
+  transport::TransportClientOptions options;
+  options.socket_path = socket_path;
+  options.retry.max_attempts = attempts == 0 ? 1 : attempts;
+  transport::TransportClient client(options);
+
+  transport::TransportResult result;
+  if (op == "compress") {
+    result = client.Compress(tenant, ReadPayload(in_path));
+  } else if (op == "decompress") {
+    result = client.Decompress(tenant, ReadPayload(in_path));
+  } else if (op == "range") {
+    result = client.DecompressRange(tenant, ReadPayload(in_path),
+                                    first_element, element_count);
+  } else if (op == "ping") {
+    result = client.Ping();
+  } else if (op == "stats") {
+    result = client.Stats();
+  } else {
+    std::fprintf(stderr, "primacy_client: unknown op '%s'\n%s", op.c_str(),
+                 kUsage);
+    return 2;
+  }
+
+  if (!result.ok()) {
+    std::fprintf(stderr,
+                 "primacy_client: %s failed: %s%s%s (attempts: %u"
+                 ", retry_after_ns: %llu)\n",
+                 op.c_str(), transport::WireStatusName(result.status),
+                 result.error.empty() ? "" : " — ", result.error.c_str(),
+                 result.attempts,
+                 static_cast<unsigned long long>(result.retry_after_ns));
+    return 1;
+  }
+  if (op == "ping") {
+    std::fprintf(stderr, "primacy_client: pong (attempts: %u)\n",
+                 result.attempts);
+    return 0;
+  }
+  WritePayload(out_path, ByteSpan(result.payload.data(),
+                                  result.payload.size()));
+  if (op == "stats" && out_path.empty()) std::printf("\n");
+  return 0;
+}
